@@ -1,0 +1,51 @@
+"""Table 1 — benchmark characteristics.
+
+Regenerates the LOC / Functions / Statements / Blocks / maxSCC / AbsLocs
+columns for the benchmark ladder and times the statistics pipeline (parse,
+lower, pre-analyze, measure). Run with ``--benchmark-only``; the rows are
+printed so the run doubles as the table generator:
+
+    pytest benchmarks/bench_table1_characteristics.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench.stats import compute_stats
+
+
+@pytest.mark.parametrize("size", ["small", "medium", "large"])
+def test_table1_row(benchmark, prepared_interval, size):
+    prep = prepared_interval[size]
+
+    stats = benchmark(
+        lambda: compute_stats(prep.spec.name, prep.source, prep.program, prep.pre)
+    )
+
+    print(
+        f"\nTable1[{prep.spec.name}]: LOC={stats.loc} "
+        f"Functions={stats.functions} Statements={stats.statements} "
+        f"Blocks={stats.blocks} maxSCC={stats.max_scc} AbsLocs={stats.abslocs}"
+    )
+    # structural sanity mirroring the paper's table shape
+    assert stats.functions >= prep.spec.n_functions
+    assert stats.statements > stats.functions
+    assert stats.max_scc >= max(1, prep.spec.recursion_cycle)
+
+
+def test_table1_scc_tracks_recursion_knob(prepared_interval):
+    """maxSCC grows with the generator's recursion-cycle parameter, the
+    structural driver the paper identifies for analysis cost."""
+    small = compute_stats(
+        "s",
+        prepared_interval["small"].source,
+        prepared_interval["small"].program,
+        prepared_interval["small"].pre,
+    )
+    large = compute_stats(
+        "l",
+        prepared_interval["large"].source,
+        prepared_interval["large"].program,
+        prepared_interval["large"].pre,
+    )
+    assert large.max_scc > small.max_scc
+    assert large.loc > small.loc

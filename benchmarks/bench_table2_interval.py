@@ -1,0 +1,88 @@
+"""Table 2 — interval-domain analysis performance.
+
+Times the three interval analyzers (vanilla, base-with-localization,
+sparse) on the benchmark ladder and checks the paper's comparative shape:
+
+* ``base`` beats ``vanilla`` (Spd.1) and ``sparse`` beats ``base`` (Spd.2)
+  on the larger programs;
+* the sparse analysis splits into Dep (dependency construction) and Fix
+  (fixpoint) phases, with Fix small;
+* average |D̂(c)| / |Û(c)| stay tiny (the sparsity observation of §6.3).
+
+Absolute numbers are Python-scale; the paper's OCaml analyzer is ~100×
+faster per operation — ratios are the reproduction target.
+
+    pytest benchmarks/bench_table2_interval.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.analysis.dense import run_dense
+from repro.analysis.sparse import run_sparse
+
+
+@pytest.mark.parametrize("size", ["small", "medium"])
+def test_vanilla(benchmark, prepared_interval, size):
+    prep = prepared_interval[size]
+    result = benchmark.pedantic(
+        lambda: run_dense(prep.program, prep.pre), rounds=1, iterations=1
+    )
+    assert result.table
+
+
+@pytest.mark.parametrize("size", ["small", "medium", "large"])
+def test_base_localized(benchmark, prepared_interval, size):
+    prep = prepared_interval[size]
+    result = benchmark.pedantic(
+        lambda: run_dense(prep.program, prep.pre, localize=True),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.table
+
+
+@pytest.mark.parametrize("size", ["small", "medium", "large"])
+def test_sparse(benchmark, prepared_interval, size):
+    prep = prepared_interval[size]
+    result = benchmark.pedantic(
+        lambda: run_sparse(prep.program, prep.pre), rounds=1, iterations=1
+    )
+    d, u = result.defuse.average_sizes()
+    print(
+        f"\nTable2[{prep.spec.name}]: deps={result.stats.dep_count} "
+        f"(raw {result.stats.raw_dep_count}) "
+        f"Dep={result.stats.time_dep:.2f}s Fix={result.stats.time_fix:.2f}s "
+        f"D̂(c)={d:.2f} Û(c)={u:.2f}"
+    )
+    # §6.3: only a tiny fraction of abstract locations per point
+    assert d < 5 and u < 8
+
+
+def test_speedup_shape(prepared_interval):
+    """The headline comparison on the largest program: sparse total time
+    (Dep + Fix) beats vanilla and base by a widening margin."""
+    import time
+
+    prep = prepared_interval["large"]
+
+    t0 = time.perf_counter()
+    run_dense(prep.program, prep.pre)
+    vanilla = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    run_dense(prep.program, prep.pre, localize=True)
+    base = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    run_sparse(prep.program, prep.pre)
+    sparse = time.perf_counter() - t0
+
+    print(
+        f"\nTable2 shape [{prep.spec.name}]: vanilla={vanilla:.2f}s "
+        f"base={base:.2f}s sparse={sparse:.2f}s "
+        f"Spd.1={vanilla / base:.1f}x Spd.2={base / sparse:.1f}x "
+        f"Spd(total)={vanilla / sparse:.1f}x"
+    )
+    # who wins: the paper's ordering must hold with real margin
+    assert sparse < base, "sparse must beat the localized baseline"
+    assert sparse * 2 < vanilla, "sparse must beat vanilla clearly"

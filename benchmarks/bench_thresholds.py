@@ -1,0 +1,72 @@
+"""Ablation — threshold widening vs plain widening vs narrowing.
+
+SPARROW (like Astrée) refines the conventional widening with landmark
+thresholds harvested from the program text. This ablation quantifies the
+trade-off on the sparse interval analysis: precision recovered (finite
+loop bounds at widening points) vs extra fixpoint iterations.
+
+    pytest benchmarks/bench_thresholds.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.analysis.sparse import run_sparse
+from repro.analysis.thresholds import collect_thresholds
+
+
+def _finite_bound_fraction(result) -> float:
+    """Fraction of numeric values in the fixpoint with finite upper bounds
+    — the precision metric threshold widening moves."""
+    finite = total = 0
+    for state in result.table.values():
+        for _loc, value in state.items():
+            if value.itv.is_bottom() or not value.itv.leq(value.itv):
+                continue
+            if value.itv.lo is None and value.itv.hi is None:
+                total += 1
+                continue
+            total += 1
+            if value.itv.hi is not None:
+                finite += 1
+    return finite / max(total, 1)
+
+
+@pytest.mark.parametrize(
+    "variant", ["plain", "thresholds", "narrowing"]
+)
+def test_widening_variant(benchmark, prepared_interval, variant):
+    prep = prepared_interval["medium"]
+    kwargs = {}
+    if variant == "thresholds":
+        kwargs["widening_thresholds"] = "auto"
+    elif variant == "narrowing":
+        kwargs["narrowing_passes"] = 2
+
+    result = benchmark.pedantic(
+        lambda: run_sparse(prep.program, prep.pre, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    frac = _finite_bound_fraction(result)
+    print(
+        f"\n{variant}: iterations={result.stats.iterations} "
+        f"finite-upper-bound fraction={frac:.2%}"
+    )
+
+
+def test_thresholds_recover_precision(prepared_interval):
+    prep = prepared_interval["medium"]
+    plain = run_sparse(prep.program, prep.pre)
+    thresh = run_sparse(prep.program, prep.pre, widening_thresholds="auto")
+    f_plain = _finite_bound_fraction(plain)
+    f_thresh = _finite_bound_fraction(thresh)
+    print(f"\nfinite-bound fraction: plain={f_plain:.2%} "
+          f"thresholds={f_thresh:.2%}")
+    assert f_thresh >= f_plain
+
+
+def test_threshold_count_bounded(prepared_interval):
+    prep = prepared_interval["large"]
+    ts = collect_thresholds(prep.program)
+    print(f"\ncollected {len(ts)} thresholds")
+    assert len(ts) <= 64

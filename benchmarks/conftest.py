@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Programs are generated and pre-analyzed once per session; the benchmarks
+then time individual analysis phases against them. Sizes are chosen so the
+whole suite runs in a few minutes while preserving the paper's comparative
+shape (sparse ≫ base ≫ vanilla as programs grow).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.preanalysis import run_preanalysis
+from repro.bench.codegen import WorkloadSpec, generate_source
+from repro.ir.program import build_program
+
+#: the Table 2 ladder (scaled-down analogs of gzip … screen)
+INTERVAL_SPECS = {
+    "small": WorkloadSpec("bench-small", n_functions=6, n_globals=5,
+                          recursion_cycle=2, seed=11),
+    "medium": WorkloadSpec("bench-medium", n_functions=14, n_globals=10,
+                           recursion_cycle=3, seed=13),
+    "large": WorkloadSpec("bench-large", n_functions=26, n_globals=14,
+                          recursion_cycle=6, global_touch_prob=0.35, seed=15),
+}
+
+OCTAGON_SPECS = {
+    "small": WorkloadSpec("oct-small", n_functions=4, n_globals=4,
+                          stmts_per_function=8, recursion_cycle=0, seed=31),
+    "medium": WorkloadSpec("oct-medium", n_functions=8, n_globals=6,
+                           stmts_per_function=8, recursion_cycle=2, seed=33),
+}
+
+
+class Prepared:
+    """A generated program plus its shared pre-analysis."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.source = generate_source(spec)
+        self.program = build_program(self.source)
+        self.pre = run_preanalysis(self.program)
+
+
+@pytest.fixture(scope="session")
+def prepared_interval():
+    return {name: Prepared(spec) for name, spec in INTERVAL_SPECS.items()}
+
+
+@pytest.fixture(scope="session")
+def prepared_octagon():
+    return {name: Prepared(spec) for name, spec in OCTAGON_SPECS.items()}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Existing sparse analyses as instances of the framework (Section 3.2).
+
+The paper shows the semi-sparse analysis of Hardekopf & Lin (POPL 2009) is
+a *restricted instance*: run the same pipeline with a pre-analysis that
+maps every address-taken variable to ⊤ points-to information. This example
+runs both instances on a program with address-taken pointers and compares
+the dependency structure and final precision.
+
+Run:  python examples/framework_instances.py
+"""
+
+from repro.analysis.instances import (
+    address_taken_variables,
+    compare_instances,
+)
+from repro.domains.absloc import VarLoc
+from repro.ir.pretty import sparsity_report
+from repro.ir.program import build_program
+
+SOURCE = """
+int config;          /* top-level: address never taken   */
+int cache;           /* address-taken via &cache         */
+int *slot;           /* address-taken pointer: &slot     */
+int **indirect;
+
+void install(void) {
+  indirect = &slot;        /* takes slot's address */
+  *indirect = &cache;      /* slot = &cache, through the indirection */
+}
+
+int lookup(int key) {
+  config = key;            /* top-level flow stays precise either way */
+  *slot = key * 2;         /* through the address-taken pointer */
+  return cache + config;
+}
+
+int main(void) {
+  install();
+  return lookup(21);
+}
+"""
+
+
+def main() -> None:
+    program = build_program(SOURCE)
+
+    taken = address_taken_variables(program)
+    print("address-taken variables (semi-sparse demotes these):")
+    for loc in sorted(taken, key=str):
+        print(f"  {loc}")
+
+    cmp = compare_instances(program)
+
+    print("\n== dependency structure ==")
+    print(f"  full-sparse instance : {cmp.full_deps} dependencies, "
+          f"avg |D̂|={cmp.full_avg_d:.2f} |Û|={cmp.full_avg_u:.2f}")
+    print(f"  semi-sparse instance : {cmp.semi_deps} dependencies, "
+          f"avg |D̂|={cmp.semi_avg_d:.2f} |Û|={cmp.semi_avg_u:.2f}")
+    blowup = cmp.semi_deps / max(cmp.full_deps, 1)
+    print(f"  → the coarse instance carries {blowup:.1f}× the dependencies")
+
+    print("\n== per-procedure sparsity (full-sparse) ==")
+    print(sparsity_report(cmp.full.defuse, program))
+    print("\n== per-procedure sparsity (semi-sparse) ==")
+    print(sparsity_report(cmp.semi.defuse, program))
+
+    # Both instances remain sound — same final value for the top-level var.
+    exit_nid = program.cfgs["lookup"].exit.nid
+
+    def value(result, loc):
+        for nid in (exit_nid, *result.graph.preds.get(exit_nid, ())):
+            st = result.table.get(nid)
+            if st is not None and loc in st:
+                return st.get(loc)
+        return None
+
+    full_cfg = value(cmp.full, VarLoc("config"))
+    semi_cfg = value(cmp.semi, VarLoc("config"))
+    print(f"\nconfig at lookup's return: full={full_cfg} semi={semi_cfg}")
+    print("\nsame engine, same program — only the D̂/Û approximation "
+          "changed. That is the framework knob the paper generalizes.")
+
+
+if __name__ == "__main__":
+    main()

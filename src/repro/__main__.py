@@ -1,0 +1,172 @@
+"""Command-line interface.
+
+Analyze a C file and report analysis facts or checker findings::
+
+    python -m repro analyze file.c                      # overrun check
+    python -m repro analyze file.c --check divzero
+    python -m repro analyze file.c --check nullderef
+    python -m repro analyze file.c --domain octagon
+    python -m repro analyze file.c --mode vanilla --stats
+    python -m repro tables table2 --quick               # paper tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import analyze
+from repro.checkers.divzero import check_divisions
+from repro.checkers.nullderef import check_null_derefs
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    try:
+        with open(args.file) as f:
+            source = f.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    options = {
+        "preprocess_source": args.cpp,
+        "inline": args.inline,
+    }
+    if args.narrow:
+        options["narrowing_passes"] = args.narrow
+    run = analyze(
+        source,
+        domain=args.domain,
+        mode=args.mode,
+        filename=args.file,
+        **options,
+    )
+
+    if args.stats:
+        program = run.program
+        print(f"procedures      : {program.num_functions()}")
+        print(f"control points  : {program.num_statements()}")
+        if hasattr(run.result, "stats"):
+            stats = run.result.stats
+            print(f"dependencies    : {stats.dep_count} "
+                  f"(raw {stats.raw_dep_count})")
+            print(f"iterations      : {stats.iterations}")
+            if run.result.defuse is not None:
+                d, u = run.result.defuse.average_sizes()
+                print(f"avg |D̂|/|Û|    : {d:.2f} / {u:.2f}")
+
+    exit_code = 0
+    if args.domain == "interval":
+        checkers = {
+            "overrun": lambda: run.overrun_reports(),
+            "divzero": lambda: check_divisions(run.program, run.result),
+            "nullderef": lambda: check_null_derefs(run.program, run.result),
+        }
+        for name in args.check:
+            reports = checkers[name]()
+            printed = set()
+            print(f"\n== {name} ({len(reports)} checks) ==")
+            for r in reports:
+                key = (r.line, str(r))
+                if key in printed:
+                    continue
+                printed.add(key)
+                print(f"  {r}")
+                if "alarm" in str(r).lower() or "null" in str(r).lower():
+                    exit_code = max(exit_code, 2)
+            if name == "overrun" and args.cluster:
+                from repro.checkers.cluster import (
+                    cluster_alarms,
+                    triage_summary,
+                )
+
+                clusters = cluster_alarms(run.program, reports)
+                if clusters:
+                    print()
+                    print(triage_summary(clusters))
+    elif args.check and args.check != ["overrun"]:
+        print("checkers need --domain interval", file=sys.stderr)
+        return 1
+
+    if args.query:
+        for q in args.query:
+            proc, _, var = q.partition(":")
+            try:
+                itv = run.interval_at_exit(proc, var)
+                print(f"{proc}:{var} at exit ∈ {itv}")
+            except KeyError as exc:
+                print(f"query {q!r}: {exc}", file=sys.stderr)
+    return exit_code
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.bench import harness
+
+    argv = [args.table]
+    if args.quick:
+        argv.append("--quick")
+    return harness.main(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sparse global abstract interpretation for C-like "
+        "languages (PLDI 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a C file")
+    p_analyze.add_argument("file")
+    p_analyze.add_argument(
+        "--domain", choices=["interval", "octagon"], default="interval"
+    )
+    p_analyze.add_argument(
+        "--mode", choices=["sparse", "base", "vanilla"], default="sparse"
+    )
+    p_analyze.add_argument(
+        "--check",
+        action="append",
+        choices=["overrun", "divzero", "nullderef"],
+        default=None,
+        help="client checker to run (repeatable; default: overrun)",
+    )
+    p_analyze.add_argument(
+        "--query",
+        action="append",
+        metavar="PROC:VAR",
+        help="print a variable's interval at a procedure exit (repeatable)",
+    )
+    p_analyze.add_argument("--stats", action="store_true")
+    p_analyze.add_argument(
+        "--narrow", type=int, default=2, metavar="N",
+        help="narrowing passes after widening (default 2)",
+    )
+    p_analyze.add_argument(
+        "--cpp", action="store_true",
+        help="run the mini preprocessor (#define/#if/#include) first",
+    )
+    p_analyze.add_argument(
+        "--inline", action="store_true",
+        help="inline small non-recursive callees before analysis "
+        "(bounded context sensitivity)",
+    )
+    p_analyze.add_argument(
+        "--cluster", action="store_true",
+        help="group overrun alarms into dominance clusters for triage",
+    )
+    p_analyze.set_defaults(fn=_cmd_analyze)
+
+    p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    p_tables.add_argument("table", choices=["table1", "table2", "table3", "all"])
+    p_tables.add_argument("--quick", action="store_true")
+    p_tables.set_defaults(fn=_cmd_tables)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "check", None) is None and args.command == "analyze":
+        args.check = ["overrun"]
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Analyses: pre-analysis, dense (vanilla/base), and sparse engines."""
+
+from repro.analysis.defuse import DefUseInfo, compute_defuse
+from repro.analysis.dense import DenseResult, run_dense
+from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
+from repro.analysis.sparse import SparseResult, run_sparse
+
+__all__ = [
+    "DefUseInfo",
+    "compute_defuse",
+    "DenseResult",
+    "run_dense",
+    "PreAnalysis",
+    "run_preanalysis",
+    "SparseResult",
+    "run_sparse",
+]

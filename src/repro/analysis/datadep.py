@@ -1,0 +1,442 @@
+"""Data-dependency generation (Sections 2.6, 2.8 and 5).
+
+A data dependency ``c0 —l→ cn`` (Definition 4, over approximated D̂/Û)
+means: some path from ``c0`` to ``cn`` carries the value of abstract
+location ``l`` from its definition at ``c0`` to its use at ``cn`` with no
+intermediate (approximated) definition. The sparse engine propagates values
+along these edges only.
+
+Following Section 5, dependencies are generated **per procedure** to avoid
+the spurious interprocedural dependencies of the naïve whole-graph approach:
+
+* a call node counts as a *use* of everything its callees (transitively)
+  use, a return-site node as a *definition* of everything they define;
+* the entry of a procedure counts as a definition of everything the body
+  uses; the exit as a use of everything the body defines;
+* after per-procedure generation, interprocedural edges connect call sites
+  to callee entries (for used locations) and callee exits to return sites
+  (for defined locations);
+* finally the **bypass optimization** removes pass-through nodes: when
+  ``a —l→ b`` and ``b —l→ c`` with ``l`` neither really defined nor used at
+  ``b``, the pair is replaced by ``a —l→ c`` (iterated to convergence) —
+  this is what makes the analysis *fully* sparse across call chains.
+
+Two intra-procedural chain generators are provided: an SSA-based one
+(dominance frontiers for phi placement + a renaming walk; the paper's
+choice) and a reaching-definitions one (reference implementation used to
+cross-check the SSA generator in tests).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.defuse import DefUseInfo
+from repro.analysis.preanalysis import PreAnalysis
+from repro.domains.absloc import AbsLoc
+from repro.ir.cfg import ProcCFG
+from repro.ir.commands import CCall, CRetBind
+from repro.ir.dominators import compute_dominators, iterated_frontier
+from repro.ir.program import Program
+
+
+class DataDeps:
+    """The ternary dependency relation ``↝ ⊆ C × L̂ × C`` with adjacency
+    indexes in both directions."""
+
+    def __init__(self) -> None:
+        self._out: dict[int, dict[int, set[AbsLoc]]] = {}
+        self._in: dict[int, dict[int, set[AbsLoc]]] = {}
+        self._count = 0
+
+    def add(self, src: int, dst: int, loc: AbsLoc) -> None:
+        locs = self._out.setdefault(src, {}).setdefault(dst, set())
+        if loc not in locs:
+            locs.add(loc)
+            self._in.setdefault(dst, {}).setdefault(src, set()).add(loc)
+            self._count += 1
+
+    def remove(self, src: int, dst: int, loc: AbsLoc) -> None:
+        try:
+            self._out[src][dst].remove(loc)
+            self._in[dst][src].remove(loc)
+            self._count -= 1
+        except KeyError:
+            return
+        if not self._out[src][dst]:
+            del self._out[src][dst]
+            del self._in[dst][src]
+
+    def has(self, src: int, dst: int, loc: AbsLoc) -> bool:
+        return loc in self._out.get(src, {}).get(dst, ())
+
+    def out_edges(self, src: int) -> list[tuple[int, frozenset[AbsLoc]]]:
+        return [
+            (dst, frozenset(locs)) for dst, locs in self._out.get(src, {}).items()
+        ]
+
+    def in_edges(self, dst: int) -> list[tuple[int, frozenset[AbsLoc]]]:
+        return [
+            (src, frozenset(locs)) for src, locs in self._in.get(dst, {}).items()
+        ]
+
+    def triples(self) -> Iterator[tuple[int, int, AbsLoc]]:
+        for src, by_dst in self._out.items():
+            for dst, locs in by_dst.items():
+                for loc in locs:
+                    yield src, dst, loc
+
+    def __len__(self) -> int:
+        return self._count
+
+    def node_succs(self) -> dict[int, list[int]]:
+        """Projection to a plain node graph (for widening-point detection)."""
+        return {src: list(by_dst.keys()) for src, by_dst in self._out.items()}
+
+    def all_locations(self) -> set[AbsLoc]:
+        out: set[AbsLoc] = set()
+        for _src, _dst, loc in self.triples():
+            out.add(loc)
+        return out
+
+
+@dataclass
+class AugmentedDefUse:
+    """Per-node D̂/Û augmented with the Section 5 procedure summaries."""
+
+    defs: dict[int, set[AbsLoc]] = field(default_factory=dict)
+    uses: dict[int, set[AbsLoc]] = field(default_factory=dict)
+
+
+def augment_defuse(
+    program: Program,
+    pre: PreAnalysis,
+    defuse: DefUseInfo,
+) -> AugmentedDefUse:
+    """Fold callee summaries into call/return/entry/exit nodes."""
+    aug = AugmentedDefUse(
+        defs={nid: set(s) for nid, s in defuse.defs.items()},
+        uses={nid: set(s) for nid, s in defuse.uses.items()},
+    )
+    for proc, cfg in program.cfgs.items():
+        body_uses = defuse.proc_uses_trans.get(proc, frozenset())
+        body_defs = defuse.proc_defs_trans.get(proc, frozenset())
+        if cfg.entry is not None:
+            aug.defs.setdefault(cfg.entry.nid, set()).update(body_uses)
+        if cfg.exit is not None:
+            aug.uses.setdefault(cfg.exit.nid, set()).update(body_defs)
+        for node in cfg.nodes:
+            if isinstance(node.cmd, CCall):
+                for callee in pre.site_callees.get(node.nid, ()):
+                    aug.uses.setdefault(node.nid, set()).update(
+                        defuse.proc_uses_trans.get(callee, frozenset())
+                    )
+            elif isinstance(node.cmd, CRetBind):
+                call_node = program.node(node.cmd.call_node)
+                callees = pre.site_callees.get(call_node.nid, ())
+                all_defs: set[AbsLoc] = set()
+                for callee in callees:
+                    all_defs |= defuse.proc_defs_trans.get(callee, frozenset())
+                aug.defs.setdefault(node.nid, set()).update(all_defs)
+                # A location must additionally be *used* at the return site
+                # when some callee neither kills it on every path (must-def)
+                # nor carries the caller's value through its body (use):
+                # then the pre-call value survives around the call and must
+                # flow to later uses via this node.
+                bypass_needed = {
+                    loc
+                    for loc in all_defs
+                    if any(
+                        loc not in defuse.proc_must_defs.get(k, frozenset())
+                        and loc not in defuse.proc_uses_trans.get(k, frozenset())
+                        for k in callees
+                    )
+                }
+                aug.uses.setdefault(node.nid, set()).update(bypass_needed)
+    return aug
+
+
+# --------------------------------------------------------------------------
+# Intraprocedural chain generation: SSA renaming walk
+# --------------------------------------------------------------------------
+
+
+def _ssa_chains(
+    cfg: ProcCFG, aug: AugmentedDefUse, deps: DataDeps
+) -> None:
+    """Generate def-use chains within one procedure via SSA construction.
+
+    Phi placement at iterated dominance frontiers adds ``l`` to both the
+    definition and use set of the join node (a safe approximation by
+    Definition 5), after which every use has a unique reaching definition
+    found by a single renaming walk over the dominator tree.
+    """
+    assert cfg.entry is not None
+    dom = compute_dominators(cfg.entry.nid, cfg.succs, cfg.preds)
+    reachable = set(dom.rpo)
+
+    defs_of_loc: dict[AbsLoc, set[int]] = {}
+    for nid in reachable:
+        for loc in aug.defs.get(nid, ()):
+            defs_of_loc.setdefault(loc, set()).add(nid)
+
+    phis: dict[int, set[AbsLoc]] = {nid: set() for nid in reachable}
+    for loc, def_sites in defs_of_loc.items():
+        for site in iterated_frontier(dom, def_sites):
+            phis[site].add(loc)
+
+    stacks: dict[AbsLoc, list[int]] = {}
+
+    # Iterative preorder walk over the dominator tree with explicit
+    # push/pop bookkeeping (Cytron renaming).
+    work: list[tuple[int, bool]] = [(cfg.entry.nid, False)]
+    while work:
+        nid, done = work.pop()
+        if done:
+            for loc in _node_defs(aug, phis, nid):
+                stacks[loc].pop()
+            continue
+        node_phis = phis.get(nid, set())
+        for loc in aug.uses.get(nid, ()):  # ordinary uses
+            if loc in node_phis:
+                continue  # satisfied by the phi (incoming dep edges)
+            stack = stacks.get(loc)
+            if stack:
+                deps.add(stack[-1], nid, loc)
+        for loc in _node_defs(aug, phis, nid):
+            stacks.setdefault(loc, []).append(nid)
+        for succ in cfg.succs.get(nid, ()):
+            for loc in phis.get(succ, ()):
+                stack = stacks.get(loc)
+                if stack:
+                    deps.add(stack[-1], succ, loc)
+        work.append((nid, True))
+        for child in reversed(dom.children.get(nid, [])):
+            work.append((child, False))
+
+    # Phi locations behave as simultaneous def+use so downstream safety
+    # condition D̂−D ⊆ Û holds; record them in the augmented sets.
+    for nid, locs in phis.items():
+        if locs:
+            aug.defs.setdefault(nid, set()).update(locs)
+            aug.uses.setdefault(nid, set()).update(locs)
+
+
+def _node_defs(
+    aug: AugmentedDefUse, phis: dict[int, set[AbsLoc]], nid: int
+) -> set[AbsLoc]:
+    return aug.defs.get(nid, set()) | phis.get(nid, set())
+
+
+# --------------------------------------------------------------------------
+# Intraprocedural chain generation: reaching definitions (reference)
+# --------------------------------------------------------------------------
+
+
+def _reaching_chains(
+    cfg: ProcCFG, aug: AugmentedDefUse, deps: DataDeps
+) -> None:
+    """Reference generator: classic reaching-definitions dataflow, one
+    location at a time. Used to cross-check the SSA generator."""
+    assert cfg.entry is not None
+    locs: set[AbsLoc] = set()
+    for nid in cfg.succs:
+        locs.update(aug.defs.get(nid, ()))
+        locs.update(aug.uses.get(nid, ()))
+    for loc in locs:
+        _reaching_one(cfg, aug, deps, loc)
+
+
+def _reaching_one(
+    cfg: ProcCFG, aug: AugmentedDefUse, deps: DataDeps, loc: AbsLoc
+) -> None:
+    # IN[n] = set of definition nodes of `loc` reaching n.
+    in_sets: dict[int, set[int]] = {nid: set() for nid in cfg.succs}
+    work = deque(n.nid for n in cfg.nodes)
+    queued = set(work)
+    while work:
+        nid = work.popleft()
+        queued.discard(nid)
+        out = {nid} if loc in aug.defs.get(nid, ()) else set(in_sets[nid])
+        for succ in cfg.succs.get(nid, ()):
+            if not out <= in_sets[succ]:
+                in_sets[succ] |= out
+                if succ not in queued:
+                    queued.add(succ)
+                    work.append(succ)
+    for nid in cfg.succs:
+        if loc in aug.uses.get(nid, ()):
+            for d in in_sets[nid]:
+                deps.add(d, nid, loc)
+
+
+# --------------------------------------------------------------------------
+# Interprocedural edges + bypass optimization
+# --------------------------------------------------------------------------
+
+
+def _add_interproc_edges(
+    program: Program,
+    pre: PreAnalysis,
+    defuse: DefUseInfo,
+    deps: DataDeps,
+) -> None:
+    for node in program.nodes():
+        if not isinstance(node.cmd, CCall):
+            continue
+        cfg = program.cfgs[node.proc]
+        retbind = next(
+            (
+                s
+                for s in cfg.succs.get(node.nid, ())
+                if isinstance(cfg.node(s).cmd, CRetBind)
+            ),
+            None,
+        )
+        for callee in pre.site_callees.get(node.nid, ()):
+            callee_cfg = program.cfgs[callee]
+            if callee_cfg.entry is not None:
+                for loc in defuse.proc_uses_trans.get(callee, frozenset()):
+                    deps.add(node.nid, callee_cfg.entry.nid, loc)
+            if callee_cfg.exit is not None and retbind is not None:
+                for loc in defuse.proc_defs_trans.get(callee, frozenset()):
+                    deps.add(callee_cfg.exit.nid, retbind, loc)
+
+
+def bypass_optimization(
+    deps: DataDeps, defuse: DefUseInfo, keep: set[int] | None = None
+) -> DataDeps:
+    """Rewrite ``a—l→b—l→c`` into ``a—l→c`` whenever ``l`` is neither
+    really defined nor used at ``b`` (Section 5), iterated to convergence.
+
+    Implemented as a per-location graph closure: the final relation
+    connects real definitions to real uses through pass-through-only
+    interiors. Equivalent to the paper's pairwise rewriting but runs in one
+    pass per location. Nodes in ``keep`` (widening points) are never
+    bypassed — values must keep flowing through them so the sparse engine
+    widens exactly where the dense one does.
+    """
+    keep = keep or set()
+    by_loc: dict[AbsLoc, list[tuple[int, int]]] = {}
+    for src, dst, loc in deps.triples():
+        by_loc.setdefault(loc, []).append((src, dst))
+
+    out = DataDeps()
+    for loc, edges in by_loc.items():
+        succs: dict[int, list[int]] = {}
+        for src, dst in edges:
+            succs.setdefault(src, []).append(dst)
+
+        def is_passthrough(nid: int) -> bool:
+            if nid in keep:
+                return False
+            return loc not in defuse.d(nid) and loc not in defuse.u(nid)
+
+        sources = {src for src, _dst in edges if not is_passthrough(src)}
+        for source in sources:
+            seen: set[int] = set()
+            stack = list(succs.get(source, ()))
+            while stack:
+                nid = stack.pop()
+                if nid in seen:
+                    continue
+                seen.add(nid)
+                if is_passthrough(nid):
+                    stack.extend(succs.get(nid, ()))
+                else:
+                    out.add(source, nid, loc)
+    return out
+
+
+def bypass_optimization_naive(
+    deps: DataDeps, defuse: DefUseInfo, keep: set[int] | None = None
+) -> DataDeps:
+    """The paper's literal pairwise rewriting, iterated until convergence.
+    Kept as a reference for tests and the ablation benchmark."""
+    keep = keep or set()
+
+    def is_real(nid: int, loc: AbsLoc) -> bool:
+        return nid in keep or loc in defuse.d(nid) or loc in defuse.u(nid)
+
+    current = DataDeps()
+    for src, dst, loc in deps.triples():
+        current.add(src, dst, loc)
+    changed = True
+    while changed:
+        changed = False
+        for src, dst, loc in list(current.triples()):
+            if is_real(dst, loc):
+                continue
+            outs = [
+                dst2
+                for dst2, locs in current.out_edges(dst)
+                if loc in locs
+            ]
+            if not outs:
+                continue
+            current.remove(src, dst, loc)
+            for dst2 in outs:
+                if not current.has(src, dst2, loc):
+                    current.add(src, dst2, loc)
+            changed = True
+    # Drop edges that start or end at pure pass-through nodes (no real
+    # def/use survives there after rewriting).
+    cleaned = DataDeps()
+    for src, dst, loc in current.triples():
+        if is_real(src, loc) and is_real(dst, loc):
+            cleaned.add(src, dst, loc)
+    return cleaned
+
+
+@dataclass
+class DataDepResult:
+    """Generated dependencies plus the augmented def/use view."""
+
+    deps: DataDeps
+    aug: AugmentedDefUse
+    raw_dep_count: int = 0  # before bypass
+
+
+def generate_datadeps(
+    program: Program,
+    pre: PreAnalysis,
+    defuse: DefUseInfo,
+    method: str = "ssa",
+    bypass: bool = True,
+    widening_points: set[int] | None = None,
+) -> DataDepResult:
+    """Generate the full interprocedural data-dependency relation.
+
+    ``widening_points`` (loop heads / recursive entries of the control
+    graph) become barriers: they count as definition-and-use of every
+    location flowing through their procedure, so dependency chains are cut
+    there and the sparse engine widens on exactly the same streams as the
+    dense engine — preserving precision *including* widening behaviour.
+    """
+    wps = widening_points or set()
+    aug = augment_defuse(program, pre, defuse)
+    deps = DataDeps()
+    for cfg in program.cfgs.values():
+        if cfg.entry is None:
+            continue
+        proc_wps = [n.nid for n in cfg.nodes if n.nid in wps]
+        if proc_wps:
+            proc_locs: set[AbsLoc] = set()
+            for node in cfg.nodes:
+                proc_locs.update(aug.defs.get(node.nid, ()))
+            for wp in proc_wps:
+                aug.defs.setdefault(wp, set()).update(proc_locs)
+                aug.uses.setdefault(wp, set()).update(proc_locs)
+        if method == "ssa":
+            _ssa_chains(cfg, aug, deps)
+        elif method == "reaching":
+            _reaching_chains(cfg, aug, deps)
+        else:
+            raise ValueError(f"unknown chain generator {method!r}")
+    _add_interproc_edges(program, pre, defuse, deps)
+    raw = len(deps)
+    if bypass:
+        deps = bypass_optimization(deps, defuse, keep=wps)
+    return DataDepResult(deps, aug, raw_dep_count=raw)

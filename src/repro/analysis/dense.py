@@ -1,0 +1,217 @@
+"""Dense (non-sparse) global analyses: ``vanilla`` and ``base``.
+
+``vanilla`` is the textbook global abstract interpreter: it propagates whole
+abstract states along every control-flow edge of the interprocedural graph.
+``base`` adds access-based localization [Oh et al., VMCAI 2011]: states
+passed into a callee are restricted to the locations the callee may access;
+the rest bypasses the call through a direct call→return-site edge. These are
+the paper's ``Interval_vanilla`` and ``Interval_base`` analyzers (Section 6.1),
+against which the sparse analyzer is measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.defuse import DefUseInfo, compute_defuse, localization_set
+from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
+from repro.analysis.semantics import AnalysisContext, transfer
+from repro.analysis.worklist import (
+    FixpointStats,
+    WorklistSolver,
+    find_widening_points,
+)
+from repro.domains.absloc import AbsLoc
+from repro.domains.state import AbsState
+from repro.ir.commands import CCall, CRetBind
+from repro.ir.program import Program
+
+
+@dataclass
+class InterprocGraph:
+    """The global analysis graph: intraprocedural edges + call/return edges.
+
+    * call node → callee entry (one per resolved callee),
+    * callee exit → return-site (``CRetBind``) node,
+    * call node → return-site directly only when the call is external
+      (no resolved callee) or when ``localized`` bypass edges are enabled.
+    """
+
+    succs: dict[int, list[int]] = field(default_factory=dict)
+    preds: dict[int, list[int]] = field(default_factory=dict)
+    #: (call nid → retbind nid)
+    retbind_of: dict[int, int] = field(default_factory=dict)
+    #: call edges (call nid → callee name) for edge transforms
+    call_edges: dict[tuple[int, int], str] = field(default_factory=dict)
+    #: bypass edges (call nid, retbind nid) pairs, localized mode only
+    bypass_edges: set[tuple[int, int]] = field(default_factory=set)
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.succs.setdefault(src, []):
+            self.succs[src].append(dst)
+            self.preds.setdefault(dst, []).append(src)
+
+
+def build_interproc_graph(
+    program: Program,
+    site_callees: dict[int, tuple[str, ...]],
+    localized: bool = False,
+) -> InterprocGraph:
+    graph = InterprocGraph()
+    callsites_of: dict[str, list[int]] = {}
+
+    for cfg in program.cfgs.values():
+        for node in cfg.nodes:
+            graph.succs.setdefault(node.nid, [])
+            graph.preds.setdefault(node.nid, [])
+        for node in cfg.nodes:
+            if isinstance(node.cmd, CCall):
+                callees = site_callees.get(node.nid, ())
+                retbind = next(
+                    (
+                        s
+                        for s in cfg.succs[node.nid]
+                        if isinstance(cfg.node(s).cmd, CRetBind)
+                    ),
+                    None,
+                )
+                if retbind is not None:
+                    graph.retbind_of[node.nid] = retbind
+                for callee in callees:
+                    callee_cfg = program.cfgs[callee]
+                    assert callee_cfg.entry is not None
+                    graph.add_edge(node.nid, callee_cfg.entry.nid)
+                    graph.call_edges[(node.nid, callee_cfg.entry.nid)] = callee
+                    callsites_of.setdefault(callee, []).append(node.nid)
+                if not callees:
+                    # External call: control continues to the return site.
+                    for s in cfg.succs[node.nid]:
+                        graph.add_edge(node.nid, s)
+                elif localized and retbind is not None:
+                    # Bypass edge carrying the non-accessed state portion.
+                    graph.add_edge(node.nid, retbind)
+                    graph.bypass_edges.add((node.nid, retbind))
+            else:
+                for s in cfg.succs[node.nid]:
+                    graph.add_edge(node.nid, s)
+
+    for callee, sites in callsites_of.items():
+        exit_node = program.cfgs[callee].exit
+        if exit_node is None:
+            continue
+        for site in sites:
+            retbind = graph.retbind_of.get(site)
+            if retbind is not None:
+                graph.add_edge(exit_node.nid, retbind)
+    return graph
+
+
+def _resolve_thresholds(program, spec):
+    """'auto' harvests landmark constants from the program; a tuple is
+    used as-is; None disables threshold widening."""
+    if spec == "auto":
+        from repro.analysis.thresholds import collect_thresholds
+
+        return collect_thresholds(program)
+    return spec
+
+
+@dataclass
+class DenseResult:
+    """Fixpoint table plus run statistics."""
+
+    table: dict[int, AbsState]
+    stats: FixpointStats
+    pre: PreAnalysis
+    defuse: DefUseInfo | None
+    graph: InterprocGraph
+    elapsed: float = 0.0
+
+    def state_at(self, nid: int) -> AbsState:
+        return self.table.get(nid, AbsState())
+
+    def value_at(self, nid: int, loc: AbsLoc):
+        return self.state_at(nid).get(loc)
+
+
+def run_dense(
+    program: Program,
+    pre: PreAnalysis | None = None,
+    localize: bool = False,
+    narrowing_passes: int = 0,
+    strict: bool = True,
+    widen: bool = True,
+    max_iterations: int | None = None,
+    widening_thresholds: tuple[int, ...] | str | None = None,
+) -> DenseResult:
+    """Run the dense interval analysis (``vanilla`` or, with ``localize``,
+    ``base``).
+
+    ``strict=False`` switches to the paper's non-strict formulation: every
+    control point is evaluated (even if unreachable) and assume commands
+    refine values instead of cutting paths. ``widen=False`` disables
+    widening entirely (only safe on programs whose abstract iterates have
+    finite chains, e.g. constant-bounded loops) — in that mode the computed
+    table is the exact ``lfp F♯`` of the paper and Lemma 2's equality with
+    the sparse result holds bit for bit.
+    """
+    start = time.perf_counter()
+    if pre is None:
+        pre = run_preanalysis(program)
+    ctx = AnalysisContext(program, pre.site_callees, strict=strict)
+    graph = build_interproc_graph(program, pre.site_callees, localized=localize)
+
+    defuse: DefUseInfo | None = None
+    edge_transform = None
+    if localize:
+        defuse = compute_defuse(program, pre)
+        passed_sets: dict[str, frozenset[AbsLoc]] = {
+            callee: localization_set(program, defuse, callee)
+            for callee in program.procedures()
+        }
+
+        call_edges = graph.call_edges
+        bypass = graph.bypass_edges
+
+        def edge_transform(src: int, dst: int, state: AbsState) -> AbsState:
+            callee = call_edges.get((src, dst))
+            if callee is not None:
+                return state.restrict(passed_sets[callee])
+            if (src, dst) in bypass:
+                # The call node has one outgoing callee at least; the
+                # bypass carries what no callee can access.
+                touched: set[AbsLoc] = set()
+                for (s, _e), c in call_edges.items():
+                    if s == src:
+                        touched |= passed_sets[c]
+                return state.remove(touched)
+            return state
+
+    node_map = program.factory.nodes
+
+    def node_transfer(nid: int, state: AbsState) -> AbsState | None:
+        return transfer(node_map[nid], state, ctx)
+
+    entry = program.entry_node()
+    widening_points = (
+        find_widening_points([entry.nid], graph.succs) if widen else set()
+    )
+    solver = WorklistSolver(
+        graph.succs,
+        graph.preds,
+        node_transfer,
+        widening_points,
+        edge_transform=edge_transform,
+        narrowing_passes=narrowing_passes,
+        max_iterations=max_iterations,
+        widening_thresholds=_resolve_thresholds(program, widening_thresholds),
+    )
+    if strict:
+        entries = {entry.nid: AbsState()}
+    else:
+        # Non-strict: every control point runs at least once on ⊥.
+        entries = {node.nid: AbsState() for node in program.nodes()}
+    table = solver.solve(entries)
+    elapsed = time.perf_counter() - start
+    return DenseResult(table, solver.stats, pre, defuse, graph, elapsed)

@@ -1,0 +1,56 @@
+"""Widening thresholds.
+
+Threshold widening (used by SPARROW and Astrée) replaces the jump to ±∞
+with a jump to the nearest *landmark constant* — typically the constants
+the program compares against — so loop bounds like ``i < 100`` survive
+widening without a narrowing pass. This module harvests those landmarks
+from a lowered program: every integer constant in an assume condition
+(plus its ±1 neighbours, to absorb strict/non-strict comparison offsets)
+and every array-allocation extent.
+"""
+
+from __future__ import annotations
+
+from repro.ir.commands import (
+    CAlloc,
+    CAssume,
+    EBinOp,
+    ENum,
+    EUnOp,
+    Expr,
+)
+from repro.ir.program import Program
+
+#: keep threshold sets small; huge programs would otherwise collect
+#: thousands of landmarks and slow every widening step
+MAX_THRESHOLDS = 64
+
+
+def collect_thresholds(program: Program) -> tuple[int, ...]:
+    """Harvest landmark constants from branch conditions and allocations."""
+    found: set[int] = {0}
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, ENum):
+            found.add(e.value)
+            found.add(e.value - 1)
+            found.add(e.value + 1)
+        elif isinstance(e, EBinOp):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, EUnOp):
+            walk(e.operand)
+
+    for node in program.nodes():
+        cmd = node.cmd
+        if isinstance(cmd, CAssume):
+            walk(cmd.cond)
+        elif isinstance(cmd, CAlloc):
+            walk(cmd.size)
+
+    ordered = sorted(found)
+    if len(ordered) > MAX_THRESHOLDS:
+        # keep the extremes and an even sample of the middle
+        step = len(ordered) / MAX_THRESHOLDS
+        ordered = [ordered[int(i * step)] for i in range(MAX_THRESHOLDS)]
+    return tuple(ordered)

@@ -1,0 +1,180 @@
+"""Generic worklist fixpoint engine.
+
+Computes ``lfp F♯`` where ``F♯(X)(c) = f♯_c(⊔_{c'↪c} X(c'))`` (equation (3)
+of the paper) over an arbitrary directed graph of control points. Widening
+is applied at a supplied set of widening points (loop heads — targets of
+back edges), which guarantees termination for infinite-height domains.
+
+The engine is shared by the vanilla and localized dense analyses (the
+sparse engine in :mod:`repro.analysis.sparse` propagates along data
+dependencies instead and has its own loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.domains.state import AbsState
+
+Transfer = Callable[[int, AbsState], AbsState | None]
+EdgeTransform = Callable[[int, int, AbsState], AbsState | None]
+
+
+class AnalysisBudgetExceeded(RuntimeError):
+    """Raised when a solver exceeds its iteration budget — the reproduction
+    analog of the paper's 24-hour timeout (the ∞ entries of Tables 2/3)."""
+
+
+def find_widening_points(
+    roots: Iterable[int], succs: Mapping[int, Sequence[int]]
+) -> set[int]:
+    """Targets of back edges found by iterative DFS — the classic loop-head
+    widening point selection."""
+    color: dict[int, int] = {}  # 0 = in progress, 1 = done
+    heads: set[int] = set()
+    for root in roots:
+        if root in color:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        color[root] = 0
+        while stack:
+            node, i = stack[-1]
+            nexts = succs.get(node, ())
+            if i < len(nexts):
+                stack[-1] = (node, i + 1)
+                child = nexts[i]
+                state = color.get(child)
+                if state is None:
+                    color[child] = 0
+                    stack.append((child, 0))
+                elif state == 0:
+                    heads.add(child)  # back edge
+            else:
+                color[node] = 1
+                stack.pop()
+    return heads
+
+
+@dataclass
+class FixpointStats:
+    """Counters describing one fixpoint run."""
+
+    iterations: int = 0
+    max_worklist: int = 0
+    visited: set[int] = field(default_factory=set)
+
+
+class WorklistSolver:
+    """Chaotic iteration with widening at loop heads.
+
+    ``table[c]`` holds the state *at* ``c`` — the result of applying ``f♯_c``
+    to the join of its predecessors' states (matching the paper's
+    formulation where the transfer happens on entry to ``c``).
+    """
+
+    def __init__(
+        self,
+        succs: Mapping[int, Sequence[int]],
+        preds: Mapping[int, Sequence[int]],
+        transfer: Transfer,
+        widening_points: set[int],
+        edge_transform: EdgeTransform | None = None,
+        narrowing_passes: int = 0,
+        max_iterations: int | None = None,
+        widening_thresholds: tuple[int, ...] | None = None,
+    ) -> None:
+        self._succs = succs
+        self._preds = preds
+        self._transfer = transfer
+        self._widening_points = widening_points
+        self._edge_transform = edge_transform
+        self._narrowing_passes = narrowing_passes
+        self._max_iterations = max_iterations
+        self._thresholds = widening_thresholds
+        self.table: dict[int, AbsState] = {}
+        self.stats = FixpointStats()
+
+    def _in_state(self, node: int, initial: AbsState | None) -> AbsState | None:
+        acc: AbsState | None = None
+        for p in self._preds.get(node, ()):
+            ps = self.table.get(p)
+            if ps is None:
+                continue
+            if self._edge_transform is not None:
+                ps = self._edge_transform(p, node, ps)
+                if ps is None:
+                    continue
+            if acc is None:
+                acc = ps.copy()
+            else:
+                acc.join_with(ps)
+        # The seed only matters while no predecessor has produced a state:
+        # it makes the node runnable (entry nodes, non-strict seeding). It
+        # must NOT be joined once real states flow — for ⊤-defaulted state
+        # types (pack maps) joining the empty seed would erase everything.
+        if acc is None and initial is not None:
+            acc = initial.copy()
+        return acc
+
+    def solve(self, entries: dict[int, AbsState]) -> dict[int, AbsState]:
+        """Run to fixpoint from the given entry states (node -> initial)."""
+        from collections import deque
+
+        work: deque[int] = deque(entries.keys())
+        in_work = set(entries.keys())
+        while work:
+            self.stats.max_worklist = max(self.stats.max_worklist, len(work))
+            node = work.popleft()
+            in_work.discard(node)
+            self.stats.iterations += 1
+            if (
+                self._max_iterations is not None
+                and self.stats.iterations > self._max_iterations
+            ):
+                raise AnalysisBudgetExceeded(
+                    f"fixpoint exceeded {self._max_iterations} iterations"
+                )
+            self.stats.visited.add(node)
+            in_state = self._in_state(node, entries.get(node))
+            if in_state is None:
+                continue
+            out = self._transfer(node, in_state)
+            if out is None:
+                continue
+            old = self.table.get(node)
+            if old is None:
+                self.table[node] = out.copy()
+                changed = True
+            elif node in self._widening_points:
+                changed = old.widen_with(out, self._thresholds)
+            else:
+                changed = old.join_with(out)
+            if changed:
+                for s in self._succs.get(node, ()):
+                    if s not in in_work:
+                        in_work.add(s)
+                        work.append(s)
+        if self._narrowing_passes:
+            self._narrow(entries)
+        return self.table
+
+    def _narrow(self, entries: dict[int, AbsState]) -> None:
+        """Decreasing iteration: recompute states without widening for a
+        bounded number of passes, keeping only sound refinements."""
+        order = sorted(self.table.keys())
+        for _ in range(self._narrowing_passes):
+            changed = False
+            for node in order:
+                in_state = self._in_state(node, entries.get(node))
+                if in_state is None:
+                    continue
+                out = self._transfer(node, in_state)
+                if out is None:
+                    continue
+                old = self.table[node]
+                if out.leq(old) and not old.leq(out):
+                    self.table[node] = out.copy()
+                    changed = True
+            if not changed:
+                break

@@ -1,0 +1,175 @@
+"""High-level public API.
+
+One-call entry points for the common workflows::
+
+    from repro import analyze
+
+    result = analyze(source, domain="interval", mode="sparse")
+    result.interval_at_exit("main", "x")     # value query
+    result.overrun_reports()                 # buffer-overrun checker
+
+``domain`` selects the abstract domain (``"interval"`` non-relational or
+``"octagon"`` packed relational); ``mode`` selects the engine
+(``"sparse"``, ``"base"`` with access-based localization, or ``"vanilla"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dense import DenseResult, run_dense
+from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
+from repro.analysis.relational import (
+    RelContext,
+    RelResult,
+    run_rel_dense,
+    run_rel_sparse,
+)
+from repro.analysis.sparse import SparseResult, run_sparse
+from repro.checkers.overrun import AccessReport, check_overruns
+from repro.domains.absloc import AbsLoc, VarLoc
+from repro.domains.interval import Interval
+from repro.domains.value import AbsValue
+from repro.ir.program import Program, build_program
+
+
+@dataclass
+class AnalysisRun:
+    """A completed analysis with convenience queries.
+
+    Sparse results only materialize a location's value where it is
+    *defined* (Lemma 1's scope) — queries at arbitrary points therefore
+    walk backward to the reaching definitions: the value at ``c`` is the
+    join of the nearest ancestor states that carry the location (values
+    flow unchanged along definition-free paths)."""
+
+    program: Program
+    pre: PreAnalysis
+    domain: str
+    mode: str
+    result: DenseResult | SparseResult | RelResult
+
+    # -- queries ---------------------------------------------------------------
+
+    def _reaching_lookup(self, nid: int, key) -> object | None:
+        """Join of the nearest states (backward over the control graph)
+        that carry ``key``; None when no path defines it."""
+        preds = self.result.graph.preds
+        table = self.result.table
+        found = None
+        seen = {nid}
+        frontier = [nid]
+        while frontier:
+            new_frontier = []
+            for node in frontier:
+                state = table.get(node)
+                if state is not None and key in state:
+                    value = state.get(key)
+                    found = value if found is None else found.join(value)
+                    continue  # the definition shadows anything above
+                for p in preds.get(node, ()):
+                    if p not in seen:
+                        seen.add(p)
+                        new_frontier.append(p)
+            frontier = new_frontier
+        return found
+
+    def value_at(self, nid: int, loc: AbsLoc) -> AbsValue:
+        """Abstract value of ``loc`` at control point ``nid`` (interval
+        domain only)."""
+        if self.domain != "interval":
+            raise ValueError("value_at is an interval-domain query")
+        state = self.result.table.get(nid)
+        if state is not None and loc in state:
+            return state.get(loc)
+        found = self._reaching_lookup(nid, loc)
+        return found if found is not None else AbsValue.bottom()
+
+    def interval_of(self, nid: int, var: str, proc: str | None = None) -> Interval:
+        """The numeric interval of a variable at a control point."""
+        loc = VarLoc(var, proc)
+        if self.domain == "interval":
+            return self.value_at(nid, loc).itv
+        ctx = RelContext(self.program, self.pre, self.result.packs)
+        out = Interval.top()
+        for pack in ctx.packs.packs_of(loc):
+            state = self.result.table.get(nid)
+            if state is not None and pack in state:
+                oct_ = state.get(pack)
+            else:
+                oct_ = self._reaching_lookup(nid, pack)
+            if oct_ is not None:
+                out = out.meet(oct_.project(pack.index(loc)))
+        return out
+
+    def interval_at_exit(self, proc: str, var: str) -> Interval:
+        """The interval of ``proc``'s local ``var`` (or a global when the
+        name is not a local) at the procedure's exit."""
+        cfg = self.program.cfgs.get(proc)
+        if cfg is None or cfg.exit is None:
+            raise KeyError(f"no procedure {proc!r}")
+        owner: str | None = proc
+        info = self.program.proc_infos.get(proc)
+        if info is not None and var not in info.var_types:
+            owner = None
+        return self.interval_of(cfg.exit.nid, var, owner)
+
+    def overrun_reports(self) -> list[AccessReport]:
+        """Run the buffer-overrun checker over this result."""
+        if self.domain != "interval":
+            raise ValueError("the overrun checker needs the interval domain")
+        return check_overruns(self.program, self.result)
+
+
+def analyze(
+    source: str,
+    domain: str = "interval",
+    mode: str = "sparse",
+    filename: str = "<input>",
+    preprocess_source: bool = False,
+    inline: bool = False,
+    **options,
+) -> AnalysisRun:
+    """Parse, lower, and analyze C-subset ``source``.
+
+    ``preprocess_source`` runs the mini preprocessor first; ``inline``
+    duplicates small non-recursive callees into their call sites (bounded
+    context sensitivity). Remaining ``options`` are forwarded to the
+    underlying engine (``strict``, ``widen``, ``narrowing_passes``,
+    ``widening_thresholds``, ``max_iterations``, ``method``, ``bypass``).
+    """
+    if preprocess_source:
+        from repro.frontend.preprocessor import preprocess
+
+        source = preprocess(source, filename)
+    if inline:
+        from repro.frontend import parse
+        from repro.frontend.inliner import inline_unit
+        from repro.ir.program import ProgramBuilder
+
+        unit, _count = inline_unit(parse(source, filename))
+        program = ProgramBuilder(unit).build()
+    else:
+        program = build_program(source, filename)
+    pre = run_preanalysis(program)
+    if domain == "interval":
+        if mode == "sparse":
+            result = run_sparse(program, pre, **options)
+        elif mode == "base":
+            result = run_dense(program, pre, localize=True, **options)
+        elif mode == "vanilla":
+            result = run_dense(program, pre, **options)
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+    elif domain == "octagon":
+        if mode == "sparse":
+            result = run_rel_sparse(program, pre, **options)
+        elif mode == "base":
+            result = run_rel_dense(program, pre, localize=True, **options)
+        elif mode == "vanilla":
+            result = run_rel_dense(program, pre, **options)
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+    else:
+        raise ValueError(f"unknown domain {domain!r}")
+    return AnalysisRun(program, pre, domain, mode, result)

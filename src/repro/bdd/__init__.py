@@ -1,0 +1,6 @@
+"""Hash-consed ROBDD package and the BDD-backed dependency relation."""
+
+from repro.bdd.bdd import BDD, FALSE, TRUE
+from repro.bdd.relation import BDDDependencyRelation
+
+__all__ = ["BDD", "FALSE", "TRUE", "BDDDependencyRelation"]

@@ -1,0 +1,239 @@
+"""A reduced ordered binary decision diagram (ROBDD) package.
+
+Stands in for the BuDDy library the paper uses (Section 5): the data
+dependency relation ``⟨c₁, c₂, l⟩`` is bit-encoded and stored as a boolean
+function, which shares common prefixes/suffixes and cuts memory by orders of
+magnitude compared with explicit sets.
+
+Design: classic hash-consed nodes with an apply/ITE memo cache.
+
+* Nodes are interned triples ``(var, low, high)`` identified by integer ids,
+  so structural equality is pointer equality and sharing is maximal.
+* Terminals are ids 0 (false) and 1 (true).
+* Operations: conjunction, disjunction, negation, xor, ITE, restrict,
+  existential quantification, satisfying-assignment count/enumeration.
+
+Variable order is the creation order of variable indices (0 = topmost).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+FALSE = 0
+TRUE = 1
+
+
+class BDD:
+    """A manager owning the shared node table; functions are node ids."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        # node id -> (var, low, high); ids 0/1 reserved for terminals.
+        self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self.num_vars = num_vars
+
+    # -- construction ------------------------------------------------------------
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        self._nodes.append(key)
+        nid = len(self._nodes) - 1
+        self._unique[key] = nid
+        return nid
+
+    def var(self, index: int) -> int:
+        """The function of a single variable ``x_index``."""
+        if index >= self.num_vars:
+            self.num_vars = index + 1
+        return self._mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        if index >= self.num_vars:
+            self.num_vars = index + 1
+        return self._mk(index, TRUE, FALSE)
+
+    def node_count(self) -> int:
+        """Number of interned decision nodes in the arena (including nodes
+        only reachable from intermediate results)."""
+        return len(self._unique)
+
+    def dag_size(self, f: int) -> int:
+        """Decision nodes reachable from ``f`` — the memory footprint of
+        one stored function (what a GC'd BDD package would retain)."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            _var, low, high = self._nodes[node]
+            stack.append(low)
+            stack.append(high)
+        return len(seen)
+
+    def _top_var(self, *fs: int) -> int:
+        return min(
+            self._nodes[f][0] for f in fs if f > TRUE
+        )
+
+    # -- core: if-then-else -------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``if f then g else h`` — the universal connective."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        v = self._top_var(f, g, h)
+        f0, f1 = self._cofactors(f, v)
+        g0, g1 = self._cofactors(g, v)
+        h0, h1 = self._cofactors(h, v)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        out = self._mk(v, low, high)
+        self._ite_cache[key] = out
+        return out
+
+    def _cofactors(self, f: int, v: int) -> tuple[int, int]:
+        if f <= TRUE:
+            return f, f
+        var, low, high = self._nodes[f]
+        if var == v:
+            return low, high
+        return f, f
+
+    # -- boolean operations ---------------------------------------------------------
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.negate(g), g)
+
+    def negate(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def apply_diff(self, f: int, g: int) -> int:
+        """f ∧ ¬g."""
+        return self.ite(f, self.negate(g), FALSE)
+
+    # -- cube/minterm helpers ---------------------------------------------------------
+
+    def cube(self, assignment: Iterable[tuple[int, bool]]) -> int:
+        """Conjunction of literals, e.g. ``x0 ∧ ¬x3 ∧ x4`` — built bottom-up
+        so no intermediate apply is needed."""
+        out = TRUE
+        for index, value in sorted(assignment, key=lambda p: -p[0]):
+            if index >= self.num_vars:
+                self.num_vars = index + 1
+            if value:
+                out = self._mk(index, FALSE, out)
+            else:
+                out = self._mk(index, out, FALSE)
+        return out
+
+    def minterm(self, bits: list[bool], offset: int = 0) -> int:
+        """Cube over consecutive variables ``offset..offset+len(bits)-1``."""
+        return self.cube((offset + i, b) for i, b in enumerate(bits))
+
+    # -- quantification / restriction ---------------------------------------------------
+
+    def restrict(self, f: int, index: int, value: bool) -> int:
+        if f <= TRUE:
+            return f
+        var, low, high = self._nodes[f]
+        if var > index:
+            return f
+        if var == index:
+            return high if value else low
+        return self._mk(
+            var,
+            self.restrict(low, index, value),
+            self.restrict(high, index, value),
+        )
+
+    def exists(self, f: int, indices: set[int]) -> int:
+        """Existential quantification over the given variable indices."""
+        if f <= TRUE or not indices:
+            return f
+        var, low, high = self._nodes[f]
+        nlow = self.exists(low, indices)
+        nhigh = self.exists(high, indices)
+        if var in indices:
+            return self.apply_or(nlow, nhigh)
+        return self._mk(var, nlow, nhigh)
+
+    # -- model counting / enumeration -----------------------------------------------------
+
+    def sat_count(self, f: int, num_vars: int | None = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        n = self.num_vars if num_vars is None else num_vars
+        memo: dict[int, int] = {}
+
+        def count_from(node: int, level: int) -> int:
+            """Assignments of variables [level, n) satisfying ``node``."""
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1 << (n - level)
+            var, low, high = self._nodes[node]
+            sub = memo.get(node)
+            if sub is None:
+                sub = count_from(low, var + 1) + count_from(high, var + 1)
+                memo[node] = sub
+            # Variables between `level` and `var` are unconstrained.
+            return sub << (var - level)
+
+        return count_from(f, 0)
+
+    def sat_iter(self, f: int, num_vars: int | None = None) -> Iterator[tuple[bool, ...]]:
+        """Enumerate all satisfying assignments as bit tuples."""
+        n = self.num_vars if num_vars is None else num_vars
+
+        def go(node: int, index: int) -> Iterator[list[bool]]:
+            if node == FALSE:
+                return
+            if index == n:
+                if node == TRUE:
+                    yield []
+                return
+            if node > TRUE and self._nodes[node][0] == index:
+                _var, low, high = self._nodes[node]
+                for rest in go(low, index + 1):
+                    yield [False] + rest
+                for rest in go(high, index + 1):
+                    yield [True] + rest
+            else:
+                for rest in go(node, index + 1):
+                    yield [False] + rest
+                for rest in go(node, index + 1):
+                    yield [True] + rest
+
+        for bits in go(f, 0):
+            yield tuple(bits)
+
+    def evaluate(self, f: int, bits: list[bool] | tuple[bool, ...]) -> bool:
+        node = f
+        while node > TRUE:
+            var, low, high = self._nodes[node]
+            node = high if bits[var] else low
+        return node == TRUE

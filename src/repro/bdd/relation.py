@@ -1,0 +1,132 @@
+"""BDD-backed storage for the data-dependency relation (Section 5).
+
+The paper bit-encodes each triple ``⟨c₁, c₂, l⟩`` (source control point,
+destination control point, abstract location) as a boolean function; the
+relation is then the disjunction of all triples' minterms. Common prefixes
+(same source/dest) and suffixes (same location) share BDD nodes, which is
+what reduced vim60's dependency storage from 24 GB (explicit sets) to 1 GB.
+
+:class:`BDDDependencyRelation` mirrors the interface of
+:class:`repro.analysis.datadep.DataDeps` for add/query/iterate, and exposes
+``node_count`` as the memory metric for the Section 5 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.bdd.bdd import BDD, FALSE
+from repro.domains.absloc import AbsLoc
+
+
+def _bits(value: int, width: int) -> list[bool]:
+    return [(value >> i) & 1 == 1 for i in range(width)]
+
+
+def _unbits(bits: tuple[bool, ...]) -> int:
+    out = 0
+    for i, b in enumerate(bits):
+        if b:
+            out |= 1 << i
+    return out
+
+
+class BDDDependencyRelation:
+    """The ternary relation ``↝ ⊆ C × L̂ × C`` as one boolean function.
+
+    Control points and locations are interned into dense integer codes;
+    the variable order is [src bits | dst bits | loc bits], giving prefix
+    sharing for edges out of the same source and suffix sharing for equal
+    locations.
+    """
+
+    def __init__(self, node_bits: int = 20, loc_bits: int = 18) -> None:
+        self._bdd = BDD(node_bits * 2 + loc_bits)
+        self._node_bits = node_bits
+        self._loc_bits = loc_bits
+        self._loc_code: dict[AbsLoc, int] = {}
+        self._locs: list[AbsLoc] = []
+        self._fn = FALSE
+        self._count = 0
+
+    # -- encoding -----------------------------------------------------------------
+
+    def _loc_id(self, loc: AbsLoc) -> int:
+        code = self._loc_code.get(loc)
+        if code is None:
+            code = len(self._locs)
+            if code >= (1 << self._loc_bits):
+                raise OverflowError("location space exhausted; raise loc_bits")
+            self._loc_code[loc] = code
+            self._locs.append(loc)
+        return code
+
+    def _encode(self, src: int, dst: int, loc: AbsLoc) -> int:
+        nb, lb = self._node_bits, self._loc_bits
+        if src >= (1 << nb) or dst >= (1 << nb):
+            raise OverflowError("control-point space exhausted; raise node_bits")
+        bits = (
+            _bits(src, nb) + _bits(dst, nb) + _bits(self._loc_id(loc), lb)
+        )
+        return self._bdd.minterm(bits)
+
+    # -- relation interface ----------------------------------------------------------
+
+    def add(self, src: int, dst: int, loc: AbsLoc) -> None:
+        cube = self._encode(src, dst, loc)
+        new_fn = self._bdd.apply_or(self._fn, cube)
+        if new_fn != self._fn:
+            self._fn = new_fn
+            self._count += 1
+
+    def has(self, src: int, dst: int, loc: AbsLoc) -> bool:
+        if loc not in self._loc_code:
+            return False
+        cube = self._encode(src, dst, loc)
+        return self._bdd.apply_and(self._fn, cube) != FALSE
+
+    def __len__(self) -> int:
+        return self._count
+
+    def sat_count(self) -> int:
+        """Triple count recomputed from the BDD itself (cross-check)."""
+        return self._bdd.sat_count(self._fn)
+
+    def node_count(self) -> int:
+        """BDD nodes of the stored relation (its DAG size) — the
+        memory-consumption proxy the paper's comparison is about."""
+        return self._bdd.dag_size(self._fn)
+
+    def arena_size(self) -> int:
+        """All interned nodes including intermediates (no GC)."""
+        return self._bdd.node_count()
+
+    def triples(self) -> Iterator[tuple[int, int, AbsLoc]]:
+        nb, lb = self._node_bits, self._loc_bits
+        for bits in self._bdd.sat_iter(self._fn, nb * 2 + lb):
+            src = _unbits(bits[:nb])
+            dst = _unbits(bits[nb : 2 * nb])
+            loc_id = _unbits(bits[2 * nb :])
+            if loc_id < len(self._locs):
+                yield src, dst, self._locs[loc_id]
+
+    def out_edges_of(self, src: int) -> Iterator[tuple[int, AbsLoc]]:
+        """Enumerate (dst, loc) pairs for one source by restricting the
+        source bits — the lookup pattern the sparse engine needs."""
+        nb, lb = self._node_bits, self._loc_bits
+        fn = self._fn
+        for i, bit in enumerate(_bits(src, nb)):
+            fn = self._bdd.restrict(fn, i, bit)
+        for bits in self._bdd.sat_iter(fn, nb * 2 + lb):
+            dst = _unbits(bits[nb : 2 * nb])
+            loc_id = _unbits(bits[2 * nb :])
+            if loc_id < len(self._locs):
+                yield dst, self._locs[loc_id]
+
+
+def estimate_set_bytes(triple_count: int, avg_loc_size: int = 64) -> int:
+    """Rough memory model of the naïve set-of-triples representation:
+    per-triple tuple + set slot + location reference overhead. Used for the
+    BDD-vs-set comparison when measuring real allocations is too noisy."""
+    per_triple = 8 * 3 + 56 + avg_loc_size // 4  # pointers + tuple header
+    return triple_count * per_triple

@@ -1,0 +1,18 @@
+"""Benchmark workload generation, program statistics, and table harness."""
+
+from repro.bench.codegen import (
+    WorkloadSpec,
+    default_suite,
+    generate_source,
+    octagon_suite,
+)
+from repro.bench.stats import ProgramStats, compute_stats
+
+__all__ = [
+    "WorkloadSpec",
+    "default_suite",
+    "generate_source",
+    "octagon_suite",
+    "ProgramStats",
+    "compute_stats",
+]

@@ -1,0 +1,412 @@
+"""Synthetic C benchmark generator.
+
+Stands in for the paper's 16 open-source packages (gzip … ghostscript).
+The paper's performance story is driven by *structural* parameters, which
+the generator exposes directly:
+
+* program size (functions × statements per function),
+* global-variable fan-out (how many statements touch globals — this is
+  what creates interprocedural value flow and, in the naïve setting,
+  spurious dependencies),
+* call-graph shape, including a mutual-recursion cycle of configurable
+  size (the ``maxSCC`` column of Table 1 that the paper correlates with
+  analysis cost),
+* pointer/array density (weak updates, points-to work),
+* sparsity: the fraction of locations each statement touches.
+
+Generated programs are valid in the supported C subset, deterministic per
+seed, loop-bounded (they also run under the concrete interpreter), and
+free of undefined behaviour the analyzers would flag spuriously.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class WorkloadSpec:
+    """Knobs for one generated benchmark program."""
+
+    name: str
+    n_functions: int = 8
+    n_globals: int = 6
+    n_arrays: int = 2
+    array_len: int = 16
+    stmts_per_function: int = 10
+    loops_per_function: int = 1
+    calls_per_function: int = 2
+    pointer_ops_per_function: int = 1
+    recursion_cycle: int = 0
+    global_touch_prob: float = 0.3
+    use_structs: bool = True
+    funcptr_sites: int = 0
+    #: give every function at most one call site program-wide (a call tree
+    #: instead of a DAG). Shared callees make the context-insensitive
+    #: interprocedural graph cyclic, so abstract chains can be infinite
+    #: without widening; tree-shaped programs have finite chains and can be
+    #: analyzed in the exact no-widening "Lemma mode".
+    unique_callees: bool = False
+    seed: int = 1
+
+    def scaled(self, factor: float, name: str | None = None) -> "WorkloadSpec":
+        """A copy scaled in size (functions) by ``factor``."""
+        return WorkloadSpec(
+            name=name or f"{self.name}-x{factor:g}",
+            n_functions=max(2, int(self.n_functions * factor)),
+            n_globals=max(2, int(self.n_globals * factor)),
+            n_arrays=self.n_arrays,
+            array_len=self.array_len,
+            stmts_per_function=self.stmts_per_function,
+            loops_per_function=self.loops_per_function,
+            calls_per_function=self.calls_per_function,
+            pointer_ops_per_function=self.pointer_ops_per_function,
+            recursion_cycle=self.recursion_cycle,
+            global_touch_prob=self.global_touch_prob,
+            use_structs=self.use_structs,
+            funcptr_sites=self.funcptr_sites,
+            seed=self.seed,
+        )
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append("  " * self.indent + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class CodeGenerator:
+    """Generates one benchmark program from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.out = _Emitter()
+        self._local_counter = 0
+        # Call-tree plan for unique_callees mode: parent index (or "main")
+        # → list of callee indices; every function has exactly one caller.
+        self._call_plan: dict[object, list[int]] | None = None
+        if spec.unique_callees:
+            plan: dict[object, list[int]] = {"main": []}
+            for i in range(spec.n_functions):
+                plan[i] = []
+            for i in range(spec.n_functions):
+                if i == 0 or self.rng.random() < 0.3:
+                    plan["main"].append(i)
+                else:
+                    parent = self.rng.randrange(0, i)
+                    plan[parent].append(i)
+            self._call_plan = plan
+
+    # -- naming -------------------------------------------------------------------
+
+    def _global(self) -> str:
+        return f"g{self.rng.randrange(self.spec.n_globals)}"
+
+    def _array(self) -> str:
+        return f"arr{self.rng.randrange(max(self.spec.n_arrays, 1))}"
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _operand(self, locals_: list[str], depth: int) -> str:
+        roll = self.rng.random()
+        if roll < 0.35:
+            return str(self.rng.randrange(0, 64))
+        if roll < 0.35 + self.spec.global_touch_prob:
+            return self._global()
+        return self.rng.choice(locals_) if locals_ else str(self.rng.randrange(8))
+
+    def _expr(self, locals_: list[str], depth: int = 0) -> str:
+        if depth >= 2 or self.rng.random() < 0.4:
+            return self._operand(locals_, depth)
+        op = self.rng.choice(["+", "-", "*", "+", "-"])
+        left = self._expr(locals_, depth + 1)
+        right = self._expr(locals_, depth + 1)
+        return f"({left} {op} {right})"
+
+    def _cond(self, locals_: list[str]) -> str:
+        lhs = self._operand(locals_, 0)
+        op = self.rng.choice(["<", ">", "<=", ">=", "==", "!="])
+        rhs = str(self.rng.randrange(0, 32))
+        return f"{lhs} {op} {rhs}"
+
+    # -- statements --------------------------------------------------------------------
+
+    def _stmt(self, locals_: list[str], targets: list[str] | None = None) -> None:
+        """One random statement. ``locals_`` may be read; only ``targets``
+        (default: all locals) may be written — loop iterators are excluded
+        so generated loops always terminate."""
+        targets = targets if targets is not None else locals_
+        roll = self.rng.random()
+        spec = self.spec
+        if roll < 0.45 or not targets:
+            target = (
+                self._global()
+                if self.rng.random() < spec.global_touch_prob or not targets
+                else self.rng.choice(targets)
+            )
+            self.out.emit(f"{target} = {self._expr(locals_)};")
+        elif roll < 0.6 and spec.n_arrays:
+            arr = self._array()
+            idx = self.rng.choice(locals_)
+            self.out.emit(
+                f"{arr}[({idx} < 0 ? 0 : {idx}) % {spec.array_len}] = "
+                f"{self._expr(locals_)};"
+            )
+        elif roll < 0.75:
+            var = self.rng.choice(targets)
+            self.out.emit(f"if ({self._cond(locals_)}) {{")
+            self.out.indent += 1
+            self.out.emit(f"{var} = {self._expr(locals_)};")
+            self.out.indent -= 1
+            self.out.emit("} else {")
+            self.out.indent += 1
+            self.out.emit(f"{var} = {self._expr(locals_)};")
+            self.out.indent -= 1
+            self.out.emit("}")
+        else:
+            var = self.rng.choice(targets)
+            src = self._array() if spec.n_arrays else None
+            if src is not None:
+                idx = self.rng.randrange(spec.array_len)
+                self.out.emit(f"{var} = {src}[{idx}] + {self._expr(locals_)};")
+            else:
+                self.out.emit(f"{var} = {self._expr(locals_)};")
+
+    def _loop(self, locals_: list[str], tag: int) -> None:
+        spec = self.spec
+        it = f"it{tag}"
+        bound = self.rng.randrange(4, spec.array_len + 4)
+        self.out.emit(f"int {it};")
+        self.out.emit(f"for ({it} = 0; {it} < {bound}; {it}++) {{")
+        self.out.indent += 1
+        if spec.n_arrays:
+            arr = self._array()
+            self.out.emit(
+                f"{arr}[{it} % {spec.array_len}] = {self._expr(locals_ + [it])};"
+            )
+        for _ in range(2):
+            self._stmt(locals_ + [it], targets=locals_)
+        self.out.indent -= 1
+        self.out.emit("}")
+
+    def _pointer_op(self, locals_: list[str], tag: int) -> None:
+        target = self._global()
+        self.out.emit(f"gp = &{target};")
+        self.out.emit(f"*gp = {self._expr(locals_)};")
+        if locals_:
+            self.out.emit(f"{self.rng.choice(locals_)} = *gp;")
+
+    def _call(self, caller_index: int, locals_: list[str]) -> None:
+        spec = self.spec
+        if self._call_plan is not None:
+            pending = self._call_plan.get(caller_index, [])
+            if not pending:
+                return
+            callee = pending.pop(0)
+        else:
+            dag_start = spec.recursion_cycle
+            candidates = list(
+                range(max(caller_index + 1, dag_start), spec.n_functions)
+            )
+            if not candidates:
+                return
+            callee = self.rng.choice(candidates)
+        a = self._operand(locals_, 0)
+        b = self._operand(locals_, 0)
+        target = self.rng.choice(locals_) if locals_ else self._global()
+        self.out.emit(f"{target} = f{callee}({a}, {b});")
+
+    # -- functions -----------------------------------------------------------------------
+
+    def _function(self, index: int) -> None:
+        spec = self.spec
+        o = self.out
+        o.emit(f"int f{index}(int p0, int p1) {{")
+        o.indent += 1
+        n_locals = self.rng.randrange(2, 5)
+        locals_ = [f"v{i}" for i in range(n_locals)]
+        for i, name in enumerate(locals_):
+            o.emit(f"int {name} = {self.rng.randrange(0, 16)} + p{i % 2};")
+        locals_ += ["p0", "p1"]
+
+        in_cycle = index < spec.recursion_cycle
+        if in_cycle:
+            nxt = (index + 1) % spec.recursion_cycle
+            o.emit("if (p0 > 0) {")
+            o.indent += 1
+            o.emit(f"v0 = f{nxt}(p0 - 1, p1 + 1);")
+            o.indent -= 1
+            o.emit("}")
+
+        budget = spec.stmts_per_function
+        loops = spec.loops_per_function
+        calls = spec.calls_per_function
+        ptrs = spec.pointer_ops_per_function
+        tag = 0
+        while budget > 0:
+            roll = self.rng.random()
+            if loops > 0 and roll < 0.2:
+                self._loop(locals_, tag)
+                tag += 1
+                loops -= 1
+                budget -= 3
+            elif calls > 0 and roll < 0.4:
+                self._call(index, locals_)
+                calls -= 1
+                budget -= 1
+            elif ptrs > 0 and roll < 0.5:
+                self._pointer_op(locals_, tag)
+                ptrs -= 1
+                budget -= 2
+            else:
+                self._stmt(locals_)
+                budget -= 1
+        if self._call_plan is not None:
+            # flush any planned calls the statement budget didn't reach
+            while self._call_plan.get(index):
+                self._call(index, locals_)
+        if spec.use_structs and index % 7 == 0:
+            o.emit("pt.x = v0; pt.y = v1;")
+            o.emit("v0 = pt.x + pt.y;")
+        o.emit(f"return v0 + v1;")
+        o.indent -= 1
+        o.emit("}")
+        o.emit()
+
+    def _main(self) -> None:
+        spec = self.spec
+        o = self.out
+        o.emit("int main(void) {")
+        o.indent += 1
+        o.emit("int acc = 0;")
+        o.emit("int i;")
+        if self._call_plan is not None:
+            roots = list(self._call_plan["main"])
+        else:
+            roots = list(range(spec.n_functions))
+            self.rng.shuffle(roots)
+            roots = sorted(roots[: max(3, spec.n_functions // 3)])
+        # Call the root functions so everything is reachable.
+        for index in roots:
+            a = self.rng.randrange(0, 8)
+            o.emit(f"acc = acc + f{index}({a}, acc % 32);")
+        if spec.funcptr_sites and self._call_plan is None:
+            o.emit("for (i = 0; i < 4; i++) {")
+            o.indent += 1
+            o.emit("acc = acc + dispatch(i % 2, acc % 16);")
+            o.indent -= 1
+            o.emit("}")
+        o.emit("return acc;")
+        o.indent -= 1
+        o.emit("}")
+
+    def generate(self) -> str:
+        spec = self.spec
+        o = self.out
+        o.emit(f"/* generated benchmark: {spec.name} (seed {spec.seed}) */")
+        if spec.use_structs:
+            o.emit("struct point { int x; int y; };")
+            o.emit("struct point pt;")
+        for i in range(spec.n_globals):
+            o.emit(f"int g{i} = {i % 10};")
+        for i in range(spec.n_arrays):
+            o.emit(f"int arr{i}[{spec.array_len}];")
+        o.emit("int *gp;")
+        o.emit()
+        # Forward declarations so any call order parses.
+        for i in range(spec.n_functions):
+            o.emit(f"int f{i}(int p0, int p1);")
+        if spec.funcptr_sites and self._call_plan is None:
+            o.emit("int dispatch(int which, int v);")
+        o.emit()
+        for i in range(spec.n_functions):
+            self._function(i)
+        if spec.funcptr_sites and self._call_plan is None:
+            self._dispatcher()
+        self._main()
+        return o.source()
+
+    def _dispatcher(self) -> None:
+        """A function-pointer dispatch site (exercises the pre-analysis's
+        call-graph resolution)."""
+        o = self.out
+        o.emit("int dispatch(int which, int v) {")
+        o.indent += 1
+        o.emit("int (*fp)(int, int);")
+        o.emit("if (which) { fp = &f0; } else { fp = &f1; }")
+        o.emit("return fp(v, v + 1);")
+        o.indent -= 1
+        o.emit("}")
+        o.emit()
+
+
+def generate_source(spec: WorkloadSpec) -> str:
+    """Generate the benchmark program for ``spec``."""
+    return CodeGenerator(spec).generate()
+
+
+# --------------------------------------------------------------------------
+# The default suite — a scaled-down analog of Table 1's 16 packages.
+# --------------------------------------------------------------------------
+
+
+def default_suite() -> list[WorkloadSpec]:
+    """Ten programs from tiny to large, with the same qualitative spread as
+    the paper's benchmarks: small leaf-heavy programs, pointer-heavy
+    middles, and large programs with big recursion cycles (the
+    nethack/vim/emacs analogs whose maxSCC dominates analysis cost)."""
+    return [
+        WorkloadSpec("gzip-mini", n_functions=6, n_globals=5, seed=11,
+                     recursion_cycle=2, funcptr_sites=0),
+        WorkloadSpec("bc-mini", n_functions=10, n_globals=8, seed=12,
+                     recursion_cycle=0, funcptr_sites=1),
+        WorkloadSpec("tar-mini", n_functions=16, n_globals=10, seed=13,
+                     recursion_cycle=3, pointer_ops_per_function=2),
+        WorkloadSpec("less-mini", n_functions=22, n_globals=12, seed=14,
+                     recursion_cycle=5, global_touch_prob=0.4),
+        WorkloadSpec("make-mini", n_functions=28, n_globals=14, seed=15,
+                     recursion_cycle=6),
+        WorkloadSpec("wget-mini", n_functions=36, n_globals=16, seed=16,
+                     recursion_cycle=2, funcptr_sites=1),
+        WorkloadSpec("screen-mini", n_functions=48, n_globals=20, seed=17,
+                     recursion_cycle=8, pointer_ops_per_function=2),
+        WorkloadSpec("sendmail-mini", n_functions=64, n_globals=24, seed=18,
+                     recursion_cycle=10, global_touch_prob=0.35),
+        WorkloadSpec("nethack-mini", n_functions=84, n_globals=28, seed=19,
+                     recursion_cycle=24, global_touch_prob=0.4),
+        WorkloadSpec("vim-mini", n_functions=110, n_globals=32, seed=20,
+                     recursion_cycle=32, global_touch_prob=0.4),
+    ]
+
+
+def octagon_suite() -> list[WorkloadSpec]:
+    """Smaller programs for the octagon analyses (Table 3 runs the paper's
+    suite only up to sendmail; octagons are an order of magnitude more
+    expensive per operation)."""
+    return [
+        WorkloadSpec("gzip-oct", n_functions=4, n_globals=4, seed=31,
+                     stmts_per_function=8, recursion_cycle=0),
+        WorkloadSpec("bc-oct", n_functions=6, n_globals=5, seed=32,
+                     stmts_per_function=8, recursion_cycle=2),
+        WorkloadSpec("tar-oct", n_functions=9, n_globals=6, seed=33,
+                     stmts_per_function=8, recursion_cycle=0),
+        WorkloadSpec("less-oct", n_functions=12, n_globals=8, seed=34,
+                     stmts_per_function=10, recursion_cycle=3),
+        WorkloadSpec("make-oct", n_functions=16, n_globals=10, seed=35,
+                     stmts_per_function=10, recursion_cycle=4),
+        WorkloadSpec("wget-oct", n_functions=20, n_globals=12, seed=36,
+                     stmts_per_function=10, recursion_cycle=4),
+        WorkloadSpec("screen-oct", n_functions=28, n_globals=14, seed=38,
+                     stmts_per_function=10, recursion_cycle=2),
+        WorkloadSpec("sendmail-oct", n_functions=40, n_globals=18, seed=39,
+                     stmts_per_function=10, recursion_cycle=3,
+                     global_touch_prob=0.35),
+    ]

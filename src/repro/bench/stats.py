@@ -1,0 +1,89 @@
+"""Program characteristics — the columns of Table 1.
+
+LOC, Functions, Statements, Blocks, maxSCC (largest call-graph strongly
+connected component) and AbsLocs (abstract locations materialized by the
+interval analysis), computed for any source/Program pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.defuse import compute_defuse
+from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
+from repro.ir.callgraph import build_callgraph
+from repro.ir.cfg import ProcCFG
+from repro.ir.program import Program, build_program
+
+
+@dataclass
+class ProgramStats:
+    """One Table 1 row."""
+
+    name: str
+    loc: int
+    functions: int
+    statements: int
+    blocks: int
+    max_scc: int
+    abslocs: int
+
+    def row(self) -> tuple:
+        return (
+            self.name,
+            self.loc,
+            self.functions,
+            self.statements,
+            self.blocks,
+            self.max_scc,
+            self.abslocs,
+        )
+
+
+def count_basic_blocks(cfg: ProcCFG) -> int:
+    """Number of maximal straight-line sequences — a node starts a block
+    when it is the entry, a join (≥2 preds), or the successor of a branch."""
+    leaders: set[int] = set()
+    if cfg.entry is not None:
+        leaders.add(cfg.entry.nid)
+    for node in cfg.nodes:
+        preds = cfg.preds.get(node.nid, [])
+        if len(preds) >= 2:
+            leaders.add(node.nid)
+        succs = cfg.succs.get(node.nid, [])
+        if len(succs) >= 2:
+            leaders.update(succs)
+    return max(len(leaders), 1 if cfg.nodes else 0)
+
+
+def compute_stats(
+    name: str,
+    source: str,
+    program: Program | None = None,
+    pre: PreAnalysis | None = None,
+) -> ProgramStats:
+    """Compute the Table 1 characteristics of one benchmark program."""
+    if program is None:
+        program = build_program(source)
+    if pre is None:
+        pre = run_preanalysis(program)
+    defuse = compute_defuse(program, pre)
+
+    callgraph = build_callgraph(
+        program, resolve=lambda node: pre.site_callees.get(node.nid, ())
+    )
+    abslocs: set = set(pre.state.locations())
+    for locs in defuse.defs.values():
+        abslocs.update(locs)
+    for locs in defuse.uses.values():
+        abslocs.update(locs)
+
+    return ProgramStats(
+        name=name,
+        loc=source.count("\n"),
+        functions=program.num_functions(),
+        statements=program.num_statements(),
+        blocks=sum(count_basic_blocks(cfg) for cfg in program.cfgs.values()),
+        max_scc=callgraph.max_scc_size(),
+        abslocs=len(abslocs),
+    )

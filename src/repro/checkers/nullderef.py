@@ -1,0 +1,126 @@
+"""Null-dereference checker.
+
+Flags pointer dereferences whose abstract value may be the null constant:
+in the value domain a pointer is ⟨itv, points-to, blocks⟩ and the null
+pointer is the integer 0, so a dereference is suspicious when the numeric
+part contains 0 — unless a guard (``if (p) …``) has filtered it out —
+and *definitely broken* when the value has no targets at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.analysis.semantics import AnalysisContext, Evaluator
+from repro.checkers.overrun import _in_state
+from repro.ir.cfg import Node
+from repro.ir.commands import (
+    CAlloc,
+    CAssume,
+    CCall,
+    CReturn,
+    CSet,
+    DerefLv,
+    EAddrOf,
+    EBinOp,
+    ELval,
+    EUnOp,
+    Expr,
+    FieldLv,
+    IndexLv,
+    Lval,
+)
+from repro.ir.program import Program
+
+
+class NullVerdict(Enum):
+    SAFE = "safe"          # has targets, cannot be 0
+    MAY_NULL = "may-null"  # has targets but 0 is possible
+    NO_TARGET = "no-target"  # nothing to dereference at all
+
+
+@dataclass(frozen=True)
+class NullReport:
+    nid: int
+    line: int
+    proc: str
+    expr: str
+    verdict: NullVerdict
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.verdict.value.upper()}] line {self.line} "
+            f"({self.proc}): {self.expr}"
+        )
+
+
+def check_null_derefs(program: Program, result) -> list[NullReport]:
+    ctx = AnalysisContext(program, result.pre.site_callees)
+    reports: list[NullReport] = []
+    for node in program.nodes():
+        derefs = _derefs_of(node)
+        if not derefs:
+            continue
+        state = _in_state(result, program, node.nid)
+        ev = Evaluator(ctx, state)
+        for ptr_expr, text in derefs:
+            value = ev.eval(ptr_expr)
+            has_targets = bool(value.all_pointees())
+            may_be_zero = value.itv.may_be_zero()
+            if not has_targets and value.itv.is_bottom():
+                continue  # dead code: nothing reaches here
+            if not has_targets:
+                verdict = NullVerdict.NO_TARGET
+            elif may_be_zero:
+                verdict = NullVerdict.MAY_NULL
+            else:
+                verdict = NullVerdict.SAFE
+            reports.append(
+                NullReport(node.nid, node.line, node.proc, text, verdict)
+            )
+    return reports
+
+
+def null_alarms(reports: list[NullReport]) -> list[NullReport]:
+    return [r for r in reports if r.verdict is not NullVerdict.SAFE]
+
+
+def _derefs_of(node: Node) -> list[tuple[Expr, str]]:
+    out: list[tuple[Expr, str]] = []
+
+    def walk_expr(e: Expr) -> None:
+        if isinstance(e, ELval):
+            walk_lval(e.lval)
+        elif isinstance(e, EAddrOf):
+            walk_lval(e.lval)
+        elif isinstance(e, EBinOp):
+            walk_expr(e.left)
+            walk_expr(e.right)
+        elif isinstance(e, EUnOp):
+            walk_expr(e.operand)
+
+    def walk_lval(lv: Lval) -> None:
+        if isinstance(lv, DerefLv):
+            out.append((lv.ptr, str(lv)))
+            walk_expr(lv.ptr)
+        elif isinstance(lv, IndexLv):
+            walk_expr(lv.base)
+            walk_expr(lv.index)
+        elif isinstance(lv, FieldLv):
+            walk_lval(lv.base)
+
+    cmd = node.cmd
+    if isinstance(cmd, CSet):
+        walk_lval(cmd.lval)
+        walk_expr(cmd.expr)
+    elif isinstance(cmd, CAlloc):
+        walk_expr(cmd.size)
+    elif isinstance(cmd, CAssume):
+        walk_expr(cmd.cond)
+    elif isinstance(cmd, CCall):
+        for a in cmd.args:
+            walk_expr(a)
+    elif isinstance(cmd, CReturn) and cmd.value is not None:
+        walk_expr(cmd.value)
+    return out

@@ -1,0 +1,27 @@
+"""Abstract domains: intervals, points-to sets, product values, states,
+octagons, and variable packs."""
+
+from repro.domains.absloc import (
+    AbsLoc,
+    AllocLoc,
+    FieldLoc,
+    FuncLoc,
+    RetLoc,
+    VarLoc,
+)
+from repro.domains.interval import Interval
+from repro.domains.state import AbsState
+from repro.domains.value import AbsValue, ArrayBlock
+
+__all__ = [
+    "AbsLoc",
+    "AllocLoc",
+    "FieldLoc",
+    "FuncLoc",
+    "RetLoc",
+    "VarLoc",
+    "Interval",
+    "AbsState",
+    "AbsValue",
+    "ArrayBlock",
+]

@@ -1,0 +1,439 @@
+"""The interval abstract domain (Cousot & Cousot 1977).
+
+``Interval(lo, hi)`` with ``lo, hi ∈ Z ∪ {-∞, +∞}`` and ``lo ≤ hi``; the
+empty interval is the distinguished :data:`BOT`. Infinite bounds are
+represented by ``None`` on the low/high side, which keeps arithmetic exact
+(Python ints are unbounded — no float-infinity rounding surprises).
+
+The module provides the full transfer-function kit: lattice operations,
+widening/narrowing, sound arithmetic (+, -, *, /, %, <<, >>, bitops are
+over-approximated where exact bounds are hard), comparisons returning
+boolean intervals, and condition filters used by ``assume``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly empty/unbounded) integer interval.
+
+    ``lo=None`` means -∞ and ``hi=None`` means +∞. ``empty=True`` is ⊥ —
+    bounds are meaningless then.
+    """
+
+    lo: int | None = None
+    hi: int | None = None
+    empty: bool = False
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def const(n: int) -> "Interval":
+        return Interval(n, n)
+
+    @staticmethod
+    def range(lo: int | None, hi: int | None) -> "Interval":
+        if lo is not None and hi is not None and lo > hi:
+            return BOT
+        return Interval(lo, hi)
+
+    @staticmethod
+    def top() -> "Interval":
+        return TOP
+
+    @staticmethod
+    def bottom() -> "Interval":
+        return BOT
+
+    # -- lattice -----------------------------------------------------------------
+
+    def is_bottom(self) -> bool:
+        return self.empty
+
+    def is_top(self) -> bool:
+        return not self.empty and self.lo is None and self.hi is None
+
+    def leq(self, other: "Interval") -> bool:
+        if self.empty:
+            return True
+        if other.empty:
+            return False
+        lo_ok = other.lo is None or (self.lo is not None and self.lo >= other.lo)
+        hi_ok = other.hi is None or (self.hi is not None and self.hi <= other.hi)
+        return lo_ok and hi_ok
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOT
+        lo = self.lo if other.lo is None else (other.lo if self.lo is None else max(self.lo, other.lo))
+        hi = self.hi if other.hi is None else (other.hi if self.hi is None else min(self.hi, other.hi))
+        if lo is not None and hi is not None and lo > hi:
+            return BOT
+        return Interval(lo, hi)
+
+    def widen(
+        self, other: "Interval", thresholds: tuple[int, ...] | None = None
+    ) -> "Interval":
+        """Interval widening: unstable bounds jump to ±∞ — or, with
+        ``thresholds`` (a sorted tuple of landmark constants, typically the
+        comparison constants of the program), to the nearest enclosing
+        threshold first. Threshold widening trades a few extra iterations
+        for loop bounds that survive without narrowing."""
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        if self.lo is None or (other.lo is not None and other.lo >= self.lo):
+            lo = self.lo
+        else:
+            lo = _threshold_below(other.lo, thresholds)
+        if self.hi is None or (other.hi is not None and other.hi <= self.hi):
+            hi = self.hi
+        else:
+            hi = _threshold_above(other.hi, thresholds)
+        return Interval(lo, hi)
+
+    def narrow(self, other: "Interval") -> "Interval":
+        """Standard narrowing: refine only infinite bounds."""
+        if self.empty or other.empty:
+            return BOT
+        lo = other.lo if self.lo is None else self.lo
+        hi = other.hi if self.hi is None else self.hi
+        if lo is not None and hi is not None and lo > hi:
+            return BOT
+        return Interval(lo, hi)
+
+    # -- predicates ----------------------------------------------------------------
+
+    def contains(self, n: int) -> bool:
+        if self.empty:
+            return False
+        return (self.lo is None or self.lo <= n) and (self.hi is None or n <= self.hi)
+
+    def is_const(self) -> bool:
+        return not self.empty and self.lo is not None and self.lo == self.hi
+
+    def may_be_zero(self) -> bool:
+        return self.contains(0)
+
+    def must_be_nonzero(self) -> bool:
+        return not self.empty and not self.contains(0)
+
+    # -- arithmetic ------------------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOT
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def neg(self) -> "Interval":
+        if self.empty:
+            return BOT
+        lo = None if self.hi is None else -self.hi
+        hi = None if self.lo is None else -self.lo
+        return Interval(lo, hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.neg())
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOT
+        if self.is_top() or other.is_top():
+            # ⊤ * [0,0] is still 0; handle the exact-zero case.
+            if other == ZERO or self == ZERO:
+                return ZERO
+            return TOP
+        products = []
+        unbounded = False
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                if a is None or b is None:
+                    unbounded = True
+                else:
+                    products.append(a * b)
+        if unbounded:
+            # One side is half-unbounded: compute the reachable sign bound.
+            return _mul_unbounded(self, other)
+        return Interval(min(products), max(products))
+
+    def div(self, other: "Interval") -> "Interval":
+        """C integer division (truncation toward zero), over-approximated."""
+        if self.empty or other.empty:
+            return BOT
+        if other == ZERO:
+            return BOT  # division by exactly zero: no defined result
+        # Split the divisor around zero to keep bounds meaningful.
+        out = BOT
+        pos = other.meet(Interval(1, None))
+        neg = other.meet(Interval(None, -1))
+        for d in (pos, neg):
+            if d.is_bottom():
+                continue
+            out = out.join(_div_nonzero(self, d))
+        return out
+
+    def mod(self, other: "Interval") -> "Interval":
+        """C remainder; result magnitude < |divisor| with the sign of the
+        dividend — conservatively bounded."""
+        if self.empty or other.empty:
+            return BOT
+        if other == ZERO:
+            return BOT
+        bounds = [abs(b) for b in (other.lo, other.hi) if b is not None]
+        if not bounds or (other.lo is None or other.hi is None):
+            max_mag = None
+        else:
+            max_mag = max(bounds)
+        if max_mag is None:
+            return TOP
+        lo = 0 if (self.lo is not None and self.lo >= 0) else -(max_mag - 1)
+        hi = 0 if (self.hi is not None and self.hi <= 0) else max_mag - 1
+        result = Interval(lo, hi)
+        # Exact case: a non-negative dividend strictly below every possible
+        # divisor magnitude is unchanged by %.
+        if self.lo is not None and self.lo >= 0 and self.hi is not None:
+            if other.lo is not None and other.lo >= 1:
+                min_mag = other.lo
+            elif other.hi is not None and other.hi <= -1:
+                min_mag = -other.hi
+            else:
+                min_mag = 1  # divisor straddles zero (0 itself excluded)
+            if self.hi < min_mag:
+                return self
+        return result
+
+    def shl(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOT
+        if other.is_const() and other.lo is not None and 0 <= other.lo <= 64:
+            return self.mul(Interval.const(1 << other.lo))
+        return TOP
+
+    def shr(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOT
+        if (
+            other.is_const()
+            and other.lo is not None
+            and 0 <= other.lo <= 64
+            and self.lo is not None
+            and self.lo >= 0
+        ):
+            lo = self.lo >> other.lo
+            hi = None if self.hi is None else self.hi >> other.lo
+            return Interval(lo, hi)
+        return TOP
+
+    def bitand(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOT
+        if (
+            self.lo is not None
+            and self.lo >= 0
+            and other.lo is not None
+            and other.lo >= 0
+        ):
+            # Non-negative & non-negative is bounded by the smaller operand.
+            hi_candidates = [h for h in (self.hi, other.hi) if h is not None]
+            hi = min(hi_candidates) if hi_candidates else None
+            return Interval(0, hi)
+        return TOP
+
+    def bitor(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return BOT
+        if (
+            self.lo is not None
+            and self.lo >= 0
+            and other.lo is not None
+            and other.lo >= 0
+            and self.hi is not None
+            and other.hi is not None
+        ):
+            # Bounded above by the next power of two of max(hi) minus one.
+            bound = max(self.hi, other.hi)
+            hi = (1 << bound.bit_length()) - 1 if bound > 0 else 0
+            return Interval(0, hi)
+        return TOP
+
+    def bitxor(self, other: "Interval") -> "Interval":
+        return self.bitor(other)
+
+    def lnot(self) -> "Interval":
+        """Logical not: 1 if definitely zero, 0 if definitely nonzero."""
+        if self.empty:
+            return BOT
+        if self == ZERO:
+            return ONE
+        if self.must_be_nonzero():
+            return ZERO
+        return BOOL
+
+    def bnot(self) -> "Interval":
+        """Bitwise complement: ~x = -x - 1."""
+        return self.neg().sub(ONE)
+
+    # -- comparisons (return boolean intervals) -----------------------------------
+
+    def cmp(self, op: str, other: "Interval") -> "Interval":
+        """Evaluate ``self op other`` to a boolean interval ([0,0], [1,1],
+        or [0,1] when undecided)."""
+        if self.empty or other.empty:
+            return BOT
+        lt = self._always_lt(other)
+        gt = other._always_lt(self)
+        le = self._always_le(other)
+        ge = other._always_le(self)
+        eq = self.is_const() and other.is_const() and self.lo == other.lo
+        disjoint = self.meet(other).is_bottom()
+        table = {
+            "<": (lt, ge),
+            ">": (gt, le),
+            "<=": (le, gt),
+            ">=": (ge, lt),
+            "==": (eq, disjoint),
+            "!=": (disjoint, eq),
+        }
+        always, never = table[op]
+        if always:
+            return ONE
+        if never:
+            return ZERO
+        return BOOL
+
+    def _always_lt(self, other: "Interval") -> bool:
+        return (
+            self.hi is not None and other.lo is not None and self.hi < other.lo
+        )
+
+    def _always_le(self, other: "Interval") -> bool:
+        return (
+            self.hi is not None and other.lo is not None and self.hi <= other.lo
+        )
+
+    # -- condition filters (assume transfer functions) ------------------------------
+
+    def filter(self, op: str, other: "Interval") -> "Interval":
+        """Refine ``self`` assuming ``self op other`` holds."""
+        if self.empty or other.empty:
+            return BOT
+        if op == "<":
+            if other.hi is None:
+                return self
+            return self.meet(Interval(None, other.hi - 1))
+        if op == "<=":
+            return self.meet(Interval(None, other.hi))
+        if op == ">":
+            if other.lo is None:
+                return self
+            return self.meet(Interval(other.lo + 1, None))
+        if op == ">=":
+            return self.meet(Interval(other.lo, None))
+        if op == "==":
+            return self.meet(other)
+        if op == "!=":
+            if other.is_const() and other.lo is not None:
+                n = other.lo
+                if self.lo == n and self.hi == n:
+                    return BOT
+                if self.lo == n:
+                    return Interval(n + 1, self.hi)
+                if self.hi == n:
+                    return Interval(self.lo, n - 1)
+            return self
+        return self
+
+    # -- misc ---------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.empty:
+            return "⊥"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+def _div_nonzero(num: Interval, den: Interval) -> Interval:
+    """Division by a sign-constant divisor interval (all > 0 or all < 0).
+
+    For such divisors truncated division is monotone in each bound, so
+    evaluating at finite corners is exact; infinite bounds map through the
+    divisor's sign.
+    """
+    if num.lo is None and num.hi is None:
+        return TOP
+
+    def q(a: int, b: int) -> int:
+        quotient = abs(a) // abs(b)
+        return quotient if (a >= 0) == (b > 0) else -quotient
+
+    den_pos = den.lo is not None and den.lo >= 1
+    finite_bs = [b for b in (den.lo, den.hi) if b is not None]
+    candidates = [
+        q(a, b) for a in (num.lo, num.hi) if a is not None for b in finite_bs
+    ]
+    if den.lo is None or den.hi is None:
+        candidates.append(0)  # |den| unbounded: quotients approach 0
+    lo_unbounded = (num.lo is None and den_pos) or (num.hi is None and not den_pos)
+    hi_unbounded = (num.hi is None and den_pos) or (num.lo is None and not den_pos)
+    lo = None if lo_unbounded else min(candidates)
+    hi = None if hi_unbounded else max(candidates)
+    return Interval(lo, hi)
+
+
+def _mul_unbounded(a: Interval, b: Interval) -> Interval:
+    """Multiplication where at least one bound is infinite: track signs."""
+    a_nonneg = a.lo is not None and a.lo >= 0
+    a_nonpos = a.hi is not None and a.hi <= 0
+    b_nonneg = b.lo is not None and b.lo >= 0
+    b_nonpos = b.hi is not None and b.hi <= 0
+    if (a_nonneg and b_nonneg) or (a_nonpos and b_nonpos):
+        return Interval(0 if (a.contains(0) or b.contains(0)) else 1, None)
+    if (a_nonneg and b_nonpos) or (a_nonpos and b_nonneg):
+        return Interval(None, 0)
+    return TOP
+
+
+def _threshold_above(bound: int | None, thresholds: tuple[int, ...] | None) -> int | None:
+    """Smallest threshold ≥ bound, or None (+∞) when none encloses it."""
+    if bound is None or not thresholds:
+        return None
+    for t in thresholds:
+        if t >= bound:
+            return t
+    return None
+
+
+def _threshold_below(bound: int | None, thresholds: tuple[int, ...] | None) -> int | None:
+    """Largest threshold ≤ bound, or None (−∞)."""
+    if bound is None or not thresholds:
+        return None
+    best: int | None = None
+    for t in thresholds:
+        if t <= bound:
+            best = t
+        else:
+            break
+    return best
+
+
+BOT = Interval(empty=True)
+TOP = Interval(None, None)
+ZERO = Interval(0, 0)
+ONE = Interval(1, 1)
+BOOL = Interval(0, 1)

@@ -1,0 +1,42 @@
+"""Lattice protocol shared by all abstract domains.
+
+Every abstract domain element supports the operations the fixpoint engines
+need: partial order (``leq``), ``join``, ``widen`` (and optionally ``meet``
+and ``narrow``). Domains are immutable value objects, so operators return
+new elements.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, TypeVar, runtime_checkable
+
+T = TypeVar("T", bound="AbstractValue")
+
+
+@runtime_checkable
+class AbstractValue(Protocol):
+    """Structural protocol for elements of an abstract domain."""
+
+    def leq(self: T, other: T) -> bool:
+        """Partial order ⊑."""
+        ...
+
+    def join(self: T, other: T) -> T:
+        """Least upper bound ⊔."""
+        ...
+
+    def widen(self: T, other: T) -> T:
+        """Widening ▽ — must guarantee termination of ascending chains."""
+        ...
+
+    def is_bottom(self) -> bool:
+        """True iff this is the bottom element."""
+        ...
+
+
+def joined(values: "list[T]", bottom: T) -> T:
+    """Fold ``join`` over ``values`` starting from ``bottom``."""
+    out = bottom
+    for v in values:
+        out = out.join(v)
+    return out

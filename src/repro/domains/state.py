@@ -1,0 +1,179 @@
+"""Abstract states: finite maps ``L̂ → V̂`` with missing entries = ⊥.
+
+:class:`AbsState` is a thin mutable wrapper over a dict, because the fixpoint
+engines update states in place at one control point while joining copies
+across edges. ``join_with``/``widen_with`` return whether anything changed,
+which drives worklist convergence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.domains.absloc import AbsLoc
+from repro.domains.value import BOT, AbsValue
+
+
+class AbsState:
+    """A map from abstract locations to abstract values."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: dict[AbsLoc, AbsValue] | None = None) -> None:
+        self._map: dict[AbsLoc, AbsValue] = dict(mapping) if mapping else {}
+
+    # -- access ----------------------------------------------------------------
+
+    def get(self, loc: AbsLoc) -> AbsValue:
+        return self._map.get(loc, BOT)
+
+    def set(self, loc: AbsLoc, value: AbsValue) -> None:
+        """Strong update."""
+        if value.is_bottom():
+            self._map.pop(loc, None)
+        else:
+            self._map[loc] = value
+
+    def weak_set(self, loc: AbsLoc, value: AbsValue) -> None:
+        """Weak update: join with the existing value (the paper's ``[l ↪w v]``)."""
+        self.set(loc, self.get(loc).join(value))
+
+    def update_locs(self, locs: Iterable[AbsLoc], value: AbsValue) -> None:
+        """The paper's store semantics: a strong update when the target is a
+        single non-summary location, a weak update otherwise."""
+        locs = list(locs)
+        if len(locs) == 1 and not locs[0].is_summary():
+            self.set(locs[0], value)
+        else:
+            for loc in locs:
+                self.weak_set(loc, value)
+
+    def locations(self) -> set[AbsLoc]:
+        return set(self._map)
+
+    def items(self) -> Iterator[tuple[AbsLoc, AbsValue]]:
+        return iter(self._map.items())
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __bool__(self) -> bool:
+        # An empty state is a real state (everything ⊥), not "no state" —
+        # `if state:` must not silently mean `if len(state):`.
+        return True
+
+    def __contains__(self, loc: AbsLoc) -> bool:
+        return loc in self._map
+
+    def copy(self) -> "AbsState":
+        return AbsState(self._map)
+
+    def delta_items(self, base: "AbsState") -> Iterator[tuple[AbsLoc, AbsValue]]:
+        """Entries of this state that are not the *same object* as in
+        ``base`` — cheap change detection for states derived by
+        copy-then-update (used by the flow-insensitive pre-analysis)."""
+        base_map = base._map
+        for loc, value in self._map.items():
+            if base_map.get(loc) is not value:
+                yield loc, value
+
+    # -- domain restriction (the paper's f|C and f\C) ------------------------------
+
+    def restrict(self, locs: Iterable[AbsLoc]) -> "AbsState":
+        """``s|locs`` — keep only the given locations."""
+        keep = set(locs)
+        return AbsState({l: v for l, v in self._map.items() if l in keep})
+
+    def remove(self, locs: Iterable[AbsLoc]) -> "AbsState":
+        """``s\\locs`` — drop the given locations."""
+        drop = set(locs)
+        return AbsState({l: v for l, v in self._map.items() if l not in drop})
+
+    # -- lattice ----------------------------------------------------------------------
+
+    def is_bottom(self) -> bool:
+        return not self._map
+
+    def leq(self, other: "AbsState") -> bool:
+        for loc, value in self._map.items():
+            if not value.leq(other.get(loc)):
+                return False
+        return True
+
+    def join(self, other: "AbsState") -> "AbsState":
+        out = self.copy()
+        out.join_with(other)
+        return out
+
+    def join_with(self, other: "AbsState") -> bool:
+        """In-place join; returns True when this state grew."""
+        changed = False
+        for loc, value in other._map.items():
+            old = self._map.get(loc)
+            if old is None:
+                self._map[loc] = value
+                changed = True
+            else:
+                new = old.join(value)
+                if new != old:
+                    self._map[loc] = new
+                    changed = True
+        return changed
+
+    def widen_with(
+        self, other: "AbsState", thresholds: tuple[int, ...] | None = None
+    ) -> bool:
+        """In-place widening (pointwise); returns True when this state grew."""
+        changed = False
+        for loc, value in other._map.items():
+            old = self._map.get(loc)
+            if old is None:
+                self._map[loc] = value
+                changed = True
+            else:
+                new = old.widen(value, thresholds)
+                if new != old:
+                    self._map[loc] = new
+                    changed = True
+        return changed
+
+    def join_changed(self, other: "AbsState") -> set[AbsLoc]:
+        """In-place join returning exactly the locations that changed —
+        lets the sparse engine propagate per location, not per node."""
+        changed: set[AbsLoc] = set()
+        for loc, value in other._map.items():
+            old = self._map.get(loc)
+            if old is None:
+                self._map[loc] = value
+                changed.add(loc)
+            else:
+                new = old.join(value)
+                if new != old:
+                    self._map[loc] = new
+                    changed.add(loc)
+        return changed
+
+    def widen_changed(
+        self, other: "AbsState", thresholds: tuple[int, ...] | None = None
+    ) -> set[AbsLoc]:
+        changed: set[AbsLoc] = set()
+        for loc, value in other._map.items():
+            old = self._map.get(loc)
+            if old is None:
+                self._map[loc] = value
+                changed.add(loc)
+            else:
+                new = old.widen(value, thresholds)
+                if new != old:
+                    self._map[loc] = new
+                    changed.add(loc)
+        return changed
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AbsState) and self._map == other._map
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{l} ↦ {v}" for l, v in sorted(self._map.items(), key=lambda kv: kv[0].sort_key())
+        )
+        return "{" + entries + "}"

@@ -1,0 +1,217 @@
+"""Abstract values (the paper's ``V̂``).
+
+An abstract value is the product of:
+
+* an :class:`Interval` abstracting the numeric part,
+* a points-to set (``P̂ = 2^L̂``) of plain locations,
+* a set of *array blocks*: the paper's array abstraction "a set of tuples of
+  base address, offset, and size". Blocks with equal bases are merged by
+  joining their offset/size intervals, so the set stays small.
+
+The paper's value domain is ``V̂ = Ẑ × P̂`` with arrays folded into the
+pointer part; we keep array blocks separate so the buffer-overrun checker
+can reason about offsets and sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.domains.absloc import AbsLoc
+from repro.domains.interval import BOT as ITV_BOT
+from repro.domains.interval import TOP as ITV_TOP
+from repro.domains.interval import Interval
+
+
+@dataclass(frozen=True)
+class ArrayBlock:
+    """One array block: base summary location, offset and size intervals."""
+
+    base: AbsLoc
+    offset: Interval = field(default_factory=lambda: Interval.const(0))
+    size: Interval = field(default_factory=Interval.top)
+
+    def shift(self, delta: Interval) -> "ArrayBlock":
+        """Pointer arithmetic: move the offset by ``delta``."""
+        return ArrayBlock(self.base, self.offset.add(delta), self.size)
+
+    def join(self, other: "ArrayBlock") -> "ArrayBlock":
+        assert self.base == other.base
+        return ArrayBlock(
+            self.base, self.offset.join(other.offset), self.size.join(other.size)
+        )
+
+    def widen(self, other: "ArrayBlock") -> "ArrayBlock":
+        assert self.base == other.base
+        return ArrayBlock(
+            self.base, self.offset.widen(other.offset), self.size.widen(other.size)
+        )
+
+    def leq(self, other: "ArrayBlock") -> bool:
+        return (
+            self.base == other.base
+            and self.offset.leq(other.offset)
+            and self.size.leq(other.size)
+        )
+
+    def __str__(self) -> str:
+        return f"⟨{self.base}, off={self.offset}, sz={self.size}⟩"
+
+
+def _merge_blocks(
+    a: tuple[ArrayBlock, ...],
+    b: tuple[ArrayBlock, ...],
+    combine,
+) -> tuple[ArrayBlock, ...]:
+    by_base: dict[AbsLoc, ArrayBlock] = {blk.base: blk for blk in a}
+    for blk in b:
+        if blk.base in by_base:
+            by_base[blk.base] = combine(by_base[blk.base], blk)
+        else:
+            by_base[blk.base] = blk
+    return tuple(sorted(by_base.values(), key=lambda x: x.base.sort_key()))
+
+
+@dataclass(frozen=True)
+class AbsValue:
+    """Product value: interval × points-to set × array blocks."""
+
+    itv: Interval = ITV_BOT
+    ptsto: frozenset[AbsLoc] = frozenset()
+    arrays: tuple[ArrayBlock, ...] = ()
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def bottom() -> "AbsValue":
+        return BOT
+
+    @staticmethod
+    def top() -> "AbsValue":
+        """Unknown scalar: any number, but no valid pointer — matching the
+        paper's treatment of unknown external values."""
+        return TOP_NUM
+
+    @staticmethod
+    def of_interval(itv: Interval) -> "AbsValue":
+        return AbsValue(itv=itv)
+
+    @staticmethod
+    def of_const(n: int) -> "AbsValue":
+        return AbsValue(itv=Interval.const(n))
+
+    @staticmethod
+    def of_locs(locs: frozenset[AbsLoc] | set[AbsLoc]) -> "AbsValue":
+        return AbsValue(ptsto=frozenset(locs))
+
+    @staticmethod
+    def of_block(block: ArrayBlock) -> "AbsValue":
+        return AbsValue(arrays=(block,))
+
+    # -- lattice ------------------------------------------------------------------
+
+    def is_bottom(self) -> bool:
+        return self.itv.is_bottom() and not self.ptsto and not self.arrays
+
+    def leq(self, other: "AbsValue") -> bool:
+        if not self.itv.leq(other.itv):
+            return False
+        if not self.ptsto <= other.ptsto:
+            return False
+        others = {blk.base: blk for blk in other.arrays}
+        for blk in self.arrays:
+            o = others.get(blk.base)
+            if o is None or not blk.leq(o):
+                return False
+        return True
+
+    def join(self, other: "AbsValue") -> "AbsValue":
+        if self.is_bottom():
+            return other
+        if other.is_bottom():
+            return self
+        return AbsValue(
+            itv=self.itv.join(other.itv),
+            ptsto=self.ptsto | other.ptsto,
+            arrays=_merge_blocks(
+                self.arrays, other.arrays, lambda x, y: x.join(y)
+            ),
+        )
+
+    def widen(
+        self, other: "AbsValue", thresholds: tuple[int, ...] | None = None
+    ) -> "AbsValue":
+        return AbsValue(
+            itv=self.itv.widen(other.itv, thresholds),
+            ptsto=self.ptsto | other.ptsto,
+            arrays=_merge_blocks(
+                self.arrays, other.arrays, lambda x, y: x.widen(y)
+            ),
+        )
+
+    def narrow(self, other: "AbsValue") -> "AbsValue":
+        return AbsValue(
+            itv=self.itv.narrow(other.itv),
+            ptsto=self.ptsto & other.ptsto
+            if self.ptsto and other.ptsto
+            else other.ptsto | self.ptsto,
+            arrays=self.arrays if self.arrays else other.arrays,
+        )
+
+    # -- accessors -------------------------------------------------------------------
+
+    def all_pointees(self) -> set[AbsLoc]:
+        """Every location a dereference of this value may touch: plain
+        points-to targets plus array-block summary elements."""
+        out = set(self.ptsto)
+        out.update(blk.base for blk in self.arrays)
+        return out
+
+    def with_itv(self, itv: Interval) -> "AbsValue":
+        return AbsValue(itv=itv, ptsto=self.ptsto, arrays=self.arrays)
+
+    def only_itv(self) -> "AbsValue":
+        return AbsValue(itv=self.itv)
+
+    def has_pointers(self) -> bool:
+        return bool(self.ptsto) or bool(self.arrays)
+
+    def truthiness(self) -> Interval:
+        """Boolean interval for branch decisions: pointers count as
+        non-zero, the numeric part decides otherwise."""
+        if self.has_pointers():
+            if self.itv.is_bottom() or self.itv == Interval.const(0):
+                from repro.domains.interval import ONE
+
+                return ONE
+            from repro.domains.interval import BOOL
+
+            return BOOL
+        return _truthiness_of_itv(self.itv)
+
+    def __str__(self) -> str:
+        parts = []
+        if not self.itv.is_bottom():
+            parts.append(str(self.itv))
+        if self.ptsto:
+            locs = ", ".join(sorted(str(l) for l in self.ptsto))
+            parts.append("{" + locs + "}")
+        for blk in self.arrays:
+            parts.append(str(blk))
+        return "(" + (" , ".join(parts) if parts else "⊥") + ")"
+
+
+def _truthiness_of_itv(itv: Interval) -> Interval:
+    from repro.domains.interval import BOOL, BOT, ONE, ZERO
+
+    if itv.is_bottom():
+        return BOT
+    if itv == ZERO:
+        return ZERO
+    if itv.must_be_nonzero():
+        return ONE
+    return BOOL
+
+
+BOT = AbsValue()
+TOP_NUM = AbsValue(itv=ITV_TOP)

@@ -1,0 +1,27 @@
+"""C-subset frontend: lexer, parser, AST, the small C type system, the
+mini preprocessor, and the AST inliner."""
+
+from repro.frontend.errors import FrontendError, LexError, ParseError, Position
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import parse
+
+
+def preprocess(source: str, filename: str = "<input>", defines=None) -> str:
+    """Shorthand for :func:`repro.frontend.preprocessor.preprocess`
+    (imported lazily; most callers feed already-preprocessed code)."""
+    from repro.frontend.preprocessor import preprocess as _pp
+
+    return _pp(source, filename, defines)
+
+
+__all__ = [
+    "FrontendError",
+    "LexError",
+    "ParseError",
+    "Position",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+    "preprocess",
+]

@@ -1,0 +1,289 @@
+"""Abstract syntax tree for the C subset.
+
+Node classes are small frozen-ish dataclasses; each carries a source
+:class:`Position`. The tree is deliberately close to the concrete syntax —
+desugaring (e.g. ``a[i]`` into pointer arithmetic, ``for`` into ``while``)
+happens during IR lowering, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.ctypes import CType, StructLayout
+from repro.frontend.errors import Position
+
+
+@dataclass
+class Node:
+    """Common base carrying the source position."""
+
+    pos: Position = field(default_factory=Position, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operator application; ``op`` is the C spelling (``+``, ``<=``,
+    ``&&``, ...)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    """Unary operator: ``-``, ``+``, ``!``, ``~``, ``&``, ``*``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class IncDec(Expr):
+    """``++``/``--`` in prefix or postfix position."""
+
+    op: str  # "++" or "--"
+    operand: Expr
+    prefix: bool
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment expression; ``op`` is ``=`` or a compound form (``+=``)."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: Expr
+    args: list[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``base.field`` (``arrow`` False) or ``base->field`` (``arrow`` True)."""
+
+    base: Expr
+    fieldname: str
+    arrow: bool
+
+
+@dataclass
+class Cast(Expr):
+    to_type: CType
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    """``sizeof``; either of a type or of an expression."""
+
+    of_type: CType | None = None
+    of_expr: Expr | None = None
+
+
+@dataclass
+class CommaExpr(Expr):
+    parts: list[Expr]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A local declaration: possibly several declarators with initializers."""
+
+    decls: list[VarDecl]
+
+
+@dataclass
+class Compound(Stmt):
+    body: list[Stmt]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Expr | None
+    body: Stmt
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Expr
+    cases: list[SwitchCase]
+
+
+@dataclass
+class SwitchCase(Node):
+    """One ``case``/``default`` arm; ``value`` None means ``default``.
+    Fallthrough is preserved by the lowering."""
+
+    value: Expr | None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Goto(Stmt):
+    label: str
+
+
+@dataclass
+class Labeled(Stmt):
+    label: str
+    stmt: Stmt
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Declarations / top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    name: str
+    ctype: CType
+    init: Expr | None = None
+    is_static: bool = False
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    ret_type: CType
+    params: list[ParamDecl]
+    body: Compound
+    variadic: bool = False
+    is_static: bool = False
+
+
+@dataclass
+class FuncDecl(Node):
+    """A prototype without a body (external function)."""
+
+    name: str
+    ret_type: CType
+    params: list[ParamDecl]
+    variadic: bool = False
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A parsed source file: globals, struct layouts, functions."""
+
+    globals: list[VarDecl] = field(default_factory=list)
+    structs: dict[str, StructLayout] = field(default_factory=dict)
+    functions: list[FuncDef] = field(default_factory=list)
+    prototypes: list[FuncDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef | None:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        return None

@@ -1,0 +1,43 @@
+"""Diagnostics for the C-subset frontend.
+
+All frontend failures are reported through :class:`FrontendError` (or one of
+its subclasses) carrying a source :class:`Position` so callers can point at
+the offending token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Position:
+    """A location in a source file: 1-based line and column."""
+
+    line: int = 1
+    column: int = 1
+    filename: str = "<input>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class FrontendError(Exception):
+    """Base class for all lexing/parsing/typing errors."""
+
+    def __init__(self, message: str, pos: Position | None = None) -> None:
+        self.message = message
+        self.pos = pos or Position()
+        super().__init__(f"{self.pos}: {message}")
+
+
+class LexError(FrontendError):
+    """An invalid character sequence was encountered while tokenizing."""
+
+
+class ParseError(FrontendError):
+    """The token stream does not match the C-subset grammar."""
+
+
+class LoweringError(FrontendError):
+    """A well-formed AST uses a construct the IR lowering does not support."""

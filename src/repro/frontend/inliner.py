@@ -1,0 +1,468 @@
+"""AST-level function inlining.
+
+Context-insensitive analysis merges every call site of a procedure; the
+classical low-tech countermeasure is to *duplicate* small callees into
+their call sites before analysis — each copy then gets its own abstract
+locations, i.e. bounded context sensitivity by cloning. This pass
+implements it on the AST:
+
+* a call ``x = f(a, b)`` to an inlinable function becomes a block that
+  binds renamed parameter copies, executes a renamed body copy, and
+  assigns the returned expression to a fresh result variable;
+* ``return e`` inside the copy becomes ``__ret = e; goto __out;`` —
+  multiple returns are supported via a synthetic exit label;
+* inlinable = defined, non-recursive, non-variadic, statement count under
+  a threshold, and not address-taken (no ``&f``/function-pointer use).
+
+The pass is semantics-preserving (checked against the concrete
+interpreter in tests) and composes with every analyzer — an ablation in
+``benchmarks/bench_inlining.py`` measures the precision/cost trade.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.frontend import cast as A
+from repro.frontend.ctypes import FuncType
+from repro.ir.callgraph import CallGraph
+
+#: default body-size cap (statements) for inlining
+DEFAULT_MAX_STMTS = 12
+#: maximum rounds (nested inlining depth)
+DEFAULT_MAX_DEPTH = 2
+
+
+def _count_stmts(stmt: A.Stmt) -> int:
+    total = 1
+    if isinstance(stmt, A.Compound):
+        return sum(_count_stmts(s) for s in stmt.body)
+    for attr in ("then", "otherwise", "body", "stmt", "init"):
+        child = getattr(stmt, attr, None)
+        if isinstance(child, A.Stmt):
+            total += _count_stmts(child)
+    if isinstance(stmt, A.Switch):
+        for case in stmt.cases:
+            total += sum(_count_stmts(s) for s in case.body)
+    return total
+
+
+def _function_addresses_taken(unit: A.TranslationUnit) -> set[str]:
+    """Functions referenced other than as a direct call target."""
+    names = {f.name for f in unit.functions}
+    taken: set[str] = set()
+
+    def walk_expr(e: A.Expr | None, call_target: bool = False) -> None:
+        if e is None:
+            return
+        if isinstance(e, A.Ident):
+            if e.name in names and not call_target:
+                taken.add(e.name)
+        elif isinstance(e, A.Call):
+            walk_expr(e.func, call_target=isinstance(e.func, A.Ident))
+            for a in e.args:
+                walk_expr(a)
+        elif isinstance(e, A.BinOp):
+            walk_expr(e.left)
+            walk_expr(e.right)
+        elif isinstance(e, (A.UnOp,)):
+            walk_expr(e.operand)
+        elif isinstance(e, A.IncDec):
+            walk_expr(e.operand)
+        elif isinstance(e, A.Assign):
+            walk_expr(e.target)
+            walk_expr(e.value)
+        elif isinstance(e, A.Conditional):
+            walk_expr(e.cond)
+            walk_expr(e.then)
+            walk_expr(e.otherwise)
+        elif isinstance(e, A.Index):
+            walk_expr(e.base)
+            walk_expr(e.index)
+        elif isinstance(e, A.FieldAccess):
+            walk_expr(e.base)
+        elif isinstance(e, A.Cast):
+            walk_expr(e.operand)
+        elif isinstance(e, A.CommaExpr):
+            for p in e.parts:
+                walk_expr(p)
+
+    def walk_stmt(s: A.Stmt | None) -> None:
+        if s is None:
+            return
+        if isinstance(s, A.Compound):
+            for child in s.body:
+                walk_stmt(child)
+        elif isinstance(s, A.ExprStmt):
+            walk_expr(s.expr)
+        elif isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                walk_expr(d.init)
+        elif isinstance(s, A.If):
+            walk_expr(s.cond)
+            walk_stmt(s.then)
+            walk_stmt(s.otherwise)
+        elif isinstance(s, (A.While, A.DoWhile)):
+            walk_expr(s.cond)
+            walk_stmt(s.body)
+        elif isinstance(s, A.For):
+            walk_stmt(s.init)
+            walk_expr(s.cond)
+            walk_expr(s.step)
+            walk_stmt(s.body)
+        elif isinstance(s, A.Switch):
+            walk_expr(s.scrutinee)
+            for case in s.cases:
+                for child in case.body:
+                    walk_stmt(child)
+        elif isinstance(s, A.Return):
+            walk_expr(s.value)
+        elif isinstance(s, A.Labeled):
+            walk_stmt(s.stmt)
+
+    for fn in unit.functions:
+        walk_stmt(fn.body)
+    for g in unit.globals:
+        walk_expr(g.init)
+    return taken
+
+
+def _direct_call_graph(unit: A.TranslationUnit) -> dict[str, set[str]]:
+    names = {f.name for f in unit.functions}
+    graph: dict[str, set[str]] = {f.name: set() for f in unit.functions}
+
+    def collect(e: A.Expr | None, out: set[str]) -> None:
+        if e is None:
+            return
+        if isinstance(e, A.Call) and isinstance(e.func, A.Ident):
+            if e.func.name in names:
+                out.add(e.func.name)
+        for attr in ("left", "right", "operand", "target", "value", "cond",
+                     "then", "otherwise", "base", "index", "func"):
+            child = getattr(e, attr, None)
+            if isinstance(child, A.Expr):
+                collect(child, out)
+        for attr in ("args", "parts"):
+            for child in getattr(e, attr, []) or []:
+                collect(child, out)
+
+    def walk(s: A.Stmt | None, out: set[str]) -> None:
+        if s is None:
+            return
+        for attr in ("expr", "cond", "step", "scrutinee", "value"):
+            child = getattr(s, attr, None)
+            if isinstance(child, A.Expr):
+                collect(child, out)
+        for attr in ("then", "otherwise", "body", "stmt", "init"):
+            child = getattr(s, attr, None)
+            if isinstance(child, A.Stmt):
+                walk(child, out)
+        if isinstance(s, A.Compound):
+            for child in s.body:
+                walk(child, out)
+        if isinstance(s, A.Switch):
+            for case in s.cases:
+                for child in case.body:
+                    walk(child, out)
+        if isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                collect(d.init, out)
+
+    for fn in unit.functions:
+        walk(fn.body, graph[fn.name])
+    return graph
+
+
+def _recursive_functions(call_graph: dict[str, set[str]]) -> set[str]:
+    cg = CallGraph()
+    for caller, callees in call_graph.items():
+        cg.callees[caller] = set(callees)
+        for callee in callees:
+            cg.callers.setdefault(callee, set()).add(caller)
+    return cg.recursive_procs()
+
+
+@dataclass
+class Inliner:
+    """Performs bounded inlining over a translation unit (in place on a
+    deep copy — the input unit is never mutated)."""
+
+    max_stmts: int = DEFAULT_MAX_STMTS
+    max_depth: int = DEFAULT_MAX_DEPTH
+    inlined_calls: int = 0
+    _counter: int = 0
+    _unit: A.TranslationUnit = field(default=None, repr=False)  # type: ignore
+
+    def run(self, unit: A.TranslationUnit) -> A.TranslationUnit:
+        unit = copy.deepcopy(unit)
+        self._unit = unit
+        for _round in range(self.max_depth):
+            taken = _function_addresses_taken(unit)
+            recursive = _recursive_functions(_direct_call_graph(unit))
+            candidates = {
+                f.name: f
+                for f in unit.functions
+                if f.name not in taken
+                and f.name not in recursive
+                and not f.variadic
+                and _count_stmts(f.body) <= self.max_stmts
+            }
+            if not candidates:
+                break
+            before = self.inlined_calls
+            for fn in unit.functions:
+                fn.body = self._inline_in_stmt(fn.body, candidates, fn.name)
+            if self.inlined_calls == before:
+                break
+        return unit
+
+    # -- statement rewriting -------------------------------------------------------
+
+    def _inline_in_stmt(self, stmt, candidates, current):
+        if isinstance(stmt, A.Compound):
+            new_body = []
+            for s in stmt.body:
+                new_body.extend(self._rewrite(s, candidates, current))
+            stmt.body = new_body
+            return stmt
+        rewritten = self._rewrite(stmt, candidates, current)
+        if len(rewritten) == 1:
+            return rewritten[0]
+        return A.Compound(rewritten, pos=stmt.pos)
+
+    def _rewrite(self, stmt, candidates, current) -> list[A.Stmt]:
+        """Rewrite one statement; returns replacement statements."""
+        prefix: list[A.Stmt] = []
+
+        def lift_calls(e: A.Expr | None) -> A.Expr | None:
+            """Replace inlinable calls inside ``e`` with result variables,
+            emitting the inlined bodies into ``prefix``."""
+            if e is None:
+                return None
+            if (
+                isinstance(e, A.Call)
+                and isinstance(e.func, A.Ident)
+                and e.func.name in candidates
+                and e.func.name != current
+            ):
+                args = [lift_calls(a) for a in e.args]
+                result = self._expand_call(
+                    candidates[e.func.name], args, prefix, e.pos
+                )
+                self.inlined_calls += 1
+                return result
+            for attr in ("left", "right", "operand", "target", "value",
+                         "cond", "then", "otherwise", "base", "index"):
+                child = getattr(e, attr, None)
+                if isinstance(child, A.Expr):
+                    setattr(e, attr, lift_calls(child))
+            if isinstance(e, A.Call):
+                e.args = [lift_calls(a) for a in e.args]
+            if isinstance(e, A.CommaExpr):
+                e.parts = [lift_calls(p) for p in e.parts]
+            return e
+
+        if isinstance(stmt, A.ExprStmt):
+            stmt.expr = lift_calls(stmt.expr)
+        elif isinstance(stmt, A.DeclStmt):
+            for d in stmt.decls:
+                d.init = lift_calls(d.init)
+        elif isinstance(stmt, A.Return):
+            stmt.value = lift_calls(stmt.value)
+        elif isinstance(stmt, A.If):
+            stmt.cond = lift_calls(stmt.cond)
+            stmt.then = self._inline_in_stmt(stmt.then, candidates, current)
+            if stmt.otherwise is not None:
+                stmt.otherwise = self._inline_in_stmt(
+                    stmt.otherwise, candidates, current
+                )
+        elif isinstance(stmt, A.While):
+            # Calls in loop conditions stay put (would change trip
+            # semantics if lifted once); bodies are fair game.
+            stmt.body = self._inline_in_stmt(stmt.body, candidates, current)
+        elif isinstance(stmt, A.DoWhile):
+            stmt.body = self._inline_in_stmt(stmt.body, candidates, current)
+        elif isinstance(stmt, A.For):
+            if stmt.init is not None:
+                init_rewritten = self._rewrite(stmt.init, candidates, current)
+                if len(init_rewritten) == 1:
+                    stmt.init = init_rewritten[0]
+                else:
+                    stmt.init = A.Compound(init_rewritten, pos=stmt.pos)
+            stmt.body = self._inline_in_stmt(stmt.body, candidates, current)
+        elif isinstance(stmt, A.Switch):
+            stmt.scrutinee = lift_calls(stmt.scrutinee)
+            for case in stmt.cases:
+                new_body: list[A.Stmt] = []
+                for s in case.body:
+                    new_body.extend(self._rewrite(s, candidates, current))
+                case.body = new_body
+        elif isinstance(stmt, A.Compound):
+            stmt = self._inline_in_stmt(stmt, candidates, current)
+        elif isinstance(stmt, A.Labeled):
+            stmt.stmt = self._inline_in_stmt(stmt.stmt, candidates, current)
+        return prefix + [stmt]
+
+    # -- call expansion ---------------------------------------------------------------
+
+    def _expand_call(
+        self,
+        callee: A.FuncDef,
+        args: list[A.Expr],
+        prefix: list[A.Stmt],
+        pos,
+    ) -> A.Expr:
+        self._counter += 1
+        tag = f"__inl{self._counter}_{callee.name}"
+        rename = {p.name: f"{tag}_{p.name}" for p in callee.params}
+        ret_var = f"{tag}_ret"
+        out_label = f"{tag}_out"
+
+        # parameter bindings
+        decls = []
+        for param, arg in zip(callee.params, args):
+            decls.append(
+                A.VarDecl(
+                    name=rename[param.name],
+                    ctype=param.ctype,
+                    init=arg,
+                    pos=pos,
+                )
+            )
+        prefix.append(A.DeclStmt(decls, pos=pos))
+        prefix.append(
+            A.DeclStmt(
+                [A.VarDecl(name=ret_var, ctype=callee.ret_type, init=A.IntLit(0, pos=pos), pos=pos)],
+                pos=pos,
+            )
+        )
+
+        body = copy.deepcopy(callee.body)
+        self._rename_and_redirect(body, rename, ret_var, out_label)
+        prefix.append(body)
+        prefix.append(A.Labeled(out_label, A.EmptyStmt(pos=pos), pos=pos))
+        return A.Ident(ret_var, pos=pos)
+
+    def _rename_and_redirect(self, stmt, rename, ret_var, out_label) -> None:
+        """In the body copy: rename parameters/locals, and turn returns
+        into ``ret_var = e; goto out``."""
+
+        def rn_expr(e):
+            if e is None:
+                return None
+            if isinstance(e, A.Ident):
+                if e.name in rename:
+                    e.name = rename[e.name]
+                return e
+            for attr in ("left", "right", "operand", "target", "value",
+                         "cond", "then", "otherwise", "base", "index",
+                         "func"):
+                child = getattr(e, attr, None)
+                if isinstance(child, A.Expr):
+                    setattr(e, attr, rn_expr(child))
+            for attr in ("args", "parts"):
+                children = getattr(e, attr, None)
+                if children:
+                    setattr(e, attr, [rn_expr(c) for c in children])
+            return e
+
+        def rn_stmt(s):
+            if isinstance(s, A.Compound):
+                new_body = []
+                for child in s.body:
+                    new_body.extend(as_list(child))
+                s.body = new_body
+                return s
+            return s
+
+        def as_list(s) -> list:
+            if isinstance(s, A.Return):
+                assigns: list[A.Stmt] = []
+                if s.value is not None:
+                    assigns.append(
+                        A.ExprStmt(
+                            A.Assign(
+                                "=",
+                                A.Ident(ret_var, pos=s.pos),
+                                rn_expr(s.value),
+                                pos=s.pos,
+                            ),
+                            pos=s.pos,
+                        )
+                    )
+                assigns.append(A.Goto(out_label, pos=s.pos))
+                return assigns
+            if isinstance(s, A.DeclStmt):
+                for d in s.decls:
+                    # locals of the copy get fresh names too
+                    fresh = f"{ret_var}_{d.name}"
+                    rename[d.name] = fresh
+                    d.name = fresh
+                    d.init = rn_expr(d.init)
+                return [s]
+            if isinstance(s, A.ExprStmt):
+                s.expr = rn_expr(s.expr)
+                return [s]
+            if isinstance(s, A.If):
+                s.cond = rn_expr(s.cond)
+                s.then = wrap(s.then)
+                if s.otherwise is not None:
+                    s.otherwise = wrap(s.otherwise)
+                return [s]
+            if isinstance(s, (A.While, A.DoWhile)):
+                s.cond = rn_expr(s.cond)
+                s.body = wrap(s.body)
+                return [s]
+            if isinstance(s, A.For):
+                if s.init is not None:
+                    s.init = wrap_one(s.init)
+                s.cond = rn_expr(s.cond)
+                s.step = rn_expr(s.step)
+                s.body = wrap(s.body)
+                return [s]
+            if isinstance(s, A.Switch):
+                s.scrutinee = rn_expr(s.scrutinee)
+                for case in s.cases:
+                    new_body = []
+                    for child in case.body:
+                        new_body.extend(as_list(child))
+                    case.body = new_body
+                return [s]
+            if isinstance(s, A.Compound):
+                new_body = []
+                for child in s.body:
+                    new_body.extend(as_list(child))
+                s.body = new_body
+                return [s]
+            if isinstance(s, A.Labeled):
+                s.stmt = wrap_one(s.stmt)
+                return [s]
+            return [s]
+
+        def wrap(s):
+            parts = as_list(s)
+            if len(parts) == 1:
+                return parts[0]
+            return A.Compound(parts, pos=s.pos)
+
+        def wrap_one(s):
+            return wrap(s)
+
+        if isinstance(stmt, A.Compound):
+            new_body = []
+            for child in stmt.body:
+                new_body.extend(as_list(child))
+            stmt.body = new_body
+
+
+def inline_unit(
+    unit: A.TranslationUnit,
+    max_stmts: int = DEFAULT_MAX_STMTS,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+) -> tuple[A.TranslationUnit, int]:
+    """Inline small non-recursive callees; returns (new unit, #calls
+    inlined). The input unit is not modified."""
+    inliner = Inliner(max_stmts=max_stmts, max_depth=max_depth)
+    new_unit = inliner.run(unit)
+    return new_unit, inliner.inlined_calls

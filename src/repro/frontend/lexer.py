@@ -1,0 +1,336 @@
+"""Hand-written lexer for the C subset.
+
+The lexer produces a flat list of :class:`Token` objects. It understands:
+
+* integer literals (decimal, hex, octal, with ``u``/``l`` suffixes),
+* character and string literals with the usual escapes,
+* all C operators and punctuation used by the grammar,
+* keywords of the supported subset,
+* ``//`` and ``/* */`` comments (skipped),
+* preprocessor lines (a leading ``#`` skips to end of line) — benchmark
+  sources are expected to be pre-expanded, mirroring the paper's setup where
+  programs are analyzed "after preprocessing and macro expansion".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.frontend.errors import LexError, Position
+
+
+class TokenKind(Enum):
+    """Classification of a lexed token."""
+
+    IDENT = auto()
+    NUMBER = auto()
+    CHAR = auto()
+    STRING = auto()
+    KEYWORD = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "long",
+        "short",
+        "unsigned",
+        "signed",
+        "float",
+        "double",
+        "void",
+        "struct",
+        "union",
+        "enum",
+        "typedef",
+        "static",
+        "extern",
+        "const",
+        "volatile",
+        "register",
+        "auto",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "switch",
+        "case",
+        "default",
+        "break",
+        "continue",
+        "return",
+        "goto",
+        "sizeof",
+    }
+)
+
+# Longest-match-first operator table.
+_PUNCTS_3 = ("<<=", ">>=", "...")
+_PUNCTS_2 = (
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "^=",
+    "|=",
+)
+_PUNCTS_1 = "+-*/%&|^~!<>=?:;,.(){}[]"
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the literal text for identifiers/punctuation and the
+    decoded value for numbers/characters/strings.
+    """
+
+    kind: TokenKind
+    text: str
+    pos: Position
+    value: object = None
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.pos})"
+
+
+class Lexer:
+    """Tokenizes a source string into a list of :class:`Token`."""
+
+    def __init__(self, source: str, filename: str = "<input>") -> None:
+        self._src = source
+        self._filename = filename
+        self._i = 0
+        self._line = 1
+        self._col = 1
+
+    # -- low-level cursor helpers ------------------------------------------
+
+    def _pos(self) -> Position:
+        return Position(self._line, self._col, self._filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        j = self._i + offset
+        return self._src[j] if j < len(self._src) else ""
+
+    def _advance(self, n: int = 1) -> str:
+        taken = self._src[self._i : self._i + n]
+        for ch in taken:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._i += n
+        return taken
+
+    def _at_end(self) -> bool:
+        return self._i >= len(self._src)
+
+    # -- token scanners -----------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole input and return tokens ending with an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self._at_end():
+                tokens.append(Token(TokenKind.EOF, "", self._pos()))
+                return tokens
+            tokens.append(self._next_token())
+
+    def _skip_trivia(self) -> None:
+        while not self._at_end():
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._pos()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._at_end():
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            elif ch == "#" and self._col == 1:
+                # Preprocessor line: skip, honouring line continuations.
+                while not self._at_end():
+                    if self._peek() == "\\" and self._peek(1) == "\n":
+                        self._advance(2)
+                    elif self._peek() == "\n":
+                        self._advance()
+                        break
+                    else:
+                        self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        pos = self._pos()
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._scan_number(pos)
+        if ch.isalpha() or ch == "_":
+            return self._scan_ident(pos)
+        if ch == "'":
+            return self._scan_char(pos)
+        if ch == '"':
+            return self._scan_string(pos)
+        return self._scan_punct(pos)
+
+    def _scan_number(self, pos: Position) -> Token:
+        start = self._i
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self._src[start : self._i]
+            value: object = int(text, 16)
+        else:
+            is_float = False
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1).isdigit():
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            text = self._src[start : self._i]
+            if is_float:
+                value = float(text)
+            elif len(text) > 1 and text[0] == "0":
+                value = int(text, 8)
+            else:
+                value = int(text)
+        # Integer suffixes are accepted and ignored. (Note: membership
+        # tests must exclude the empty string _peek returns at EOF.)
+        while self._peek() and self._peek() in "uUlL":
+            self._advance()
+        full = self._src[start : self._i]
+        return Token(TokenKind.NUMBER, full, pos, value)
+
+    def _scan_ident(self, pos: Position) -> Token:
+        start = self._i
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._src[start : self._i]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, pos, text)
+
+    def _scan_escape(self, pos: Position) -> str:
+        self._advance()  # backslash
+        ch = self._peek()
+        if ch == "x":
+            self._advance()
+            digits = ""
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                digits += self._advance()
+            if not digits:
+                raise LexError("invalid hex escape", pos)
+            return chr(int(digits, 16) & 0xFF)
+        if ch.isdigit():
+            digits = ""
+            while self._peek().isdigit() and len(digits) < 3:
+                digits += self._advance()
+            return chr(int(digits, 8) & 0xFF)
+        if ch in _ESCAPES:
+            self._advance()
+            return _ESCAPES[ch]
+        raise LexError(f"unknown escape sequence '\\{ch}'", pos)
+
+    def _scan_char(self, pos: Position) -> Token:
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            value = self._scan_escape(pos)
+        else:
+            if self._at_end() or self._peek() == "\n":
+                raise LexError("unterminated character literal", pos)
+            value = self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", pos)
+        self._advance()
+        return Token(TokenKind.CHAR, f"'{value}'", pos, ord(value))
+
+    def _scan_string(self, pos: Position) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._at_end() or self._peek() == "\n":
+                raise LexError("unterminated string literal", pos)
+            if self._peek() == '"':
+                self._advance()
+                break
+            if self._peek() == "\\":
+                chars.append(self._scan_escape(pos))
+            else:
+                chars.append(self._advance())
+        value = "".join(chars)
+        return Token(TokenKind.STRING, f'"{value}"', pos, value)
+
+    def _scan_punct(self, pos: Position) -> Token:
+        for table in (_PUNCTS_3, _PUNCTS_2):
+            for p in table:
+                if self._src.startswith(p, self._i):
+                    self._advance(len(p))
+                    return Token(TokenKind.PUNCT, p, pos)
+        ch = self._peek()
+        if ch in _PUNCTS_1:
+            self._advance()
+            return Token(TokenKind.PUNCT, ch, pos)
+        raise LexError(f"unexpected character {ch!r}", pos)
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

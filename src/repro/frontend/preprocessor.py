@@ -1,0 +1,245 @@
+"""A miniature C preprocessor.
+
+The analyzers expect preprocessed input (the paper measures programs
+"after preprocessing and macro expansion"), but real-world snippets carry
+their own small macro layer. This module handles the common subset so such
+code can be fed to :func:`repro.frontend.parse` directly:
+
+* object-like macros: ``#define N 64``;
+* function-like macros with simple textual substitution:
+  ``#define MIN(a, b) ((a) < (b) ? (a) : (b))``;
+* ``#undef``;
+* conditional sections: ``#if 0/1``, ``#ifdef``/``#ifndef``/``#else``/
+  ``#endif`` (conditions restricted to literals, ``defined(X)`` and
+  object-macro names expanding to literals);
+* ``#include`` lines are dropped (external headers are modelled by the
+  analyzer's unknown-function semantics).
+
+It is deliberately *not* a full CPP: no token pasting, stringizing,
+variadic macros, or arithmetic conditional expressions beyond a constant
+fold of ``&& || !`` over the forms above.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.frontend.errors import FrontendError, Position
+
+
+class PreprocessError(FrontendError):
+    """Malformed directive or unbalanced conditional."""
+
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_DEFINE_OBJ = re.compile(rf"#\s*define\s+({_IDENT})(?:\s+(.*))?$")
+_DEFINE_FUN = re.compile(rf"#\s*define\s+({_IDENT})\(([^)]*)\)\s*(.*)$")
+_UNDEF = re.compile(rf"#\s*undef\s+({_IDENT})\s*$")
+_IFDEF = re.compile(rf"#\s*ifdef\s+({_IDENT})\s*$")
+_IFNDEF = re.compile(rf"#\s*ifndef\s+({_IDENT})\s*$")
+_IF = re.compile(r"#\s*if\s+(.*)$")
+_ELSE = re.compile(r"#\s*else\b")
+_ELIF = re.compile(r"#\s*elif\s+(.*)$")
+_ENDIF = re.compile(r"#\s*endif\b")
+_INCLUDE = re.compile(r"#\s*include\b")
+_DEFINED = re.compile(rf"defined\s*\(\s*({_IDENT})\s*\)|defined\s+({_IDENT})")
+
+
+@dataclass
+class Macro:
+    name: str
+    body: str
+    params: list[str] | None = None  # None = object-like
+
+
+class Preprocessor:
+    """Expands the supported directive subset over a source string."""
+
+    def __init__(self, defines: dict[str, str] | None = None) -> None:
+        self.macros: dict[str, Macro] = {}
+        for name, body in (defines or {}).items():
+            self.macros[name] = Macro(name, body)
+
+    # -- directives ---------------------------------------------------------------
+
+    def process(self, source: str, filename: str = "<input>") -> str:
+        out: list[str] = []
+        # Stack of (taken_now, any_branch_taken) for nested conditionals.
+        cond_stack: list[tuple[bool, bool]] = []
+
+        def active() -> bool:
+            return all(taken for taken, _ in cond_stack)
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw
+            stripped = line.lstrip()
+            pos = Position(lineno, 1, filename)
+            if stripped.startswith("#"):
+                if m := _ENDIF.match(stripped):
+                    if not cond_stack:
+                        raise PreprocessError("#endif without #if", pos)
+                    cond_stack.pop()
+                elif m := _ELSE.match(stripped):
+                    if not cond_stack:
+                        raise PreprocessError("#else without #if", pos)
+                    taken, ever = cond_stack[-1]
+                    cond_stack[-1] = (not ever, True)
+                elif m := _ELIF.match(stripped):
+                    if not cond_stack:
+                        raise PreprocessError("#elif without #if", pos)
+                    taken, ever = cond_stack[-1]
+                    now = not ever and self._eval_condition(m.group(1), pos)
+                    cond_stack[-1] = (now, ever or now)
+                elif m := _IFDEF.match(stripped):
+                    taken = m.group(1) in self.macros
+                    cond_stack.append((taken and active(), taken))
+                elif m := _IFNDEF.match(stripped):
+                    taken = m.group(1) not in self.macros
+                    cond_stack.append((taken and active(), taken))
+                elif m := _IF.match(stripped):
+                    taken = self._eval_condition(m.group(1), pos)
+                    cond_stack.append((taken and active(), taken))
+                elif not active():
+                    pass  # other directives inside a dead branch
+                elif _INCLUDE.match(stripped):
+                    pass  # headers are modelled, not read
+                elif m := _DEFINE_FUN.match(stripped):
+                    name, params, body = m.groups()
+                    plist = [p.strip() for p in params.split(",")] if params.strip() else []
+                    self.macros[name] = Macro(name, body.strip(), plist)
+                elif m := _DEFINE_OBJ.match(stripped):
+                    name, body = m.group(1), (m.group(2) or "").strip()
+                    self.macros[name] = Macro(name, body)
+                elif m := _UNDEF.match(stripped):
+                    self.macros.pop(m.group(1), None)
+                else:
+                    raise PreprocessError(
+                        f"unsupported directive: {stripped.split()[0]}", pos
+                    )
+                out.append("")  # keep line numbers aligned
+                continue
+            if not active():
+                out.append("")
+                continue
+            out.append(self._expand(line, pos))
+        if cond_stack:
+            raise PreprocessError("unterminated conditional", Position(1, 1, filename))
+        return "\n".join(out) + "\n"
+
+    # -- expansion ------------------------------------------------------------------
+
+    def _eval_condition(self, text: str, pos: Position) -> bool:
+        """Constant-fold the restricted condition grammar."""
+        expr = _DEFINED.sub(
+            lambda m: "1" if (m.group(1) or m.group(2)) in self.macros else "0",
+            text,
+        )
+        expr = self._expand(expr, pos)
+        expr = expr.replace("&&", " and ").replace("||", " or ")
+        expr = re.sub(r"!(?!=)", " not ", expr)
+        # remaining identifiers are undefined macros: 0 per C semantics
+        expr = re.sub(_IDENT, lambda m: m.group(0) if m.group(0) in ("and", "or", "not") else "0", expr)
+        try:
+            return bool(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307
+        except Exception as exc:
+            raise PreprocessError(f"cannot evaluate condition {text!r}", pos) from exc
+
+    def _expand(self, line: str, pos: Position, depth: int = 0) -> str:
+        if depth > 16:
+            raise PreprocessError("macro expansion too deep (recursive?)", pos)
+        changed = False
+
+        def expand_obj(m: re.Match) -> str:
+            nonlocal changed
+            name = m.group(0)
+            macro = self.macros.get(name)
+            if macro is None or macro.params is not None:
+                return name
+            changed = True
+            return macro.body
+
+        result = []
+        i = 0
+        while i < len(line):
+            m = re.match(_IDENT, line[i:])
+            if not m:
+                result.append(line[i])
+                i += 1
+                continue
+            name = m.group(0)
+            macro = self.macros.get(name)
+            after = i + len(name)
+            if macro is None:
+                result.append(name)
+                i = after
+                continue
+            if macro.params is None:
+                result.append(macro.body)
+                changed = True
+                i = after
+                continue
+            # function-like: need an argument list
+            j = after
+            while j < len(line) and line[j] in " \t":
+                j += 1
+            if j >= len(line) or line[j] != "(":
+                result.append(name)
+                i = after
+                continue
+            args, end = self._parse_args(line, j, pos)
+            if len(args) != len(macro.params) and not (
+                len(macro.params) == 0 and args == [""]
+            ):
+                raise PreprocessError(
+                    f"macro {name} expects {len(macro.params)} args, "
+                    f"got {len(args)}",
+                    pos,
+                )
+            body = macro.body
+            for param, arg in zip(macro.params, args):
+                body = re.sub(
+                    rf"\b{re.escape(param)}\b", arg.strip(), body
+                )
+            result.append(body)
+            changed = True
+            i = end
+        text = "".join(result)
+        if changed:
+            return self._expand(text, pos, depth + 1)
+        return text
+
+    @staticmethod
+    def _parse_args(line: str, open_paren: int, pos: Position) -> tuple[list[str], int]:
+        depth = 0
+        args: list[str] = []
+        current: list[str] = []
+        i = open_paren
+        while i < len(line):
+            ch = line[i]
+            if ch == "(":
+                depth += 1
+                if depth > 1:
+                    current.append(ch)
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    args.append("".join(current))
+                    return args, i + 1
+                current.append(ch)
+            elif ch == "," and depth == 1:
+                args.append("".join(current))
+                current = []
+            else:
+                current.append(ch)
+            i += 1
+        raise PreprocessError("unterminated macro argument list", pos)
+
+
+def preprocess(
+    source: str,
+    filename: str = "<input>",
+    defines: dict[str, str] | None = None,
+) -> str:
+    """Preprocess ``source`` with optional predefined macros."""
+    return Preprocessor(defines).process(source, filename)

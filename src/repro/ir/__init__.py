@@ -1,0 +1,16 @@
+"""Intermediate representation: commands, CFGs, whole-program IR."""
+
+from repro.ir.callgraph import CallGraph, build_callgraph
+from repro.ir.cfg import Node, NodeFactory, ProcCFG
+from repro.ir.program import Program, ProgramBuilder, build_program
+
+__all__ = [
+    "CallGraph",
+    "build_callgraph",
+    "Node",
+    "NodeFactory",
+    "ProcCFG",
+    "Program",
+    "ProgramBuilder",
+    "build_program",
+]

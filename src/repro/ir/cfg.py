@@ -1,0 +1,183 @@
+"""Control-flow graphs.
+
+A :class:`Node` is one *control point* in the paper's sense: it carries a
+single command. :class:`ProcCFG` is the intraprocedural graph of one
+procedure; :class:`repro.ir.program.Program` stitches procedure CFGs together
+with interprocedural call/return edges into the global analysis graph.
+
+Node ids are globally unique integers assigned by the shared
+:class:`NodeFactory`, so a whole program is the tuple ⟨C, ↪⟩ of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.commands import Command, CSkip
+
+
+@dataclass
+class Node:
+    """One control point: a globally-unique id, its procedure, a command."""
+
+    nid: int
+    proc: str
+    cmd: Command
+    line: int = 0
+
+    def __hash__(self) -> int:
+        return self.nid
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.nid == self.nid
+
+    def __repr__(self) -> str:
+        return f"<{self.nid}:{self.proc}: {self.cmd}>"
+
+
+class NodeFactory:
+    """Allocates nodes with program-wide unique ids."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self.nodes: dict[int, Node] = {}
+
+    def make(self, proc: str, cmd: Command, line: int = 0) -> Node:
+        node = Node(self._next, proc, cmd, line)
+        self._next += 1
+        self.nodes[node.nid] = node
+        return node
+
+
+class ProcCFG:
+    """The intraprocedural CFG of one procedure.
+
+    ``entry`` and ``exit`` are dedicated marker nodes; every return statement
+    is wired to ``exit``. Edges are stored both ways for O(1) preds/succs.
+    """
+
+    def __init__(self, name: str, factory: NodeFactory) -> None:
+        self.name = name
+        self._factory = factory
+        self.nodes: list[Node] = []
+        self.succs: dict[int, list[int]] = {}
+        self.preds: dict[int, list[int]] = {}
+        self.entry: Node | None = None
+        self.exit: Node | None = None
+
+    def add_node(self, cmd: Command, line: int = 0) -> Node:
+        node = self._factory.make(self.name, cmd, line)
+        self.nodes.append(node)
+        self.succs[node.nid] = []
+        self.preds[node.nid] = []
+        return node
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        if dst.nid not in self.succs[src.nid]:
+            self.succs[src.nid].append(dst.nid)
+            self.preds[dst.nid].append(src.nid)
+
+    def node(self, nid: int) -> Node:
+        return self._factory.nodes[nid]
+
+    def successors(self, node: Node) -> list[Node]:
+        return [self.node(n) for n in self.succs[node.nid]]
+
+    def predecessors(self, node: Node) -> list[Node]:
+        return [self.node(n) for n in self.preds[node.nid]]
+
+    def remove_unreachable(self) -> int:
+        """Drop nodes unreachable from entry (dead branches after lowering).
+        Returns the number of removed nodes."""
+        assert self.entry is not None
+        seen: set[int] = set()
+        stack = [self.entry.nid]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            stack.extend(s for s in self.succs[nid] if s not in seen)
+        if self.exit is not None:
+            seen.add(self.exit.nid)
+        dead = [n for n in self.nodes if n.nid not in seen]
+        for n in dead:
+            for s in self.succs.pop(n.nid, ()):
+                if s in self.preds:
+                    self.preds[s] = [p for p in self.preds[s] if p != n.nid]
+            for p in self.preds.pop(n.nid, ()):
+                if p in self.succs:
+                    self.succs[p] = [s for s in self.succs[p] if s != n.nid]
+        self.nodes = [n for n in self.nodes if n.nid in seen]
+        return len(dead)
+
+    def compress_skips(self) -> int:
+        """Splice out interior ``skip`` nodes with a single successor.
+
+        Entry/exit markers and branch targets are kept so the graph shape
+        stays faithful; this mirrors basic-block formation in the paper's
+        intermediate representation. Returns the number of removed nodes.
+        """
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for n in list(self.nodes):
+                if n is self.entry or n is self.exit:
+                    continue
+                if not isinstance(n.cmd, CSkip):
+                    continue
+                succs = self.succs.get(n.nid)
+                preds = self.preds.get(n.nid)
+                if succs is None or preds is None or len(succs) != 1:
+                    continue
+                if not preds:
+                    continue
+                (succ,) = succs
+                if succ == n.nid:
+                    continue
+                for p in preds:
+                    self.succs[p] = [
+                        succ if s == n.nid else s for s in self.succs[p]
+                    ]
+                    # dedupe
+                    seen: list[int] = []
+                    for s in self.succs[p]:
+                        if s not in seen:
+                            seen.append(s)
+                    self.succs[p] = seen
+                new_preds = [p for p in self.preds[succ] if p != n.nid]
+                for p in preds:
+                    if p not in new_preds:
+                        new_preds.append(p)
+                self.preds[succ] = new_preds
+                del self.succs[n.nid]
+                del self.preds[n.nid]
+                self.nodes.remove(n)
+                removed += 1
+                changed = True
+        return removed
+
+    def to_dot(self) -> str:
+        """Graphviz rendering for debugging."""
+        lines = [f'digraph "{self.name}" {{']
+        for n in self.nodes:
+            label = str(n.cmd).replace('"', "'")
+            lines.append(f'  n{n.nid} [label="{n.nid}: {label}"];')
+        for src, dsts in self.succs.items():
+            for dst in dsts:
+                lines.append(f"  n{src} -> n{dst};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<ProcCFG {self.name}: {len(self.nodes)} nodes>"
+
+
+@dataclass
+class Edge:
+    """A labelled interprocedural edge."""
+
+    src: int
+    dst: int
+    kind: str = "flow"  # flow | call | ret

@@ -1,0 +1,320 @@
+"""IR commands and expressions.
+
+The lowering (``repro.ir.lowering``) flattens the C AST into a small command
+language close to the paper's::
+
+    cmd ::= x := e  |  *x := e  |  assume(e)  |  x := alloc(e)
+          | call  |  return  |  entry  |  exit  |  skip
+
+Each CFG node carries exactly one command. Expressions are *pure*: calls and
+side effects are extracted into separate commands with compiler temporaries
+during lowering, so abstract transfer functions never need to order effects
+inside an expression.
+
+Lvalues describe where a command writes:
+
+* :class:`VarLv` — a named variable,
+* :class:`FieldLv` — a struct field of a variable (``x.f``),
+* :class:`DerefLv` — the targets of a pointer expression, optionally
+  followed by a field (``*p``, ``p->f``),
+* :class:`IndexLv` — an array element (``a[i]``), analyzed with array-block
+  smashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Pure expressions
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for pure IR expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ENum(Expr):
+    """Integer constant."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ELval(Expr):
+    """Read of an lvalue."""
+
+    lval: "Lval"
+
+    def __str__(self) -> str:
+        return str(self.lval)
+
+
+@dataclass(frozen=True)
+class EAddrOf(Expr):
+    """``&lv`` — the address of an lvalue."""
+
+    lval: "Lval"
+
+    def __str__(self) -> str:
+        return f"&{self.lval}"
+
+
+@dataclass(frozen=True)
+class EBinOp(Expr):
+    """Pure binary operator (C spelling)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class EUnOp(Expr):
+    """Pure unary operator: ``-``, ``+``, ``!``, ``~``."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class EUnknown(Expr):
+    """An expression the analysis models as completely unknown (top)."""
+
+    reason: str = ""
+
+    def __str__(self) -> str:
+        return f"unknown({self.reason})"
+
+
+@dataclass(frozen=True)
+class EStrAddr(Expr):
+    """Address of a statically allocated string literal; ``site`` names the
+    literal's allocation site, ``length`` its buffer size (len + NUL)."""
+
+    site: str
+    length: int
+
+    def __str__(self) -> str:
+        return f"&str<{self.site}>[{self.length}]"
+
+
+# --------------------------------------------------------------------------
+# Lvalues
+# --------------------------------------------------------------------------
+
+
+class Lval:
+    """Base class for IR lvalues."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VarLv(Lval):
+    """A named variable. ``proc`` is the owning procedure or None for
+    globals; lowering resolves scoping so names are unambiguous."""
+
+    name: str
+    proc: str | None = None
+
+    def __str__(self) -> str:
+        return self.name if self.proc is None else f"{self.proc}::{self.name}"
+
+
+@dataclass(frozen=True)
+class FieldLv(Lval):
+    """``base.field`` where base is a variable lvalue (structs are
+    flattened: nested fields become dotted paths during lowering)."""
+
+    base: Lval
+    fieldname: str
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.fieldname}"
+
+
+@dataclass(frozen=True)
+class DerefLv(Lval):
+    """``*(e)`` or ``e->field``: writes go to every abstract location the
+    pointer expression may denote."""
+
+    ptr: Expr
+    fieldname: str | None = None
+
+    def __str__(self) -> str:
+        if self.fieldname is None:
+            return f"*({self.ptr})"
+        return f"({self.ptr})->{self.fieldname}"
+
+
+@dataclass(frozen=True)
+class IndexLv(Lval):
+    """``base[index]`` — an element of an array block."""
+
+    base: Expr
+    index: Expr
+
+    def __str__(self) -> str:
+        return f"({self.base})[{self.index}]"
+
+
+# --------------------------------------------------------------------------
+# Commands
+# --------------------------------------------------------------------------
+
+
+class Command:
+    """Base class for IR commands. One command per CFG node."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class CSkip(Command):
+    """No-op (join points, lowered-away constructs)."""
+
+    note: str = ""
+
+    def __str__(self) -> str:
+        return f"skip {self.note}".rstrip()
+
+
+@dataclass(frozen=True)
+class CSet(Command):
+    """``lval := expr``."""
+
+    lval: Lval
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.lval} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class CAlloc(Command):
+    """``lval := alloc_site(size)`` — array/heap allocation. ``site`` is the
+    allocation-site identifier (the heap abstraction of Section 6.1)."""
+
+    lval: Lval
+    size: Expr
+    site: str
+
+    def __str__(self) -> str:
+        return f"{self.lval} := alloc<{self.site}>({self.size})"
+
+
+@dataclass(frozen=True)
+class CAssume(Command):
+    """``assume(e)`` / ``assume(!e)`` — branch condition refinement."""
+
+    cond: Expr
+    positive: bool = True
+
+    def __str__(self) -> str:
+        neg = "" if self.positive else "!"
+        return f"assume({neg}{self.cond})"
+
+
+@dataclass(frozen=True)
+class CCall(Command):
+    """A function call. ``callee`` is the called expression (a function name
+    lvalue or a function pointer); argument binding to formals is part of
+    this command's semantics. The returned value is bound at the matching
+    :class:`CRetBind` node."""
+
+    callee: Expr
+    args: tuple[Expr, ...]
+    static_callee: str | None = None  # direct-call fast path
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"call {self.static_callee or self.callee}({args})"
+
+
+@dataclass(frozen=True)
+class CRetBind(Command):
+    """Return-site node paired with a :class:`CCall`: binds the callee's
+    return value into ``lval`` (or discards it)."""
+
+    lval: Lval | None
+    call_node: int  # node id of the paired CCall
+
+    def __str__(self) -> str:
+        if self.lval is None:
+            return f"retbind _ <- call@{self.call_node}"
+        return f"retbind {self.lval} <- call@{self.call_node}"
+
+
+@dataclass(frozen=True)
+class CReturn(Command):
+    """``return e`` — writes the procedure's return location."""
+
+    value: Expr | None = None
+
+    def __str__(self) -> str:
+        return "return" if self.value is None else f"return {self.value}"
+
+
+@dataclass(frozen=True)
+class CEntry(Command):
+    """Procedure entry marker."""
+
+    proc: str
+
+    def __str__(self) -> str:
+        return f"entry {self.proc}"
+
+
+@dataclass(frozen=True)
+class CExit(Command):
+    """Procedure exit marker (all returns flow here)."""
+
+    proc: str
+
+    def __str__(self) -> str:
+        return f"exit {self.proc}"
+
+
+def expr_vars(e: Expr) -> set[Lval]:
+    """All lvalues syntactically read by pure expression ``e`` (shallow:
+    the lvalues themselves, not the locations they may denote)."""
+    out: set[Lval] = set()
+    _collect_expr(e, out)
+    return out
+
+
+def _collect_expr(e: Expr, out: set[Lval]) -> None:
+    if isinstance(e, ELval):
+        out.add(e.lval)
+        _collect_lval(e.lval, out)
+    elif isinstance(e, EAddrOf):
+        _collect_lval(e.lval, out)
+    elif isinstance(e, EBinOp):
+        _collect_expr(e.left, out)
+        _collect_expr(e.right, out)
+    elif isinstance(e, EUnOp):
+        _collect_expr(e.operand, out)
+
+
+def _collect_lval(lv: Lval, out: set[Lval]) -> None:
+    if isinstance(lv, DerefLv):
+        _collect_expr(lv.ptr, out)
+    elif isinstance(lv, IndexLv):
+        _collect_expr(lv.base, out)
+        _collect_expr(lv.index, out)
+    elif isinstance(lv, FieldLv):
+        _collect_lval(lv.base, out)

@@ -1,0 +1,816 @@
+"""AST → IR lowering.
+
+Turns a parsed :class:`TranslationUnit` into per-procedure CFGs over the IR
+command language. The main jobs:
+
+* flatten side effects — calls, ``++``/``--``, assignments-in-expressions,
+  ``?:`` and short-circuit operators become explicit command sequences with
+  compiler temporaries, leaving only *pure* expressions in commands;
+* lower control flow (``if``/``while``/``for``/``do``/``switch``/``goto``)
+  into assume-guarded CFG edges;
+* desugar struct assignment into per-field copies (field-sensitivity);
+* allocate array blocks for local/global array declarations and ``malloc``
+  calls (allocation-site heap abstraction);
+* resolve variable scoping: locals are qualified by procedure, block-scoped
+  shadowing gets unique renamed slots.
+
+Global initializers are collected into a synthetic ``__init`` procedure that
+calls ``main``, so the whole program is a single rooted graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend import cast as A
+from repro.frontend.ctypes import (
+    ArrayType,
+    CType,
+    FuncType,
+    IntType,
+    PointerType,
+    StructLayout,
+    StructType,
+)
+from repro.frontend.errors import LoweringError
+from repro.ir.cfg import Node, NodeFactory, ProcCFG
+from repro.ir.commands import (
+    CAlloc,
+    CAssume,
+    CCall,
+    CEntry,
+    CExit,
+    CRetBind,
+    CReturn,
+    CSet,
+    CSkip,
+    DerefLv,
+    EAddrOf,
+    EBinOp,
+    ELval,
+    ENum,
+    EStrAddr,
+    EUnOp,
+    EUnknown,
+    Expr,
+    FieldLv,
+    IndexLv,
+    Lval,
+    VarLv,
+)
+
+#: Calls treated as heap allocation, mapping to the allocated element count
+#: argument index (None means "unknown size").
+ALLOC_FUNCTIONS = {"malloc": 0, "calloc": 0, "realloc": 1, "alloca": 0}
+
+#: Calls that are modelled as no-ops.
+NOOP_FUNCTIONS = {"free", "assert", "srand", "exit", "abort", "printf", "puts"}
+
+_COMPARISONS = frozenset({"<", ">", "<=", ">=", "==", "!="})
+
+
+@dataclass
+class ProcInfo:
+    """Per-procedure lowering results needed by later phases."""
+
+    name: str
+    params: list[str] = field(default_factory=list)
+    locals: list[str] = field(default_factory=list)
+    ret_type: CType = IntType()
+    var_types: dict[str, CType] = field(default_factory=dict)
+    variadic: bool = False
+
+
+class Scope:
+    """A lexical scope mapping source names to (slot name, type)."""
+
+    def __init__(self, parent: "Scope | None" = None) -> None:
+        self.parent = parent
+        self.bindings: dict[str, tuple[str, CType]] = {}
+
+    def lookup(self, name: str) -> tuple[str, CType] | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+    def lookup_with_scope(self, name: str) -> tuple[str, CType, "Scope"] | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                slot, ctype = scope.bindings[name]
+                return slot, ctype, scope
+            scope = scope.parent
+        return None
+
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def bind(self, name: str, slot: str, ctype: CType) -> None:
+        self.bindings[name] = (slot, ctype)
+
+
+class _LoopCtx:
+    """Targets for break/continue inside the innermost loop/switch."""
+
+    def __init__(self, break_to: list[Node], continue_to: list[Node] | None) -> None:
+        self.break_frontier = break_to
+        self.continue_frontier = continue_to
+
+
+class FunctionLowerer:
+    """Lowers one function body into a :class:`ProcCFG`."""
+
+    def __init__(
+        self,
+        unit: A.TranslationUnit,
+        proc: str,
+        factory: NodeFactory,
+        global_scope: Scope,
+        structs: dict[str, StructLayout],
+        func_names: set[str],
+    ) -> None:
+        self.unit = unit
+        self.proc = proc
+        self.cfg = ProcCFG(proc, factory)
+        self.scope = Scope(global_scope)
+        self.structs = structs
+        self.func_names = func_names
+        self.info = ProcInfo(proc)
+        self._temp_counter = 0
+        self._site_counter = 0
+        self._frontier: list[Node] = []
+        self._loop_stack: list[_LoopCtx] = []
+        self._labels: dict[str, Node] = {}
+        self._pending_gotos: list[tuple[Node, str, int]] = []
+        self._returns: list[Node] = []
+        self.string_literals: dict[str, str] = {}
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _fresh_temp(self, hint: str = "t") -> VarLv:
+        self._temp_counter += 1
+        name = f"__{hint}{self._temp_counter}"
+        self.info.locals.append(name)
+        self.info.var_types[name] = IntType()
+        return VarLv(name, self.proc)
+
+    def _fresh_site(self, kind: str, line: int) -> str:
+        self._site_counter += 1
+        return f"{self.proc}:{kind}:{line}:{self._site_counter}"
+
+    def _emit(self, cmd, line: int = 0) -> Node:
+        """Append a node after the current frontier and make it the frontier."""
+        node = self.cfg.add_node(cmd, line)
+        for f in self._frontier:
+            self.cfg.add_edge(f, node)
+        self._frontier = [node]
+        return node
+
+    # -- entry point -----------------------------------------------------------
+
+    def lower(self, fn: A.FuncDef) -> tuple[ProcCFG, ProcInfo]:
+        self.info.ret_type = fn.ret_type
+        self.info.variadic = fn.variadic
+        entry = self.cfg.add_node(CEntry(self.proc), fn.pos.line)
+        self.cfg.entry = entry
+        self._frontier = [entry]
+        for p in fn.params:
+            slot = p.name or self._fresh_temp("arg").name
+            ptype = p.ctype
+            if isinstance(ptype, ArrayType):
+                ptype = PointerType(ptype.element)
+            self.scope.bind(p.name, slot, ptype)
+            self.info.params.append(slot)
+            self.info.var_types[slot] = ptype
+        self._lower_stmt(fn.body)
+        exit_node = self.cfg.add_node(CExit(self.proc), fn.pos.line)
+        for f in self._frontier + self._returns:
+            self.cfg.add_edge(f, exit_node)
+        self.cfg.exit = exit_node
+        self._patch_gotos()
+        self.cfg.remove_unreachable()
+        return self.cfg, self.info
+
+    def _patch_gotos(self) -> None:
+        for node, label, line in self._pending_gotos:
+            target = self._labels.get(label)
+            if target is None:
+                raise LoweringError(
+                    f"goto to undefined label {label!r} in {self.proc}"
+                )
+            self.cfg.add_edge(node, target)
+
+    # -- statements --------------------------------------------------------------
+
+    def _lower_stmt(self, stmt: A.Stmt) -> None:
+        line = stmt.pos.line
+        if isinstance(stmt, A.Compound):
+            saved = self.scope
+            self.scope = Scope(saved)
+            for s in stmt.body:
+                self._lower_stmt(s)
+            self.scope = saved
+        elif isinstance(stmt, A.ExprStmt):
+            self._lower_expr_effects(stmt.expr, line)
+        elif isinstance(stmt, A.DeclStmt):
+            for decl in stmt.decls:
+                self._lower_local_decl(decl)
+        elif isinstance(stmt, A.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, A.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, A.DoWhile):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, A.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, A.Switch):
+            self._lower_switch(stmt)
+        elif isinstance(stmt, A.Break):
+            if not self._loop_stack:
+                raise LoweringError("break outside loop/switch")
+            node = self._emit(CSkip("break"), line)
+            self._loop_stack[-1].break_frontier.append(node)
+            self._frontier = []
+        elif isinstance(stmt, A.Continue):
+            ctx = next(
+                (
+                    c
+                    for c in reversed(self._loop_stack)
+                    if c.continue_frontier is not None
+                ),
+                None,
+            )
+            if ctx is None:
+                raise LoweringError("continue outside loop")
+            node = self._emit(CSkip("continue"), line)
+            assert ctx.continue_frontier is not None
+            ctx.continue_frontier.append(node)
+            self._frontier = []
+        elif isinstance(stmt, A.Return):
+            value = None
+            if stmt.value is not None:
+                value = self._lower_expr(stmt.value, line)
+            self._emit(CReturn(value), line)
+            # Return nodes flow to the procedure exit, wired up in `lower`.
+            self._returns.extend(self._frontier)
+            self._frontier = []
+        elif isinstance(stmt, A.Goto):
+            node = self._emit(CSkip(f"goto {stmt.label}"), line)
+            self._pending_gotos.append((node, stmt.label, line))
+            self._frontier = []
+        elif isinstance(stmt, A.Labeled):
+            node = self.cfg.add_node(CSkip(f"label {stmt.label}"), line)
+            for f in self._frontier:
+                self.cfg.add_edge(f, node)
+            self._frontier = [node]
+            self._labels[stmt.label] = node
+            self._lower_stmt(stmt.stmt)
+        elif isinstance(stmt, A.EmptyStmt):
+            pass
+        else:  # pragma: no cover - exhaustive over the AST
+            raise LoweringError(f"unsupported statement {type(stmt).__name__}")
+
+    def _lower_local_decl(self, decl: A.VarDecl) -> None:
+        line = decl.pos.line
+        base_name = decl.name
+        slot = base_name
+        if self.scope.lookup(base_name) is not None or slot in self.info.var_types:
+            # shadowing: give the inner binding a unique slot
+            n = 2
+            while f"{base_name}${n}" in self.info.var_types:
+                n += 1
+            slot = f"{base_name}${n}"
+        ctype = decl.ctype
+        self.scope.bind(base_name, slot, ctype)
+        self.info.locals.append(slot)
+        self.info.var_types[slot] = ctype
+        lv = VarLv(slot, self.proc)
+        if isinstance(ctype, ArrayType):
+            size = _array_total_length(ctype)
+            site = self._fresh_site("arr", line)
+            size_expr: Expr = ENum(size) if size is not None else EUnknown("vla")
+            self._emit(CAlloc(lv, size_expr, site), line)
+            if isinstance(_array_element(ctype), StructType):
+                pass  # struct elements: fields of the block's summary location
+            if decl.init is not None:
+                self._lower_array_init(lv, ctype, decl.init, line)
+            return
+        if decl.init is not None:
+            if isinstance(ctype, StructType) and isinstance(decl.init, A.CommaExpr):
+                self._lower_struct_init(lv, ctype, decl.init, line)
+            else:
+                rhs = self._lower_expr(decl.init, line)
+                self._assign(lv, ctype, rhs, self._expr_ctype(decl.init), line)
+
+    def _lower_array_init(
+        self, lv: VarLv, ctype: ArrayType, init: A.Expr, line: int
+    ) -> None:
+        """Initializer lists for arrays: all elements join into the summary
+        element (array smashing), so each initializer is one weak store."""
+        parts = init.parts if isinstance(init, A.CommaExpr) else [init]
+        for part in parts:
+            if isinstance(part, A.CommaExpr):  # nested braces
+                self._lower_array_init(lv, ctype, part, line)
+            else:
+                value = self._lower_expr(part, line)
+                self._emit(
+                    CSet(IndexLv(ELval(lv), EUnknown("init")), value), line
+                )
+
+    def _lower_struct_init(
+        self, lv: Lval, ctype: StructType, init: A.CommaExpr, line: int
+    ) -> None:
+        layout = self.structs.get(ctype.tag)
+        if layout is None:
+            return
+        for (fname, ftype), part in zip(layout.fields, init.parts):
+            target = FieldLv(lv, fname)
+            if isinstance(ftype, StructType) and isinstance(part, A.CommaExpr):
+                self._lower_struct_init(target, ftype, part, line)
+            else:
+                value = self._lower_expr(part, line)
+                self._emit(CSet(target, value), line)
+
+    # -- control flow ------------------------------------------------------------
+
+    def _lower_if(self, stmt: A.If) -> None:
+        line = stmt.pos.line
+        true_front, false_front = self._lower_cond(stmt.cond, line)
+        self._frontier = true_front
+        self._lower_stmt(stmt.then)
+        after_then = self._frontier
+        if stmt.otherwise is not None:
+            self._frontier = false_front
+            self._lower_stmt(stmt.otherwise)
+            self._frontier = after_then + self._frontier
+        else:
+            self._frontier = after_then + false_front
+
+    def _lower_while(self, stmt: A.While) -> None:
+        line = stmt.pos.line
+        head = self._emit(CSkip("loop-head"), line)
+        true_front, false_front = self._lower_cond(stmt.cond, line)
+        breaks: list[Node] = []
+        continues: list[Node] = []
+        self._loop_stack.append(_LoopCtx(breaks, continues))
+        self._frontier = true_front
+        self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        for f in self._frontier + continues:
+            self.cfg.add_edge(f, head)
+        self._frontier = false_front + breaks
+
+    def _lower_do_while(self, stmt: A.DoWhile) -> None:
+        line = stmt.pos.line
+        head = self._emit(CSkip("loop-head"), line)
+        breaks: list[Node] = []
+        continues: list[Node] = []
+        self._loop_stack.append(_LoopCtx(breaks, continues))
+        self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        self._frontier = self._frontier + continues
+        true_front, false_front = self._lower_cond(stmt.cond, line)
+        for f in true_front:
+            self.cfg.add_edge(f, head)
+        self._frontier = false_front + breaks
+
+    def _lower_for(self, stmt: A.For) -> None:
+        line = stmt.pos.line
+        saved = self.scope
+        self.scope = Scope(saved)
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        head = self._emit(CSkip("loop-head"), line)
+        if stmt.cond is not None:
+            true_front, false_front = self._lower_cond(stmt.cond, line)
+        else:
+            true_front, false_front = [head], []
+        breaks: list[Node] = []
+        continues: list[Node] = []
+        self._loop_stack.append(_LoopCtx(breaks, continues))
+        self._frontier = true_front
+        self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        self._frontier = self._frontier + continues
+        if stmt.step is not None:
+            self._lower_expr_effects(stmt.step, line)
+        for f in self._frontier:
+            self.cfg.add_edge(f, head)
+        self.scope = saved
+        self._frontier = false_front + breaks
+
+    def _lower_switch(self, stmt: A.Switch) -> None:
+        line = stmt.pos.line
+        scrutinee = self._lower_expr(stmt.scrutinee, line)
+        dispatch = self._emit(CSkip("switch"), line)
+        breaks: list[Node] = []
+        self._loop_stack.append(_LoopCtx(breaks, None))
+        fallthrough: list[Node] = []
+        default_guard: Node | None = None
+        has_default = False
+        seen_values: list[A.Expr] = []
+        for case in stmt.cases:
+            if case.value is not None:
+                value = self._lower_pure(case.value)
+                guard = self.cfg.add_node(
+                    CAssume(EBinOp("==", scrutinee, value)), case.pos.line
+                )
+                self.cfg.add_edge(dispatch, guard)
+                seen_values.append(case.value)
+            else:
+                has_default = True
+                guard = self.cfg.add_node(CSkip("default"), case.pos.line)
+                self.cfg.add_edge(dispatch, guard)
+                default_guard = guard
+            self._frontier = fallthrough + [guard]
+            for s in case.body:
+                self._lower_stmt(s)
+            fallthrough = self._frontier
+        self._loop_stack.pop()
+        tails = fallthrough + breaks
+        if not has_default:
+            # No default: control may skip the switch entirely.
+            tails.append(dispatch)
+        self._frontier = tails
+
+    def _lower_cond(self, expr: A.Expr, line: int) -> tuple[list[Node], list[Node]]:
+        """Lower a branch condition into assume-guarded subgraphs.
+
+        Returns (true_frontier, false_frontier). Short-circuit operators are
+        expanded structurally so each leaf becomes an ``assume``/``assume !``
+        pair, and leaf side effects run only when their operand is reached.
+        """
+        if isinstance(expr, A.UnOp) and expr.op == "!":
+            t, f = self._lower_cond(expr.operand, line)
+            return f, t
+        if isinstance(expr, A.BinOp) and expr.op == "&&":
+            lt, lf = self._lower_cond(expr.left, line)
+            self._frontier = lt
+            rt, rf = self._lower_cond(expr.right, line)
+            return rt, lf + rf
+        if isinstance(expr, A.BinOp) and expr.op == "||":
+            lt, lf = self._lower_cond(expr.left, line)
+            self._frontier = lf
+            rt, rf = self._lower_cond(expr.right, line)
+            return lt + rt, rf
+        cond = self._lower_expr(expr, line)
+        pred = self._frontier
+        t_node = self.cfg.add_node(CAssume(cond, positive=True), line)
+        f_node = self.cfg.add_node(CAssume(cond, positive=False), line)
+        for p in pred:
+            self.cfg.add_edge(p, t_node)
+            self.cfg.add_edge(p, f_node)
+        return [t_node], [f_node]
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _lower_expr_effects(self, expr: A.Expr, line: int) -> None:
+        """Lower an expression evaluated for effect only."""
+        if isinstance(expr, A.CommaExpr):
+            for part in expr.parts:
+                self._lower_expr_effects(part, line)
+            return
+        if isinstance(expr, A.Assign):
+            self._lower_assign(expr, line)
+            return
+        if isinstance(expr, A.IncDec):
+            lv, lv_type = self._lower_lvalue(expr.operand, line)
+            delta = ENum(1) if expr.op == "++" else ENum(-1)
+            self._assign_raw(lv, EBinOp("+", ELval(lv), delta), line)
+            return
+        if isinstance(expr, A.Call):
+            self._lower_call(expr, line, want_result=False)
+            return
+        # Pure expression evaluated for effect: still lower subterms so
+        # nested calls run, then drop the value.
+        self._lower_expr(expr, line)
+
+    def _lower_assign(self, expr: A.Assign, line: int) -> Expr:
+        target_type = self._expr_ctype(expr.target)
+        if expr.op == "=":
+            rhs = self._lower_expr(expr.value, line)
+            lv, _ = self._lower_lvalue(expr.target, line)
+            self._assign(lv, target_type, rhs, self._expr_ctype(expr.value), line)
+            return ELval(lv) if isinstance(lv, (VarLv, FieldLv)) else rhs
+        op = expr.op[:-1]  # "+=" -> "+"
+        rhs = self._lower_expr(expr.value, line)
+        lv, _ = self._lower_lvalue(expr.target, line)
+        self._assign_raw(lv, EBinOp(op, ELval(lv), rhs), line)
+        return ELval(lv) if isinstance(lv, (VarLv, FieldLv)) else rhs
+
+    def _assign(
+        self, lv: Lval, lv_type: CType | None, rhs: Expr, rhs_type: CType | None, line: int
+    ) -> None:
+        """Emit an assignment, expanding struct copies into field copies."""
+        if isinstance(lv_type, StructType) and isinstance(rhs, (ELval,)):
+            layout = self.structs.get(lv_type.tag)
+            if layout is not None:
+                for fname, ftype in layout.fields:
+                    src = _field_of(rhs.lval, fname)
+                    dst = _field_of(lv, fname)
+                    if isinstance(ftype, StructType):
+                        self._assign(dst, ftype, ELval(src), ftype, line)
+                    else:
+                        self._emit(CSet(dst, ELval(src)), line)
+                return
+        self._assign_raw(lv, rhs, line)
+
+    def _assign_raw(self, lv: Lval, rhs: Expr, line: int) -> None:
+        self._emit(CSet(lv, rhs), line)
+
+    def _lower_expr(self, expr: A.Expr, line: int) -> Expr:
+        """Lower to a pure IR expression, emitting effect commands as needed."""
+        if isinstance(expr, A.IntLit):
+            return ENum(expr.value)
+        if isinstance(expr, A.FloatLit):
+            return ENum(int(expr.value))
+        if isinstance(expr, A.StrLit):
+            site = self._fresh_site("str", line)
+            self.string_literals[site] = expr.value
+            addr = EStrAddr(site, len(expr.value) + 1)
+            # Materialize the block's abstract content: two weak stores of
+            # the character range's endpoints (0 = the NUL terminator) make
+            # the summary element cover every byte of the literal.
+            tmp = self._fresh_temp("str")
+            self._emit(CSet(tmp, addr), line)
+            max_char = max((ord(c) for c in expr.value), default=0)
+            self._emit(
+                CSet(IndexLv(ELval(tmp), EUnknown("str-content")), ENum(0)),
+                line,
+            )
+            if max_char:
+                self._emit(
+                    CSet(
+                        IndexLv(ELval(tmp), EUnknown("str-content")),
+                        ENum(max_char),
+                    ),
+                    line,
+                )
+            return ELval(tmp)
+        if isinstance(expr, A.Ident):
+            if expr.name in self.func_names and self.scope.lookup(expr.name) is None:
+                return EAddrOf(VarLv(expr.name, None))  # function designator
+            lv, _ = self._lower_lvalue(expr, line)
+            return ELval(lv)
+        if isinstance(expr, A.BinOp):
+            if expr.op in ("&&", "||"):
+                return self._lower_bool_expr(expr, line)
+            left = self._lower_expr(expr.left, line)
+            right = self._lower_expr(expr.right, line)
+            return EBinOp(expr.op, left, right)
+        if isinstance(expr, A.UnOp):
+            if expr.op == "&":
+                operand = expr.operand
+                if isinstance(operand, A.Index):
+                    base = self._lower_expr(operand.base, line)
+                    index = self._lower_expr(operand.index, line)
+                    return EBinOp("+", base, index)  # &a[i] == a + i
+                lv, _ = self._lower_lvalue(operand, line)
+                return EAddrOf(lv)
+            if expr.op == "*":
+                ptr = self._lower_expr(expr.operand, line)
+                return ELval(DerefLv(ptr))
+            if expr.op == "!":
+                return self._lower_bool_expr(expr, line)
+            operand = self._lower_expr(expr.operand, line)
+            return EUnOp(expr.op, operand)
+        if isinstance(expr, A.IncDec):
+            lv, _ = self._lower_lvalue(expr.operand, line)
+            delta = ENum(1) if expr.op == "++" else ENum(-1)
+            if expr.prefix:
+                self._assign_raw(lv, EBinOp("+", ELval(lv), delta), line)
+                return ELval(lv)
+            tmp = self._fresh_temp("post")
+            self._emit(CSet(tmp, ELval(lv)), line)
+            self._assign_raw(lv, EBinOp("+", ELval(lv), delta), line)
+            return ELval(tmp)
+        if isinstance(expr, A.Assign):
+            return self._lower_assign(expr, line)
+        if isinstance(expr, A.Conditional):
+            return self._lower_conditional_expr(expr, line)
+        if isinstance(expr, A.Call):
+            result = self._lower_call(expr, line, want_result=True)
+            return result if result is not None else EUnknown("void-call")
+        if isinstance(expr, A.Index):
+            base = self._lower_expr(expr.base, line)
+            index = self._lower_expr(expr.index, line)
+            return ELval(IndexLv(base, index))
+        if isinstance(expr, A.FieldAccess):
+            lv, _ = self._lower_lvalue(expr, line)
+            return ELval(lv)
+        if isinstance(expr, A.Cast):
+            return self._lower_expr(expr.operand, line)
+        if isinstance(expr, A.SizeOf):
+            return ENum(self._sizeof(expr))
+        if isinstance(expr, A.CommaExpr):
+            result: Expr = ENum(0)
+            for part in expr.parts:
+                result = self._lower_expr(part, line)
+            return result
+        raise LoweringError(f"unsupported expression {type(expr).__name__}")
+
+    def _lower_pure(self, expr: A.Expr) -> Expr:
+        """Lower an expression that must already be pure (case labels)."""
+        saved = self._frontier
+        result = self._lower_expr(expr, 0)
+        if self._frontier != saved:
+            raise LoweringError("side effect in constant context")
+        return result
+
+    def _sizeof(self, expr: A.SizeOf) -> int:
+        ty = expr.of_type
+        if ty is None and expr.of_expr is not None:
+            ty = self._expr_ctype(expr.of_expr)
+        if isinstance(ty, ArrayType):
+            total = _array_total_length(ty)
+            return total if total is not None else 1
+        # Abstract unit sizes: the analysis measures array extents in
+        # elements, so scalar/pointer/struct sizeof is 1.
+        return 1
+
+    def _lower_bool_expr(self, expr: A.Expr, line: int) -> Expr:
+        """``a && b`` etc. in a value position: build a diamond writing 0/1."""
+        tmp = self._fresh_temp("bool")
+        true_front, false_front = self._lower_cond(expr, line)
+        t_set = self.cfg.add_node(CSet(tmp, ENum(1)), line)
+        f_set = self.cfg.add_node(CSet(tmp, ENum(0)), line)
+        for n in true_front:
+            self.cfg.add_edge(n, t_set)
+        for n in false_front:
+            self.cfg.add_edge(n, f_set)
+        self._frontier = [t_set, f_set]
+        return ELval(tmp)
+
+    def _lower_conditional_expr(self, expr: A.Conditional, line: int) -> Expr:
+        tmp = self._fresh_temp("cond")
+        true_front, false_front = self._lower_cond(expr.cond, line)
+        self._frontier = true_front
+        t_val = self._lower_expr(expr.then, line)
+        t_set = self._emit(CSet(tmp, t_val), line)
+        t_tail = self._frontier
+        self._frontier = false_front
+        f_val = self._lower_expr(expr.otherwise, line)
+        f_set = self._emit(CSet(tmp, f_val), line)
+        self._frontier = t_tail + self._frontier
+        return ELval(tmp)
+
+    # -- calls ----------------------------------------------------------------------
+
+    def _lower_call(
+        self, expr: A.Call, line: int, want_result: bool
+    ) -> Expr | None:
+        callee_name: str | None = None
+        if isinstance(expr.func, A.Ident) and self.scope.lookup(expr.func.name) is None:
+            callee_name = expr.func.name
+        if callee_name in ALLOC_FUNCTIONS:
+            size_idx = ALLOC_FUNCTIONS[callee_name]
+            size: Expr = EUnknown("alloc-size")
+            if size_idx < len(expr.args):
+                size = self._lower_expr(expr.args[size_idx], line)
+            site = self._fresh_site("malloc", line)
+            tmp = self._fresh_temp("heap")
+            self._emit(CAlloc(tmp, size, site), line)
+            return ELval(tmp)
+        if callee_name in NOOP_FUNCTIONS:
+            for arg in expr.args:
+                self._lower_expr(arg, line)
+            return EUnknown(f"{callee_name}-result") if want_result else None
+        args = tuple(self._lower_expr(a, line) for a in expr.args)
+        callee_expr = self._lower_expr(expr.func, line)
+        static = callee_name if callee_name in self.func_names else None
+        call_node = self._emit(CCall(callee_expr, args, static), line)
+        ret_lv = self._fresh_temp("ret") if want_result else None
+        self._emit(CRetBind(ret_lv, call_node.nid), line)
+        return ELval(ret_lv) if ret_lv is not None else None
+
+    # -- lvalues --------------------------------------------------------------------
+
+    def _lower_lvalue(self, expr: A.Expr, line: int) -> tuple[Lval, CType | None]:
+        if isinstance(expr, A.Ident):
+            found = self.scope.lookup_with_scope(expr.name)
+            if found is None:
+                # Function designator or undeclared identifier (extern).
+                return VarLv(expr.name, None), None
+            slot, ctype, owner = found
+            proc = None if owner.is_root() else self.proc
+            return VarLv(slot, proc), ctype
+        if isinstance(expr, A.UnOp) and expr.op == "*":
+            ptr = self._lower_expr(expr.operand, line)
+            pointee = _pointee_type(self._expr_ctype(expr.operand))
+            return DerefLv(ptr), pointee
+        if isinstance(expr, A.Index):
+            base = self._lower_expr(expr.base, line)
+            index = self._lower_expr(expr.index, line)
+            base_type = self._expr_ctype(expr.base)
+            elem = None
+            if isinstance(base_type, ArrayType):
+                elem = base_type.element
+            elif isinstance(base_type, PointerType):
+                elem = base_type.pointee
+            return IndexLv(base, index), elem
+        if isinstance(expr, A.FieldAccess):
+            ftype = self._field_type(expr)
+            if expr.arrow:
+                ptr = self._lower_expr(expr.base, line)
+                return DerefLv(ptr, expr.fieldname), ftype
+            base_lv, _ = self._lower_lvalue(expr.base, line)
+            return _field_of(base_lv, expr.fieldname), ftype
+        if isinstance(expr, A.Cast):
+            return self._lower_lvalue(expr.operand, line)
+        raise LoweringError(
+            f"expression is not an lvalue: {type(expr).__name__}", expr.pos
+        )
+
+    def _field_type(self, expr: A.FieldAccess) -> CType | None:
+        base_type = self._expr_ctype(expr.base)
+        if expr.arrow and isinstance(base_type, PointerType):
+            base_type = base_type.pointee
+        if isinstance(base_type, StructType):
+            layout = self.structs.get(base_type.tag)
+            if layout is not None:
+                return layout.field_type(expr.fieldname)
+        return None
+
+    # -- static types (best effort, used for struct expansion & arrays) -------------
+
+    def _expr_ctype(self, expr: A.Expr) -> CType | None:
+        if isinstance(expr, A.Ident):
+            found = self.scope.lookup(expr.name)
+            return found[1] if found else None
+        if isinstance(expr, A.UnOp):
+            if expr.op == "*":
+                return _pointee_type(self._expr_ctype(expr.operand))
+            if expr.op == "&":
+                inner = self._expr_ctype(expr.operand)
+                return PointerType(inner) if inner is not None else None
+            return IntType()
+        if isinstance(expr, A.Index):
+            base = self._expr_ctype(expr.base)
+            if isinstance(base, ArrayType):
+                return base.element
+            if isinstance(base, PointerType):
+                return base.pointee
+            return None
+        if isinstance(expr, A.FieldAccess):
+            return self._field_type(expr)
+        if isinstance(expr, A.Cast):
+            return expr.to_type
+        if isinstance(expr, (A.IntLit, A.FloatLit, A.SizeOf)):
+            return IntType()
+        if isinstance(expr, A.StrLit):
+            return PointerType(IntType("char"))
+        if isinstance(expr, A.Assign):
+            return self._expr_ctype(expr.target)
+        if isinstance(expr, A.Conditional):
+            return self._expr_ctype(expr.then)
+        if isinstance(expr, A.BinOp):
+            left = self._expr_ctype(expr.left)
+            if isinstance(left, (PointerType, ArrayType)):
+                return left
+            right = self._expr_ctype(expr.right)
+            if isinstance(right, (PointerType, ArrayType)):
+                return right
+            return IntType()
+        return None
+
+
+def _field_of(base: Lval, fieldname: str) -> Lval:
+    """Attach a field access to an lvalue, merging into DerefLv when the
+    base is already a pointer dereference."""
+    if isinstance(base, DerefLv) and base.fieldname is None:
+        return DerefLv(base.ptr, fieldname)
+    if isinstance(base, DerefLv):
+        return DerefLv(base.ptr, f"{base.fieldname}.{fieldname}")
+    if isinstance(base, FieldLv):
+        return FieldLv(base.base, f"{base.fieldname}.{fieldname}")
+    return FieldLv(base, fieldname)
+
+
+def _pointee_type(ty: CType | None) -> CType | None:
+    if isinstance(ty, PointerType):
+        return ty.pointee
+    if isinstance(ty, ArrayType):
+        return ty.element
+    return None
+
+
+def _array_total_length(ty: ArrayType) -> int | None:
+    """Total element count of a possibly multidimensional array."""
+    total = 1
+    cur: CType = ty
+    while isinstance(cur, ArrayType):
+        if cur.length is None:
+            return None
+        total *= cur.length
+        cur = cur.element
+    return total
+
+
+def _array_element(ty: ArrayType) -> CType:
+    cur: CType = ty
+    while isinstance(cur, ArrayType):
+        cur = cur.element
+    return cur

@@ -1,0 +1,111 @@
+"""Framework instances (Section 3.2): semi-sparse vs full-sparse."""
+
+from repro.analysis.instances import (
+    address_taken_variables,
+    compare_instances,
+    semi_sparse_preanalysis,
+)
+from repro.domains.absloc import VarLoc
+from repro.ir.program import build_program
+
+SRC = """
+int top;          /* top-level: address never taken */
+int taken;        /* address-taken */
+int other;
+int *p;
+
+int use(void) { return top + taken; }
+
+int main(void) {
+  p = &taken;
+  top = 1;
+  *p = 2;
+  other = use();
+  return other;
+}
+"""
+
+
+class TestAddressTaken:
+    def test_detects_address_of(self):
+        program = build_program(SRC)
+        taken = address_taken_variables(program)
+        assert VarLoc("taken") in taken
+        assert VarLoc("top") not in taken
+        assert VarLoc("other") not in taken
+
+    def test_address_of_field_marks_base(self):
+        src = """
+        struct s { int f; };
+        struct s v;
+        int main(void) { int *p = &v.f; *p = 1; return v.f; }
+        """
+        program = build_program(src)
+        taken = address_taken_variables(program)
+        assert VarLoc("v") in taken
+
+    def test_address_in_condition(self):
+        src = "int x; int main(void) { if (&x != 0) x = 1; return x; }"
+        taken = address_taken_variables(build_program(src))
+        assert VarLoc("x") in taken
+
+
+class TestSemiSparse:
+    def test_coarsens_address_taken_pointers_only(self):
+        program = build_program(SRC)
+        semi = semi_sparse_preanalysis(program)
+        # p is address-NOT-taken (it's a pointer but &p never occurs):
+        # its points-to stays precise
+        p_pts = semi.state.get(VarLoc("p")).ptsto
+        assert VarLoc("taken") in p_pts
+
+    def test_call_graph_preserved(self):
+        program = build_program(SRC)
+        semi = semi_sparse_preanalysis(program)
+        assert any(
+            callees == ("use",) for callees in semi.site_callees.values()
+        )
+
+    def test_semi_sparse_result_still_sound(self):
+        from repro.analysis.sparse import run_sparse
+        from repro.ir.interp import Interpreter
+
+        program = build_program(SRC)
+        semi = semi_sparse_preanalysis(program)
+        result = run_sparse(program, pre=semi)
+        interp = Interpreter(program)
+        interp.run()
+        for obs in interp.observations:
+            state = result.table.get(obs.nid)
+            for loc, val in obs.env.items():
+                if isinstance(val, int) and loc in result.defuse.d(obs.nid):
+                    av = state.get(loc) if state else None
+                    assert av is not None and av.itv.contains(val), (
+                        obs.nid,
+                        loc,
+                        val,
+                        av,
+                    )
+
+
+class TestComparison:
+    def test_full_sparse_no_coarser_than_semi(self):
+        src = """
+        int a; int b; int c; int *p; int *q;
+        int f(int v) { a = v; return a + b; }
+        int main(void) {
+          int t;
+          p = &a; q = &b;
+          *p = 1; *q = 2;
+          c = f(3);
+          t = a + b + c;
+          return t;
+        }
+        """
+        program = build_program(src)
+        cmp = compare_instances(program)
+        # semi-sparse blows up address-taken def/use sets, so it never has
+        # smaller average D̂/Û than the full-sparse instance
+        assert cmp.semi_avg_d >= cmp.full_avg_d
+        assert cmp.semi_avg_u >= cmp.full_avg_u
+        assert cmp.semi_deps >= cmp.full_deps

@@ -1,0 +1,99 @@
+"""PackState lattice laws (hypothesis) — the ⊤-defaulted pack map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.relational import PackState
+from repro.domains.absloc import VarLoc
+from repro.domains.interval import Interval
+from repro.domains.octagon import Octagon
+from repro.domains.packs import Pack
+
+P1 = Pack.of([VarLoc("a"), VarLoc("b")])
+P2 = Pack.of([VarLoc("c")])
+
+
+@st.composite
+def octagons(draw, dim):
+    o = Octagon.top(dim)
+    for k in range(dim):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            continue
+        lo = draw(st.integers(-10, 5))
+        hi = draw(st.integers(-4, 10))
+        if lo > hi:
+            lo, hi = hi, lo
+        if kind == 1:
+            o = o.assign_interval(k, Interval.range(lo, hi))
+        elif kind == 2:
+            o = o.test_upper(k, hi)
+        else:
+            o = o.test_lower(k, lo)
+    return o
+
+
+@st.composite
+def pack_states(draw):
+    s = PackState()
+    if draw(st.booleans()):
+        s.set(P1, draw(octagons(2)))
+    if draw(st.booleans()):
+        s.set(P2, draw(octagons(1)))
+    return s
+
+
+class TestLatticeLaws:
+    @given(pack_states(), pack_states())
+    @settings(max_examples=60, deadline=None)
+    def test_join_upper_bound(self, a, b):
+        j = a.copy()
+        j.join_with(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(pack_states())
+    @settings(max_examples=40, deadline=None)
+    def test_join_idempotent(self, a):
+        j = a.copy()
+        changed = j.join_with(a)
+        assert not changed
+        assert j == a
+
+    @given(pack_states(), pack_states())
+    @settings(max_examples=60, deadline=None)
+    def test_widen_upper_bound(self, a, b):
+        w = a.copy()
+        w.widen_with(b)
+        assert a.leq(w) and b.leq(w)
+
+    @given(pack_states(), pack_states())
+    @settings(max_examples=60, deadline=None)
+    def test_leq_mutual_implies_equal_constraints(self, a, b):
+        if a.leq(b) and b.leq(a):
+            for pack in (P1, P2):
+                av, bv = a.get(pack), b.get(pack)
+                for k in range(len(pack)):
+                    assert av.project(k) == bv.project(k)
+
+
+class TestDefaults:
+    def test_missing_is_top(self):
+        s = PackState()
+        assert s.get(P1).is_top()
+
+    def test_setting_top_removes(self):
+        s = PackState()
+        s.set(P1, Octagon.top(2))
+        assert P1 not in s
+
+    def test_contradiction_detection(self):
+        s = PackState()
+        s.set(P2, Octagon.bottom(1))
+        assert s.has_contradiction()
+
+    def test_restrict_remove(self):
+        s = PackState()
+        s.set(P1, Octagon.top(2).test_upper(0, 5))
+        s.set(P2, Octagon.top(1).test_upper(0, 5))
+        assert P2 not in s.restrict({P1})
+        assert P1 not in s.remove({P1})

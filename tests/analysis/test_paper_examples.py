@@ -1,0 +1,171 @@
+"""The running examples of Section 2, reconstructed as C programs.
+
+Example 1's three-statement pointer program::
+
+    10: x := &y;    11: *p := &z;    12: y := x;
+
+is embedded in C with ``p``'s points-to set controlled by branches, and the
+paper's D/U sets and data dependencies are checked against our semantic
+derivation (with the Definition 5 allowance that Û may over-approximate).
+"""
+
+from repro.analysis.datadep import generate_datadeps
+from repro.analysis.defuse import compute_defuse
+from repro.analysis.preanalysis import run_preanalysis
+from repro.domains.absloc import VarLoc
+from repro.ir.program import build_program
+
+#: p may point to x or y (Example 1's assumption pts(p) = {x, y}).
+SRC_PTS_XY = """
+int z;
+int *x; int *y;
+int **p;
+int flag;
+int main(void) {
+  if (flag) { p = &x; } else { p = &y; }
+  x = (int*)&y;
+  *p = &z;
+  y = x;
+  return 0;
+}
+"""
+
+#: Example 4 variant: pts(p) = {y} only.
+SRC_PTS_Y = """
+int z;
+int *x; int *y;
+int **p;
+int main(void) {
+  p = &y;
+  x = (int*)&y;
+  *p = &z;
+  y = x;
+  return 0;
+}
+"""
+
+X, Y, Z, P = VarLoc("x"), VarLoc("y"), VarLoc("z"), VarLoc("p")
+
+
+def setup(src):
+    program = build_program(src)
+    pre = run_preanalysis(program)
+    du = compute_defuse(program, pre)
+    return program, pre, du
+
+
+def node(program, fragment):
+    for n in program.nodes():
+        if fragment in str(n.cmd):
+            return n
+    raise AssertionError(fragment)
+
+
+class TestExample1DefUse:
+    """D(10)={x} U(10)=∅; D(11)={x,y} U(11)={p,x,y}; D(12)={y} U(12)={x}."""
+
+    def test_node10(self):
+        program, pre, du = setup(SRC_PTS_XY)
+        n10 = node(program, "x := &y")
+        assert du.d(n10.nid) == {X}
+        assert du.u(n10.nid) == set()
+
+    def test_node11_weak_update(self):
+        program, pre, du = setup(SRC_PTS_XY)
+        n11 = node(program, "*(p) := &z")
+        assert du.d(n11.nid) == {X, Y}
+        # The weak update uses its targets (the implicit use of Section 2.5).
+        assert du.u(n11.nid) == {P, X, Y}
+
+    def test_node12(self):
+        program, pre, du = setup(SRC_PTS_XY)
+        n12 = node(program, "y := x")
+        assert du.d(n12.nid) == {Y}
+        assert du.u(n12.nid) == {X}
+
+
+class TestExample2DataDeps:
+    """Deps 10 —x→ 11 and 11 —x→ 12 (and NOT the def-use chain 10 —x→ 12,
+    which would lose the weak update's contribution)."""
+
+    def test_dependencies(self):
+        program, pre, du = setup(SRC_PTS_XY)
+        deps = generate_datadeps(program, pre, du, bypass=False).deps
+        n10 = node(program, "x := &y").nid
+        n11 = node(program, "*(p) := &z").nid
+        n12 = node(program, "y := x").nid
+        assert deps.has(n10, n11, X)
+        assert deps.has(n11, n12, X)
+        assert not deps.has(n10, n12, X)
+
+    def test_dependencies_survive_bypass(self):
+        program, pre, du = setup(SRC_PTS_XY)
+        deps = generate_datadeps(program, pre, du, bypass=True).deps
+        n10 = node(program, "x := &y").nid
+        n11 = node(program, "*(p) := &z").nid
+        n12 = node(program, "y := x").nid
+        assert deps.has(n10, n11, X)
+        assert deps.has(n11, n12, X)
+        assert not deps.has(n10, n12, X)
+
+
+class TestExample4StrongUpdateVariant:
+    """With pts(p)={y} the update is strong per Definition 1/2 — the paper
+    has D(11)={y}, U(11)={p}. Our Û keeps the targets (the safe Section 3.2
+    formula Û ⊇ ŝ(x).P̂), which Definition 5 explicitly allows."""
+
+    def test_defs_are_exact(self):
+        program, pre, du = setup(SRC_PTS_Y)
+        n11 = node(program, "*(p) := &z")
+        assert du.d(n11.nid) == {Y}
+
+    def test_uses_safely_over_approximate(self):
+        program, pre, du = setup(SRC_PTS_Y)
+        n11 = node(program, "*(p) := &z")
+        assert {P} <= du.u(n11.nid)          # the paper's exact U
+        assert du.u(n11.nid) <= {P, Y}       # plus at most the target
+
+    def test_x_flows_around_strong_update(self):
+        """With pts(p)={y}, x is not defined at 11, so 10 —x→ 12 directly."""
+        program, pre, du = setup(SRC_PTS_Y)
+        deps = generate_datadeps(program, pre, du, bypass=False).deps
+        n10 = node(program, "x := &y").nid
+        n12 = node(program, "y := x").nid
+        assert deps.has(n10, n12, X)
+
+
+class TestExample5Precision:
+    """The paper's Example 5: conservative def-use chains would propagate
+    {y}∪{z} to node 12 where the precise analysis gives {z} only (with
+    pts(p)={x} the store kills x's old value). We verify the end-to-end
+    sparse analysis computes the precise result."""
+
+    SRC = """
+    int z;
+    int *x; int *y;
+    int **p;
+    int main(void) {
+      p = &x;
+      x = (int*)&y;
+      *p = &z;
+      y = x;
+      return 0;
+    }
+    """
+
+    def test_final_points_to_set_is_precise(self):
+        from repro.analysis.sparse import run_sparse
+
+        program = build_program(self.SRC)
+        res = run_sparse(program)
+        n12 = node(program, "y := x")
+        y_val = res.table[n12.nid].get(Y)
+        assert y_val.ptsto == {Z}  # not {y, z}
+
+    def test_dense_agrees(self):
+        from repro.analysis.dense import run_dense
+
+        program = build_program(self.SRC)
+        res = run_dense(program)
+        n12 = node(program, "y := x")
+        assert res.table[n12.nid].get(Y).ptsto == {Z}

@@ -1,0 +1,118 @@
+"""Flow-insensitive pre-analysis tests."""
+
+from repro.analysis.preanalysis import run_preanalysis
+from repro.domains.absloc import FuncLoc, VarLoc
+from repro.ir.program import build_program
+
+
+def pre_of(src):
+    program = build_program(src)
+    return program, run_preanalysis(program)
+
+
+class TestGlobalInvariant:
+    def test_covers_all_assignments(self):
+        program, pre = pre_of(
+            "int g; int main(void) { g = 1; g = 9; return g; }"
+        )
+        itv = pre.state.get(VarLoc("g")).itv
+        assert itv.contains(0) and itv.contains(1) and itv.contains(9)
+
+    def test_flow_insensitive_joins_branches(self):
+        program, pre = pre_of(
+            """
+            int g;
+            int main(void) { int c; if (c) g = 1; else g = 100; return g; }
+            """
+        )
+        itv = pre.state.get(VarLoc("g")).itv
+        assert itv.contains(1) and itv.contains(100)
+
+    def test_widening_terminates_unbounded_counter(self):
+        program, pre = pre_of(
+            "int main(void) { int i = 0; while (1) { i = i + 1; } }"
+        )
+        itv = pre.state.get(VarLoc("i", "main")).itv
+        assert itv.hi is None  # widened to +inf
+        assert pre.rounds < 60
+
+    def test_pointer_targets_accumulate(self):
+        program, pre = pre_of(
+            """
+            int a; int b; int *p;
+            int main(void) { int c; if (c) p = &a; else p = &b; return 0; }
+            """
+        )
+        pts = pre.state.get(VarLoc("p")).ptsto
+        assert pts == {VarLoc("a"), VarLoc("b")}
+
+
+class TestCallGraphResolution:
+    def test_direct_calls(self):
+        program, pre = pre_of(
+            "int f(void) { return 1; } int main(void) { return f(); }"
+        )
+        call_sites = [
+            nid for nid, callees in pre.site_callees.items() if "f" in callees
+        ]
+        assert call_sites
+
+    def test_function_pointer_resolution(self):
+        program, pre = pre_of(
+            """
+            int inc(int x) { return x + 1; }
+            int dec(int x) { return x - 1; }
+            int main(void) {
+              int (*op)(int); int c;
+              if (c) { op = &inc; } else { op = &dec; }
+              return op(3);
+            }
+            """
+        )
+        indirect = [
+            callees
+            for nid, callees in pre.site_callees.items()
+            if set(callees) == {"dec", "inc"}
+        ]
+        assert indirect
+
+    def test_funcptr_through_global(self):
+        program, pre = pre_of(
+            """
+            int h(int x) { return x; }
+            int (*fp)(int);
+            void setup(void) { fp = &h; }
+            int main(void) { setup(); return fp(1); }
+            """
+        )
+        assert any(
+            callees == ("h",) for callees in pre.site_callees.values()
+        )
+
+    def test_external_unresolved(self):
+        program, pre = pre_of("int main(void) { return puts_like(1); }")
+        call_nid = next(
+            n.nid
+            for n in program.cfgs["main"].nodes
+            if "call" in str(n.cmd) and "puts_like" in str(n.cmd)
+        )
+        assert pre.site_callees[call_nid] == ()
+
+    def test_over_approximates_every_reachable_state(self):
+        """T̂_pre must cover the flow-sensitive result at every point."""
+        from repro.analysis.dense import run_dense
+
+        src = """
+        int g;
+        int main(void) {
+          int i = 0;
+          g = 5;
+          while (i < 4) { g = g + 2; i = i + 1; }
+          return g;
+        }
+        """
+        program, pre = pre_of(src)
+        dense = run_dense(program, pre)
+        for nid, state in dense.table.items():
+            for loc, value in state.items():
+                assert value.itv.leq(pre.state.get(loc).itv) or value.itv.is_bottom()

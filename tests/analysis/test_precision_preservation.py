@@ -1,0 +1,389 @@
+"""Lemma 1/2 — the headline theorem: the sparse analysis computes exactly
+the dense result on every defined location.
+
+In "Lemma mode" (non-strict transfer functions, no widening — the paper's
+formulation of ``lfp F♯``) the equality is bit-for-bit; these tests check it
+on hand-written programs covering every language feature and on randomly
+generated call-DAG programs. With widening enabled, chaotic-iteration order
+makes widened values legitimately incomparable between engines; there the
+guarantee is mutual soundness, checked in test_soundness.py.
+"""
+
+import pytest
+
+from repro.analysis.dense import run_dense
+from repro.analysis.preanalysis import run_preanalysis
+from repro.analysis.sparse import run_sparse
+from repro.bench.codegen import WorkloadSpec, generate_source
+from repro.ir.program import build_program
+from tests.conftest import collect_mismatches, lemma_mode_mismatches
+
+
+def assert_lemma(src, **kw):
+    mismatches = lemma_mode_mismatches(src, **kw)
+    assert mismatches == [], mismatches[:5]
+
+
+class TestStraightLine:
+    def test_constants(self):
+        assert_lemma("int main(void) { int x = 1; int y = x + 2; return y; }")
+
+    def test_globals(self):
+        assert_lemma("int g; int main(void) { g = 5; return g * 2; }")
+
+    def test_chained_arithmetic(self):
+        assert_lemma(
+            """
+            int main(void) {
+              int a = 3; int b = a * a; int c = b - a; int d = c / 2;
+              return d % 5;
+            }
+            """
+        )
+
+
+class TestBranches:
+    def test_if_else(self):
+        assert_lemma(
+            """
+            int main(void) {
+              int c; int x;
+              if (c > 0) x = 1; else x = 100;
+              return x;
+            }
+            """
+        )
+
+    def test_nested_branches(self):
+        assert_lemma(
+            """
+            int main(void) {
+              int a; int b; int x = 0;
+              if (a > 0) { if (b > 0) x = 1; else x = 2; } else x = 3;
+              return x;
+            }
+            """
+        )
+
+    def test_short_circuit(self):
+        assert_lemma(
+            """
+            int main(void) {
+              int a; int b; int x = 0;
+              if (a > 0 && b < 10) x = a + b;
+              if (a < 0 || b > 5) x = x - 1;
+              return x;
+            }
+            """
+        )
+
+    def test_dead_branch_constant_condition(self):
+        assert_lemma(
+            """
+            int main(void) {
+              int x = 1;
+              if (0) x = 999;
+              return x;
+            }
+            """
+        )
+
+    def test_refinement_propagates(self):
+        assert_lemma(
+            """
+            int main(void) {
+              int x;
+              if (x >= 0 && x < 10) { return x + 1; }
+              return 0;
+            }
+            """
+        )
+
+
+class TestLoops:
+    def test_bounded_counter(self):
+        # note: every value accumulated in the loop must be bounded through
+        # a condition filter, or the widening-free chain would be infinite
+        assert_lemma(
+            """
+            int main(void) {
+              int i = 0; int s = 0;
+              while (i < 10) { s = i + 1; i = i + 1; }
+              return s;
+            }
+            """
+        )
+
+    def test_nested_bounded_loops(self):
+        assert_lemma(
+            """
+            int main(void) {
+              int i; int j; int c = 0;
+              for (i = 0; i < 3; i++)
+                for (j = 0; j < 3; j++)
+                  c = i + j;
+              return c;
+            }
+            """
+        )
+
+    def test_loop_with_break(self):
+        assert_lemma(
+            """
+            int main(void) {
+              int i = 0;
+              while (i < 100) { if (i == 5) break; i = i + 1; }
+              return i;
+            }
+            """
+        )
+
+
+class TestPointers:
+    def test_strong_update_through_pointer(self):
+        assert_lemma(
+            """
+            int g;
+            int main(void) { int *p = &g; g = 1; *p = 7; return g; }
+            """
+        )
+
+    def test_weak_update_two_targets(self):
+        assert_lemma(
+            """
+            int a; int b;
+            int main(void) {
+              int c; int *p;
+              if (c) p = &a; else p = &b;
+              a = 1; b = 2;
+              *p = 9;
+              return a + b;
+            }
+            """
+        )
+
+    def test_pointer_to_pointer(self):
+        assert_lemma(
+            """
+            int x;
+            int main(void) {
+              int *p = &x; int **pp = &p;
+              **pp = 5;
+              return x;
+            }
+            """
+        )
+
+    def test_arrays(self):
+        assert_lemma(
+            """
+            int buf[8];
+            int main(void) {
+              buf[0] = 1; buf[7] = 2;
+              return buf[3];
+            }
+            """
+        )
+
+    def test_heap(self):
+        assert_lemma(
+            """
+            int main(void) {
+              int *p = (int*)malloc(4);
+              p[0] = 1; p[1] = 2;
+              return p[0];
+            }
+            """
+        )
+
+    def test_structs(self):
+        assert_lemma(
+            """
+            struct pt { int x; int y; };
+            struct pt g;
+            int main(void) {
+              struct pt l; struct pt *q = &l;
+              l.x = 1; q->y = 2; g = l;
+              return g.x + g.y;
+            }
+            """
+        )
+
+
+class TestInterprocedural:
+    def test_simple_call(self):
+        assert_lemma(
+            "int f(int a) { return a * 2; } "
+            "int main(void) { return f(21); }"
+        )
+
+    def test_global_side_effects(self):
+        # two distinct callees: a single shared callee with g = g + 1
+        # would create an unbounded no-widening chain through the
+        # context-insensitive call cycle
+        assert_lemma(
+            """
+            int g;
+            void bump1(void) { g = g + 1; }
+            void bump2(void) { g = g + 1; }
+            int main(void) { g = 0; bump1(); bump2(); return g; }
+            """
+        )
+
+    def test_call_kills_definition(self):
+        """The must-def analysis: the pre-call value must not leak past a
+        callee that always overwrites."""
+        assert_lemma(
+            """
+            int g;
+            void set7(void) { g = 7; }
+            int main(void) { g = 42; set7(); return g; }
+            """
+        )
+
+    def test_call_maybe_kills(self):
+        assert_lemma(
+            """
+            int g;
+            void maybe(int c) { if (c > 0) g = 7; }
+            int main(void) { int c; g = 42; maybe(c); return g; }
+            """
+        )
+
+    def test_two_callees_one_untouched(self):
+        assert_lemma(
+            """
+            int g;
+            int touch(int v) { g = v; return 0; }
+            int skip_(int v) { return v; }
+            int main(void) {
+              int c; int (*fp)(int);
+              g = 1;
+              if (c) fp = &touch; else fp = &skip_;
+              fp(9);
+              return g;
+            }
+            """
+        )
+
+    def test_multiple_call_sites_join(self):
+        assert_lemma(
+            """
+            int id(int x) { return x; }
+            int main(void) { return id(1) + id(100); }
+            """
+        )
+
+    def test_function_pointers(self):
+        assert_lemma(
+            """
+            int inc(int x) { return x + 1; }
+            int dec(int x) { return x - 1; }
+            int main(void) {
+              int c; int (*op)(int);
+              if (c) op = &inc; else op = &dec;
+              return op(10);
+            }
+            """
+        )
+
+    def test_value_through_call_chain(self):
+        assert_lemma(
+            """
+            int x;
+            int h(void) { return x; }
+            int g_(void) { return h(); }
+            int f(void) { x = 7; return g_(); }
+            int main(void) { return f(); }
+            """
+        )
+
+
+class TestGeneratorVariants:
+    @pytest.mark.parametrize("method", ["ssa", "reaching"])
+    @pytest.mark.parametrize("bypass", [True, False])
+    def test_all_pipelines_agree(self, method, bypass):
+        # helper is called from two sites (a cycle in the context-
+        # insensitive graph), so its effect must not accumulate (g = g + a
+        # would have an infinite no-widening chain)
+        src = """
+        int g; int arr[4];
+        int helper(int a) { g = a; arr[1] = a; return a + arr[0]; }
+        int main(void) {
+          int c; int t = 0;
+          arr[0] = 5;
+          if (c > 0) t = helper(1); else t = helper(2);
+          return t + g;
+        }
+        """
+        assert_lemma(src, method=method, bypass=bypass)
+
+
+class TestRandomPrograms:
+    """Generated call-tree programs: no loops/recursion and unique call
+    sites, so the interprocedural graph is acyclic and abstract chains are
+    finite — Lemma mode applies exactly. (Shared callees make the
+    context-insensitive graph cyclic, which requires widening and thus
+    leaves the no-widening theorem's scope.)"""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_call_tree_program(self, seed):
+        spec = WorkloadSpec(
+            name=f"rand{seed}",
+            n_functions=5,
+            n_globals=4,
+            n_arrays=1,
+            stmts_per_function=6,
+            loops_per_function=0,
+            calls_per_function=2,
+            pointer_ops_per_function=1,
+            recursion_cycle=0,
+            unique_callees=True,
+            seed=seed * 7 + 1,
+        )
+        src = generate_source(spec)
+        assert_lemma(src)
+
+    @pytest.mark.parametrize("method", ["ssa", "reaching"])
+    def test_random_program_both_generators(self, method):
+        spec = WorkloadSpec(
+            name="randgen",
+            n_functions=6,
+            n_globals=4,
+            stmts_per_function=6,
+            loops_per_function=0,
+            recursion_cycle=0,
+            unique_callees=True,
+            seed=99,
+        )
+        assert_lemma(generate_source(spec), method=method)
+
+
+class TestStrictModeSoundnessInclusion:
+    """With reachability pruning but no widening, the sparse result
+    over-approximates the dense one (dead-path dependencies only add)."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sparse_over_approximates_dense(self, seed):
+        spec = WorkloadSpec(
+            name=f"inc{seed}",
+            n_functions=4,
+            n_globals=4,
+            stmts_per_function=6,
+            loops_per_function=0,
+            recursion_cycle=0,
+            unique_callees=True,
+            seed=seed + 100,
+        )
+        program = build_program(generate_source(spec))
+        pre = run_preanalysis(program)
+        dense = run_dense(program, pre, strict=True, widen=False)
+        sparse = run_sparse(program, pre, strict=True, widen=False)
+        for nid, dstate in dense.table.items():
+            sstate = sparse.table.get(nid)
+            for loc in sparse.defuse.d(nid):
+                dv = dstate.get(loc)
+                sv = sstate.get(loc) if sstate else None
+                if dv.is_bottom():
+                    continue
+                assert sv is not None and dv.leq(sv), (nid, loc, dv, sv)

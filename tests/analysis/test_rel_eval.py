@@ -1,0 +1,84 @@
+"""Relational expression evaluation (the paper's T transformation + p_x)."""
+
+from repro.analysis.preanalysis import run_preanalysis
+from repro.analysis.relational import (
+    PackState,
+    RelContext,
+    eval_interval,
+)
+from repro.domains.absloc import VarLoc
+from repro.domains.interval import Interval
+from repro.domains.octagon import Octagon
+from repro.domains.packs import build_packs
+from repro.ir.commands import EBinOp, ELval, ENum, EUnknown, EUnOp, VarLv
+from repro.ir.program import build_program
+
+
+def make_ctx():
+    program = build_program(
+        "int main(void) { int x = 1; int y = x + 2; return y; }"
+    )
+    pre = run_preanalysis(program)
+    packs = build_packs(program)
+    return RelContext(program, pre, packs), packs
+
+
+def state_with(packs, var, lo, hi):
+    state = PackState()
+    single = packs.singleton[var]
+    state.set(
+        single, Octagon.top(1).assign_interval(0, Interval.range(lo, hi))
+    )
+    return state
+
+
+X = VarLoc("x", "main")
+
+
+class TestEvalInterval:
+    def test_constant(self):
+        ctx, packs = make_ctx()
+        assert eval_interval(ENum(5), PackState(), ctx, None) == Interval.const(5)
+
+    def test_variable_projection(self):
+        ctx, packs = make_ctx()
+        state = state_with(packs, X, 2, 9)
+        got = eval_interval(ELval(VarLv("x", "main")), state, ctx, None)
+        assert got == Interval.range(2, 9)
+
+    def test_unknown_variable_is_top(self):
+        ctx, packs = make_ctx()
+        got = eval_interval(ELval(VarLv("zzz", "main")), PackState(), ctx, None)
+        assert got.is_top()
+
+    def test_arithmetic(self):
+        ctx, packs = make_ctx()
+        state = state_with(packs, X, 2, 4)
+        expr = EBinOp("*", ELval(VarLv("x", "main")), ENum(10))
+        assert eval_interval(expr, state, ctx, None) == Interval.range(20, 40)
+
+    def test_negation(self):
+        ctx, packs = make_ctx()
+        state = state_with(packs, X, 1, 3)
+        expr = EUnOp("-", ELval(VarLv("x", "main")))
+        assert eval_interval(expr, state, ctx, None) == Interval.range(-3, -1)
+
+    def test_comparison_to_boolean(self):
+        ctx, packs = make_ctx()
+        state = state_with(packs, X, 0, 100)
+        expr = EBinOp("<", ELval(VarLv("x", "main")), ENum(10))
+        got = eval_interval(expr, state, ctx, None)
+        assert got == Interval.range(0, 1)
+
+    def test_ewunknown_top(self):
+        ctx, packs = make_ctx()
+        assert eval_interval(EUnknown("ext"), PackState(), ctx, None).is_top()
+
+    def test_use_logging(self):
+        from repro.analysis.relational import RelAccessLog
+
+        ctx, packs = make_ctx()
+        state = state_with(packs, X, 1, 1)
+        log = RelAccessLog()
+        eval_interval(ELval(VarLv("x", "main")), state, ctx, log)
+        assert packs.singleton[X] in log.used

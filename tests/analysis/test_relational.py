@@ -1,0 +1,261 @@
+"""Packed relational (octagon) analysis tests — Section 4."""
+
+import pytest
+
+from repro.analysis.preanalysis import run_preanalysis
+from repro.analysis.relational import (
+    RelContext,
+    compute_rel_defuse,
+    eval_interval,
+    linearize,
+    run_rel_dense,
+    run_rel_sparse,
+)
+from repro.domains.absloc import RetLoc, VarLoc
+from repro.domains.interval import Interval
+from repro.domains.packs import Pack, build_packs
+from repro.ir.commands import EBinOp, ELval, ENum, EUnOp, VarLv
+from repro.ir.program import build_program
+
+
+def setup(src, **kw):
+    program = build_program(src)
+    pre = run_preanalysis(program)
+    packs = build_packs(program)
+    return program, pre, packs
+
+
+def node(program, fragment, proc=None):
+    for n in program.nodes():
+        if proc is not None and n.proc != proc:
+            continue
+        if fragment in str(n.cmd):
+            return n
+    raise AssertionError(fragment)
+
+
+class TestLinearize:
+    def test_constant(self):
+        lin = linearize(ENum(5))
+        assert lin.var is None and lin.const == Interval.const(5)
+
+    def test_variable(self):
+        lin = linearize(ELval(VarLv("x", "f")))
+        assert lin.var == VarLoc("x", "f") and lin.sign == 1
+
+    def test_var_plus_const(self):
+        lin = linearize(EBinOp("+", ELval(VarLv("x", "f")), ENum(3)))
+        assert lin.var == VarLoc("x", "f") and lin.const == Interval.const(3)
+
+    def test_const_minus_var(self):
+        lin = linearize(EBinOp("-", ENum(10), ELval(VarLv("x", "f"))))
+        assert lin.sign == -1 and lin.const == Interval.const(10)
+
+    def test_negated_var(self):
+        lin = linearize(EUnOp("-", ELval(VarLv("x", "f"))))
+        assert lin.sign == -1
+
+    def test_two_vars_rejected(self):
+        lin = linearize(
+            EBinOp("+", ELval(VarLv("x", "f")), ELval(VarLv("y", "f")))
+        )
+        assert lin is None
+
+    def test_nonlinear_rejected(self):
+        lin = linearize(EBinOp("*", ELval(VarLv("x", "f")), ENum(2)))
+        assert lin is None
+
+
+class TestRelationalPrecision:
+    def test_tracks_difference_through_loop(self):
+        """i + j invariant: octagons prove j = 10 − i, intervals cannot."""
+        src = """
+        int main(void) {
+          int i = 0; int j = 10;
+          while (i < 10) { i = i + 1; j = j - 1; }
+          return j;
+        }
+        """
+        program, pre, packs = setup(src)
+        res = run_rel_dense(program, pre, packs)
+        ctx = RelContext(program, pre, packs)
+        ret = node(program, "return main::j")
+        j_itv = res.interval_of(ret.nid, VarLoc("j", "main"), ctx)
+        assert j_itv.hi is not None and j_itv.hi <= 10
+
+    def test_relational_assume(self):
+        src = """
+        int main(void) {
+          int x; int y;
+          if (x >= 0 && x <= 100) {
+            y = x + 5;
+            if (y <= 50) { return x; }
+          }
+          return 0;
+        }
+        """
+        program, pre, packs = setup(src)
+        res = run_rel_dense(program, pre, packs)
+        ctx = RelContext(program, pre, packs)
+        ret = node(program, "return main::x")
+        x_itv = res.interval_of(ret.nid, VarLoc("x", "main"), ctx)
+        assert x_itv.hi is not None and x_itv.hi <= 45
+
+    def test_equality_tracked(self):
+        src = """
+        int main(void) {
+          int a; int b;
+          if (a >= 3 && a <= 9) {
+            b = a;
+            return b;
+          }
+          return 0;
+        }
+        """
+        program, pre, packs = setup(src)
+        res = run_rel_dense(program, pre, packs)
+        ctx = RelContext(program, pre, packs)
+        ret = node(program, "return main::b")
+        b_itv = res.interval_of(ret.nid, VarLoc("b", "main"), ctx)
+        assert b_itv == Interval.range(3, 9)
+
+    def test_return_value_through_call(self):
+        src = """
+        int bump(int v) { return v + 1; }
+        int main(void) {
+          int x;
+          if (x >= 0 && x <= 5) return bump(x);
+          return 0;
+        }
+        """
+        program, pre, packs = setup(src)
+        res = run_rel_dense(program, pre, packs)
+        ctx = RelContext(program, pre, packs)
+        ret = node(program, "return (bump::v + 1)", "bump")
+        r = res.interval_of(ret.nid, RetLoc("bump"), ctx)
+        assert r.leq(Interval.range(1, 6))
+
+    def test_indirect_store_havocs_targets(self):
+        src = """
+        int g;
+        int main(void) {
+          int *p = &g;
+          g = 3;
+          *p = 77;
+          return g;
+        }
+        """
+        program, pre, packs = setup(src)
+        res = run_rel_dense(program, pre, packs)
+        ctx = RelContext(program, pre, packs)
+        ret = node(program, "return g")
+        g_itv = res.interval_of(ret.nid, VarLoc("g"), ctx)
+        # havoc is sound: both the old and new value are covered
+        assert g_itv.contains(77)
+
+
+class TestPackDefUse:
+    def test_assignment_defines_packs_of_target(self):
+        src = """
+        int main(void) {
+          int x = 1; int y = x + 2;
+          return y;
+        }
+        """
+        program, pre, packs = setup(src)
+        ctx = RelContext(program, pre, packs)
+        du = compute_rel_defuse(program, pre, ctx)
+        n = node(program, "y := (main::x + 2)")
+        y = VarLoc("y", "main")
+        defined = du.d(n.nid)
+        assert all(y in p for p in defined)
+
+    def test_uses_include_singletons_of_rhs_vars(self):
+        src = """
+        int main(void) {
+          int x = 1; int y = x * x;
+          return y;
+        }
+        """
+        program, pre, packs = setup(src)
+        ctx = RelContext(program, pre, packs)
+        du = compute_rel_defuse(program, pre, ctx)
+        n = node(program, "y := (main::x * main::x)")
+        x_single = packs.singleton[VarLoc("x", "main")]
+        assert x_single in du.u(n.nid)
+
+
+class TestSparseRelational:
+    def test_matches_dense_on_defined_packs(self):
+        src = """
+        int main(void) {
+          int x = 1; int y = x + 2; int z = y + 3;
+          return z;
+        }
+        """
+        program, pre, packs = setup(src)
+        dense = run_rel_dense(program, pre, packs, strict=False, widen=False)
+        sparse = run_rel_sparse(program, pre, packs, strict=False, widen=False)
+        for nid in sorted(set(dense.table)):
+            for pack in sparse.defuse.d(nid):
+                ds = dense.table.get(nid)
+                ss = sparse.table.get(nid)
+                dv = ds.get(pack) if ds else None
+                sv = ss.get(pack) if ss else None
+                if dv is None or sv is None:
+                    continue
+                assert dv == sv, (nid, str(pack), str(dv), str(sv))
+
+    def test_sparse_keeps_relational_precision(self):
+        src = """
+        int main(void) {
+          int x; int y;
+          if (x >= 0 && x <= 100) {
+            y = x + 5;
+            if (y <= 50) return x;
+          }
+          return 0;
+        }
+        """
+        program, pre, packs = setup(src)
+        res = run_rel_sparse(program, pre, packs)
+        ctx = RelContext(program, pre, packs)
+        ret = node(program, "return main::x")
+        x_itv = res.interval_of(ret.nid, VarLoc("x", "main"), ctx)
+        assert x_itv.hi is not None and x_itv.hi <= 45
+
+    def test_sparse_completes_interprocedural_loop(self):
+        """Iteration counts only separate on large programs (Table 3);
+        here we check the sparse pipeline terminates and computes the same
+        final global facts as the dense one."""
+        src = """
+        int g0; int g1;
+        int f0(int a) { g0 = a; return a + 1; }
+        int f1(int a) { g1 = a; return f0(a) + 1; }
+        int main(void) {
+          int i; int t = 0;
+          for (i = 0; i < 5; i++) t = f1(t);
+          return t;
+        }
+        """
+        program, pre, packs = setup(src)
+        dense = run_rel_dense(program, pre, packs)
+        sparse = run_rel_sparse(program, pre, packs)
+        ctx = RelContext(program, pre, packs)
+        store = node(program, "g0 := f0::a", "f0")
+        dv = dense.interval_of(store.nid, VarLoc("g0"), ctx)
+        sv = sparse.interval_of(store.nid, VarLoc("g0"), ctx)
+        # with widening enabled, iteration order may make sparse wider but
+        # never wrong: the dense value must be contained
+        assert dv.leq(sv)
+        assert not sv.is_bottom()
+
+    def test_localized_dense_runs(self):
+        src = """
+        int g;
+        int touch(void) { g = g + 1; return g; }
+        int main(void) { g = 0; return touch(); }
+        """
+        program, pre, packs = setup(src)
+        res = run_rel_dense(program, pre, packs, localize=True)
+        assert res.table

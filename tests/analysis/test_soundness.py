@@ -1,0 +1,157 @@
+"""Soundness: every concrete execution state is covered by the abstract
+result — checked by running the IR interpreter and comparing observations
+at every visited control point, for all engines and modes."""
+
+import pytest
+
+from repro.analysis.dense import run_dense
+from repro.analysis.preanalysis import run_preanalysis
+from repro.analysis.sparse import run_sparse
+from repro.bench.codegen import WorkloadSpec, generate_source
+from repro.ir.interp import Interpreter
+from repro.ir.program import build_program
+
+
+def check_soundness(program, result, interp, restrict_to_defs=True):
+    """Every observed integer value must lie in the abstract interval at
+    that point (on defined locations, per Lemma 1's scope)."""
+    defuse = getattr(result, "defuse", None)
+    failures = []
+    for obs in interp.observations:
+        state = result.table.get(obs.nid)
+        for loc, val in obs.env.items():
+            if not isinstance(val, int):
+                continue
+            if restrict_to_defs and defuse is not None:
+                if loc not in defuse.d(obs.nid):
+                    continue
+            av = state.get(loc) if state is not None else None
+            if av is None or not av.itv.contains(val):
+                failures.append((obs.nid, str(loc), val, str(av)))
+    return failures
+
+
+def run_and_check(src, engine="sparse", fuel=500_000, **kw):
+    program = build_program(src)
+    pre = run_preanalysis(program)
+    if engine == "sparse":
+        result = run_sparse(program, pre, **kw)
+    elif engine == "base":
+        result = run_dense(program, pre, localize=True, **kw)
+    else:
+        result = run_dense(program, pre, **kw)
+    interp = Interpreter(program, fuel=fuel)
+    interp.run()
+    failures = check_soundness(
+        program, result, interp, restrict_to_defs=(engine == "sparse")
+    )
+    assert failures == [], failures[:5]
+
+
+FEATURE_PROGRAMS = {
+    "loops": """
+        int main(void) {
+          int i; int s = 0;
+          for (i = 0; i < 17; i++) s = s + i * i;
+          return s;
+        }
+    """,
+    "recursion": """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main(void) { return fib(9); }
+    """,
+    "pointers": """
+        int a; int b;
+        int main(void) {
+          int c = 1; int *p;
+          if (c) p = &a; else p = &b;
+          *p = 33;
+          return a;
+        }
+    """,
+    "arrays": """
+        int main(void) {
+          int buf[6]; int i; int t = 0;
+          for (i = 0; i < 6; i++) buf[i] = 2 * i;
+          for (i = 0; i < 6; i++) t = t + buf[i];
+          return t;
+        }
+    """,
+    "structs": """
+        struct pt { int x; int y; };
+        int main(void) {
+          struct pt p; struct pt q;
+          p.x = 2; p.y = 5;
+          q = p;
+          q.x = q.x * 10;
+          return q.x + p.y;
+        }
+    """,
+    "globals_through_calls": """
+        int g;
+        void add(int v) { g = g + v; }
+        int main(void) { g = 0; add(3); add(4); return g; }
+    """,
+    "function_pointers": """
+        int twice(int v) { return 2 * v; }
+        int thrice(int v) { return 3 * v; }
+        int main(void) {
+          int (*f)(int); int c = 1;
+          if (c) f = &twice; else f = &thrice;
+          return f(7);
+        }
+    """,
+    "division_and_mod": """
+        int main(void) {
+          int i; int acc = 0;
+          for (i = 1; i < 12; i++) acc = acc + (100 / i) % 7;
+          return acc;
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FEATURE_PROGRAMS))
+@pytest.mark.parametrize("engine", ["sparse", "base", "vanilla"])
+def test_feature_soundness(name, engine):
+    run_and_check(FEATURE_PROGRAMS[name], engine=engine)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_generated_program_soundness_sparse(seed):
+    spec = WorkloadSpec(
+        name=f"sound{seed}",
+        n_functions=5,
+        n_globals=4,
+        n_arrays=1,
+        stmts_per_function=7,
+        loops_per_function=1,
+        calls_per_function=2,
+        recursion_cycle=2,
+        seed=seed * 31 + 3,
+    )
+    run_and_check(generate_source(spec), engine="sparse", fuel=2_000_000)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_generated_program_soundness_vanilla(seed):
+    spec = WorkloadSpec(
+        name=f"soundv{seed}",
+        n_functions=4,
+        n_globals=3,
+        stmts_per_function=6,
+        loops_per_function=1,
+        recursion_cycle=0,
+        seed=seed * 17 + 11,
+    )
+    run_and_check(generate_source(spec), engine="vanilla", fuel=2_000_000)
+
+
+def test_nonstrict_mode_also_sound():
+    run_and_check(FEATURE_PROGRAMS["loops"], engine="sparse", strict=False)
+
+
+def test_narrowed_result_still_sound():
+    run_and_check(
+        FEATURE_PROGRAMS["loops"], engine="sparse", narrowing_passes=2
+    )

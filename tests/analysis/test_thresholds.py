@@ -1,0 +1,93 @@
+"""Threshold widening tests."""
+
+from repro.analysis.thresholds import collect_thresholds
+from repro.api import analyze
+from repro.domains.interval import Interval
+from repro.ir.program import build_program
+
+
+class TestIntervalThresholds:
+    def test_widen_stops_at_threshold(self):
+        a = Interval.range(0, 5)
+        b = Interval.range(0, 7)
+        assert a.widen(b, thresholds=(0, 10, 100)) == Interval.range(0, 10)
+
+    def test_widen_skips_smaller_thresholds(self):
+        a = Interval.range(0, 50)
+        b = Interval.range(0, 70)
+        assert a.widen(b, thresholds=(0, 10, 100)) == Interval.range(0, 100)
+
+    def test_widen_beyond_all_thresholds_is_inf(self):
+        a = Interval.range(0, 500)
+        b = Interval.range(0, 700)
+        assert a.widen(b, thresholds=(0, 10, 100)) == Interval.range(0, None)
+
+    def test_lower_bound_thresholds(self):
+        a = Interval.range(0, 5)
+        b = Interval.range(-3, 5)
+        assert a.widen(b, thresholds=(-10, 0, 10)) == Interval.range(-10, 5)
+
+    def test_still_an_upper_bound(self):
+        a = Interval.range(0, 5)
+        b = Interval.range(-50, 70)
+        w = a.widen(b, thresholds=(0, 10, 100))
+        assert a.leq(w) and b.leq(w)
+
+
+class TestCollection:
+    def test_comparison_constants_harvested(self):
+        program = build_program(
+            "int main(void) { int i = 0; while (i < 37) i = i + 1; return i; }"
+        )
+        ts = collect_thresholds(program)
+        assert 37 in ts and 36 in ts and 38 in ts and 0 in ts
+
+    def test_allocation_extents_harvested(self):
+        program = build_program("int a[24]; int main(void) { return 0; }")
+        assert 24 in collect_thresholds(program)
+
+    def test_sorted_and_bounded(self):
+        decls = " ".join(
+            f"if (x > {i * 3}) x = {i};" for i in range(100)
+        )
+        program = build_program(
+            f"int main(void) {{ int x = 0; {decls} return x; }}"
+        )
+        ts = collect_thresholds(program)
+        assert list(ts) == sorted(ts)
+        assert len(ts) <= 64
+
+
+class TestEndToEnd:
+    SRC = """
+    int main(void) {
+      int i = 0;
+      while (i < 100) i = i + 1;
+      return i;
+    }
+    """
+
+    def test_exact_bound_without_narrowing(self):
+        run = analyze(self.SRC, widening_thresholds="auto")
+        assert run.interval_at_exit("main", "i") == Interval.const(100)
+
+    def test_plain_widening_loses_bound(self):
+        run = analyze(self.SRC)
+        assert run.interval_at_exit("main", "i").hi is None
+
+    def test_dense_engine_supports_thresholds(self):
+        run = analyze(self.SRC, mode="vanilla", widening_thresholds="auto")
+        assert run.interval_at_exit("main", "i") == Interval.const(100)
+
+    def test_explicit_threshold_tuple(self):
+        run = analyze(self.SRC, widening_thresholds=(0, 100))
+        assert run.interval_at_exit("main", "i") == Interval.const(100)
+
+    def test_still_sound_with_thresholds(self):
+        from repro.ir.interp import Interpreter
+
+        run = analyze(self.SRC, widening_thresholds="auto")
+        interp = Interpreter(run.program)
+        concrete = interp.run()
+        assert run.interval_at_exit("main", "i").contains(100)
+        assert concrete == 100

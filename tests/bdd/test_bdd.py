@@ -1,0 +1,188 @@
+"""BDD package: unit tests plus hypothesis equivalence with truth tables."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.bdd import BDD, FALSE, TRUE
+
+N = 5  # variables for exhaustive checks
+
+
+def all_assignments(n=N):
+    return [tuple(bool((i >> k) & 1) for k in range(n)) for i in range(1 << n)]
+
+
+def table_of(bdd, f, n=N):
+    return frozenset(a for a in all_assignments(n) if bdd.evaluate(f, a))
+
+
+#: one shared manager for every generated formula — hash-consing is
+#: append-only, so reuse across examples is safe (and mixing node ids from
+#: different managers would be meaningless).
+_MGR = BDD(N)
+
+
+@st.composite
+def formulas(draw, depth=0):
+    """A random formula as (BDD node, python evaluator)."""
+    bdd = _MGR
+    choice = draw(st.integers(0, 6 if depth < 3 else 2))
+    if choice == 0:
+        return bdd, TRUE, (lambda a: True)
+    if choice == 1:
+        return bdd, FALSE, (lambda a: False)
+    if choice == 2:
+        i = draw(st.integers(0, N - 1))
+        return bdd, bdd.var(i), (lambda a, i=i: a[i])
+    _, f, ef = draw(formulas(depth + 1))
+    if choice == 3:
+        return bdd, bdd.negate(f), (lambda a, ef=ef: not ef(a))
+    _, g, eg = draw(formulas(depth + 1))
+    if choice == 4:
+        return bdd, bdd.apply_and(f, g), (lambda a, ef=ef, eg=eg: ef(a) and eg(a))
+    if choice == 5:
+        return bdd, bdd.apply_or(f, g), (lambda a, ef=ef, eg=eg: ef(a) or eg(a))
+    return bdd, bdd.apply_xor(f, g), (lambda a, ef=ef, eg=eg: ef(a) != eg(a))
+
+
+class TestConstruction:
+    def test_terminals(self):
+        b = BDD(2)
+        assert b.evaluate(TRUE, (False, False))
+        assert not b.evaluate(FALSE, (True, True))
+
+    def test_var(self):
+        b = BDD(2)
+        x0 = b.var(0)
+        assert b.evaluate(x0, (True, False))
+        assert not b.evaluate(x0, (False, True))
+
+    def test_nvar(self):
+        b = BDD(2)
+        assert b.evaluate(b.nvar(1), (False, False))
+        assert not b.evaluate(b.nvar(1), (False, True))
+
+    def test_hash_consing_shares_nodes(self):
+        b = BDD(3)
+        f1 = b.apply_and(b.var(0), b.var(1))
+        f2 = b.apply_and(b.var(0), b.var(1))
+        assert f1 == f2  # same node id
+
+    def test_reduction_eliminates_redundant_tests(self):
+        b = BDD(2)
+        # x0 ? x1 : x1  ==  x1
+        f = b.ite(b.var(0), b.var(1), b.var(1))
+        assert f == b.var(1)
+
+    def test_cube(self):
+        b = BDD(4)
+        c = b.cube([(0, True), (2, False)])
+        assert b.evaluate(c, (True, False, False, True))
+        assert not b.evaluate(c, (True, False, True, True))
+
+    def test_minterm(self):
+        b = BDD(3)
+        m = b.minterm([True, False, True])
+        assert table_of(b, m, 3) == {(True, False, True)}
+
+
+class TestOperations:
+    def test_demorgan(self):
+        b = BDD(3)
+        x, y = b.var(0), b.var(1)
+        lhs = b.negate(b.apply_and(x, y))
+        rhs = b.apply_or(b.negate(x), b.negate(y))
+        assert lhs == rhs
+
+    def test_double_negation(self):
+        b = BDD(3)
+        f = b.apply_or(b.var(0), b.var(2))
+        assert b.negate(b.negate(f)) == f
+
+    def test_diff(self):
+        b = BDD(2)
+        f = b.apply_diff(b.var(0), b.var(1))  # x0 ∧ ¬x1
+        assert table_of(b, f, 2) == {(True, False)}
+
+    def test_restrict(self):
+        b = BDD(2)
+        f = b.apply_and(b.var(0), b.var(1))
+        assert b.restrict(f, 0, True) == b.var(1)
+        assert b.restrict(f, 0, False) == FALSE
+
+    def test_exists(self):
+        b = BDD(2)
+        f = b.apply_and(b.var(0), b.var(1))
+        assert b.exists(f, {0}) == b.var(1)
+
+    def test_exists_multiple(self):
+        b = BDD(3)
+        f = b.apply_and(b.var(0), b.apply_and(b.var(1), b.var(2)))
+        assert b.exists(f, {0, 1}) == b.var(2)
+
+
+class TestCounting:
+    def test_sat_count_terminals(self):
+        b = BDD(4)
+        assert b.sat_count(TRUE, 4) == 16
+        assert b.sat_count(FALSE, 4) == 0
+
+    def test_sat_count_var(self):
+        b = BDD(4)
+        assert b.sat_count(b.var(2), 4) == 8
+
+    def test_sat_count_skipped_levels(self):
+        b = BDD(4)
+        f = b.apply_and(b.var(0), b.var(3))
+        assert b.sat_count(f, 4) == 4
+
+    def test_sat_iter_matches_count(self):
+        b = BDD(4)
+        f = b.apply_or(b.var(0), b.apply_and(b.var(1), b.var(3)))
+        sols = list(b.sat_iter(f, 4))
+        assert len(sols) == b.sat_count(f, 4)
+        assert len(set(sols)) == len(sols)
+
+
+class TestAgainstTruthTables:
+    @given(formulas())
+    @settings(max_examples=120, deadline=None)
+    def test_bdd_matches_evaluator(self, data):
+        bdd, f, ev = data
+        for a in all_assignments():
+            assert bdd.evaluate(f, a) == ev(a)
+
+    @given(formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_sat_count_matches_table(self, data):
+        bdd, f, ev = data
+        expected = sum(1 for a in all_assignments() if ev(a))
+        assert bdd.sat_count(f, N) == expected
+
+    @given(formulas(), st.integers(0, N - 1), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_restrict_matches_semantics(self, data, index, value):
+        bdd, f, ev = data
+        g = bdd.restrict(f, index, value)
+        for a in all_assignments():
+            forced = tuple(
+                value if i == index else bit for i, bit in enumerate(a)
+            )
+            assert bdd.evaluate(g, a) == ev(forced)
+
+    @given(formulas(), st.sets(st.integers(0, N - 1), max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_exists_matches_semantics(self, data, indices):
+        bdd, f, ev = data
+        g = bdd.exists(f, indices)
+        sorted_idx = sorted(indices)
+        for a in all_assignments():
+            options = []
+            for bits in range(1 << len(sorted_idx)):
+                candidate = list(a)
+                for pos, i in enumerate(sorted_idx):
+                    candidate[i] = bool((bits >> pos) & 1)
+                options.append(ev(tuple(candidate)))
+            assert bdd.evaluate(g, a) == any(options)

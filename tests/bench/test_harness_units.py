@@ -1,0 +1,65 @@
+"""Harness formatting/measurement unit tests."""
+
+from repro.bench.harness import (
+    Measurement,
+    _estimate_memory_mb,
+    _fmt_mem,
+    _fmt_time,
+    _mem_saving,
+    _speedup,
+)
+from repro.domains.absloc import VarLoc
+from repro.domains.state import AbsState
+from repro.domains.value import AbsValue
+
+
+def meas(t, m):
+    return Measurement(t, m)
+
+
+class TestFormatting:
+    def test_time_format(self):
+        assert _fmt_time(meas(1.5, 10)).strip() == "1.50"
+
+    def test_timeout_is_infinity(self):
+        assert _fmt_time(Measurement(None, None)) == "∞"
+        assert _fmt_mem(Measurement(None, None)) == "N/A"
+
+    def test_speedup(self):
+        assert _speedup(meas(10.0, 0), meas(2.0, 0)).strip() == "5.0x"
+
+    def test_speedup_with_timeout(self):
+        assert _speedup(Measurement(None, None), meas(1.0, 0)) == "N/A"
+        assert _speedup(meas(1.0, 0), Measurement(None, None)) == "N/A"
+
+    def test_mem_saving(self):
+        assert _mem_saving(meas(1, 100.0), meas(1, 25.0)).strip() == "75%"
+
+    def test_mem_saving_na(self):
+        assert _mem_saving(Measurement(None, None), meas(1, 1.0)) == "N/A"
+
+
+class TestMemoryModel:
+    def test_counts_state_entries(self):
+        class Result:
+            def __init__(self):
+                s = AbsState()
+                s.set(VarLoc("a"), AbsValue.of_const(1))
+                s.set(VarLoc("b"), AbsValue.of_const(2))
+                self.table = {1: s, 2: s.copy()}
+
+        mb = _estimate_memory_mb(Result())
+        assert mb > 0
+        # 4 entries × 200 bytes
+        assert abs(mb - 4 * 200 / 1e6) < 1e-9
+
+    def test_includes_dependency_storage(self):
+        from repro.analysis.datadep import DataDeps
+
+        class Result:
+            def __init__(self):
+                self.table = {}
+                self.deps = DataDeps()
+                self.deps.add(1, 2, VarLoc("x"))
+
+        assert _estimate_memory_mb(Result()) > 0

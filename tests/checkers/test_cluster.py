@@ -1,0 +1,90 @@
+"""Alarm clustering tests."""
+
+from repro.api import analyze
+from repro.checkers.cluster import cluster_alarms, triage_summary
+from repro.checkers.overrun import Verdict
+
+
+def clusters_for(src):
+    run = analyze(src)
+    reports = run.overrun_reports()
+    return cluster_alarms(run.program, reports), reports
+
+
+class TestClustering:
+    def test_dominating_alarm_leads(self):
+        src = """
+        int buf[4];
+        int main(void) {
+          int n = ext();
+          buf[n] = 1;        /* leader: unbounded n */
+          buf[n] = 2;        /* dominated: same offsets, after leader */
+          return 0;
+        }
+        """
+        clusters, reports = clusters_for(src)
+        multi = [c for c in clusters if c.followers]
+        assert multi and multi[0].followers
+
+    def test_unrelated_blocks_not_clustered(self):
+        src = """
+        int a[4]; int b[9];
+        int main(void) {
+          int n = ext();
+          a[n] = 1;
+          b[n] = 2;
+          return 0;
+        }
+        """
+        clusters, _ = clusters_for(src)
+        assert all(not c.followers for c in clusters)
+
+    def test_branch_alarms_stay_separate(self):
+        src = """
+        int buf[4];
+        int main(void) {
+          int n = ext(); int c = ext2();
+          if (c) { buf[n] = 1; } else { buf[n] = 2; }
+          return 0;
+        }
+        """
+        clusters, _ = clusters_for(src)
+        # neither branch dominates the other
+        assert all(not c.followers for c in clusters)
+
+    def test_all_alarms_covered_exactly_once(self):
+        src = """
+        int buf[4];
+        int main(void) {
+          int n = ext();
+          buf[n] = 1;
+          buf[n] = 2;
+          buf[n + 1] = 3;
+          return 0;
+        }
+        """
+        clusters, reports = clusters_for(src)
+        alarm_count = sum(
+            1 for r in reports if r.verdict is Verdict.ALARM
+        )
+        assert sum(c.size() for c in clusters) == alarm_count
+
+    def test_summary_readable(self):
+        src = """
+        int buf[4];
+        int main(void) {
+          int n = ext();
+          buf[n] = 1;
+          buf[n] = 2;
+          return 0;
+        }
+        """
+        clusters, _ = clusters_for(src)
+        text = triage_summary(clusters)
+        assert "clusters" in text and "line" in text
+
+    def test_no_alarms_no_clusters(self):
+        clusters, _ = clusters_for(
+            "int a[4]; int main(void) { a[1] = 1; return 0; }"
+        )
+        assert clusters == []

@@ -1,0 +1,128 @@
+"""Buffer-overrun checker tests."""
+
+import pytest
+
+from repro.api import analyze
+from repro.checkers.overrun import Verdict, alarms
+
+
+def reports_for(src, mode="sparse"):
+    return analyze(src, mode=mode).overrun_reports()
+
+
+def verdicts(src, mode="sparse"):
+    return {(r.access, r.verdict) for r in reports_for(src, mode)}
+
+
+class TestSafeAccesses:
+    def test_constant_in_bounds(self):
+        reports = reports_for("int a[10]; int main(void) { a[3] = 1; return 0; }")
+        assert all(r.verdict is Verdict.SAFE for r in reports)
+
+    def test_loop_bounded_by_size(self):
+        src = """
+        int a[10];
+        int main(void) {
+          int i;
+          for (i = 0; i < 10; i++) a[i] = i;
+          return 0;
+        }
+        """
+        reports = reports_for(src)
+        assert all(r.verdict is Verdict.SAFE for r in reports)
+
+    def test_heap_block_safe(self):
+        src = """
+        int main(void) {
+          int *p = (int*)malloc(8 * sizeof(int));
+          p[7] = 1;
+          return 0;
+        }
+        """
+        reports = reports_for(src)
+        assert any(r.verdict is Verdict.SAFE for r in reports)
+
+
+class TestAlarms:
+    def test_constant_overrun(self):
+        reports = reports_for("int a[10]; int main(void) { a[10] = 1; return 0; }")
+        assert alarms(reports)
+
+    def test_loop_off_by_one(self):
+        src = """
+        int a[10];
+        int main(void) {
+          int i;
+          for (i = 0; i <= 10; i++) a[i] = i;
+          return 0;
+        }
+        """
+        assert alarms(reports_for(src))
+
+    def test_negative_index(self):
+        src = "int a[4]; int main(void) { int i = -1; a[i] = 0; return 0; }"
+        assert alarms(reports_for(src))
+
+    def test_unbounded_index_alarms(self):
+        src = """
+        int a[4];
+        int main(void) { int n = external(); a[n] = 1; return 0; }
+        """
+        assert alarms(reports_for(src))
+
+    def test_pointer_arithmetic_overrun(self):
+        src = """
+        int a[4];
+        int main(void) { int *p = a; p = p + 6; *p = 1; return 0; }
+        """
+        assert alarms(reports_for(src))
+
+    def test_interprocedural_size_tracking(self):
+        src = """
+        void fill(int *buf, int n) {
+          int i;
+          for (i = 0; i < n; i++) buf[i] = i;
+        }
+        int small[4];
+        int main(void) { fill(small, 8); return 0; }
+        """
+        assert alarms(reports_for(src))
+
+
+class TestEngineAgreement:
+    SRC = """
+    int a[6];
+    int main(void) {
+      int i;
+      for (i = 0; i < 6; i++) a[i] = i;
+      a[9] = 1;
+      return 0;
+    }
+    """
+
+    def test_sparse_and_vanilla_agree(self):
+        assert verdicts(self.SRC, "sparse") == verdicts(self.SRC, "vanilla")
+
+    def test_sparse_and_base_agree(self):
+        assert verdicts(self.SRC, "sparse") == verdicts(self.SRC, "base")
+
+
+class TestReportContents:
+    def test_line_numbers_recorded(self):
+        src = "int a[4];\nint main(void) {\n  a[9] = 1;\n  return 0;\n}\n"
+        bad = alarms(reports_for(src))
+        assert bad and bad[0].line == 3
+
+    def test_offsets_and_sizes_reported(self):
+        src = "int a[4]; int main(void) { a[9] = 1; return 0; }"
+        (report,) = alarms(reports_for(src))
+        assert report.offset.contains(9)
+        assert report.size.contains(4)
+
+    def test_unknown_for_external_pointer(self):
+        src = """
+        int *mystery(void);
+        int main(void) { int *p = mystery(); p[3] = 1; return 0; }
+        """
+        reports = reports_for(src)
+        assert any(r.verdict is Verdict.UNKNOWN for r in reports)

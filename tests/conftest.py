@@ -1,0 +1,62 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dense import DenseResult, run_dense
+from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
+from repro.analysis.sparse import SparseResult, run_sparse
+from repro.domains.value import BOT as VALUE_BOT
+from repro.ir.program import Program, build_program
+
+
+def build(src: str) -> tuple[Program, PreAnalysis]:
+    program = build_program(src)
+    return program, run_preanalysis(program)
+
+
+def lemma_mode_mismatches(
+    src: str, method: str = "ssa", bypass: bool = True
+) -> list[tuple]:
+    """Run dense and sparse in Lemma mode (non-strict, no widening) and
+    return every disagreement on defined locations — Lemma 2 says this list
+    is empty. Only call on programs whose abstract chains are finite."""
+    program, pre = build(src)
+    dense = run_dense(program, pre, strict=False, widen=False)
+    sparse = run_sparse(
+        program, pre, method=method, bypass=bypass, strict=False, widen=False
+    )
+    return collect_mismatches(program, dense, sparse)
+
+
+def collect_mismatches(
+    program: Program, dense: DenseResult, sparse: SparseResult
+) -> list[tuple]:
+    out = []
+    for nid in sorted(set(dense.table) | set(sparse.table)):
+        for loc in sparse.defuse.d(nid):
+            ds = dense.table.get(nid)
+            ss = sparse.table.get(nid)
+            dv = ds.get(loc) if ds is not None else VALUE_BOT
+            sv = ss.get(loc) if ss is not None else VALUE_BOT
+            if dv != sv:
+                out.append((nid, str(program.node(nid).cmd), str(loc), dv, sv))
+    return out
+
+
+def exit_nid(program: Program, proc: str = "main") -> int:
+    node = program.cfgs[proc].exit
+    assert node is not None
+    return node.nid
+
+
+@pytest.fixture
+def simple_loop_src() -> str:
+    return """
+    int main(void) {
+      int i = 0; int s = 0;
+      while (i < 10) { s = s + i; i = i + 1; }
+      return s;
+    }
+    """

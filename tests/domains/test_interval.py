@@ -1,0 +1,285 @@
+"""Interval domain: unit tests + hypothesis lattice/soundness properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains.interval import BOOL, BOT, ONE, TOP, ZERO, Interval
+
+
+def itv(lo, hi):
+    return Interval.range(lo, hi)
+
+
+bounded = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def intervals(draw):
+    kind = draw(st.integers(0, 9))
+    if kind == 0:
+        return BOT
+    if kind == 1:
+        return TOP
+    lo = draw(st.one_of(st.none(), bounded))
+    hi = draw(st.one_of(st.none(), bounded))
+    if lo is not None and hi is not None and lo > hi:
+        lo, hi = hi, lo
+    return Interval.range(lo, hi)
+
+
+def members(iv: Interval, lo=-60, hi=60):
+    return [n for n in range(lo, hi + 1) if iv.contains(n)]
+
+
+class TestLatticeBasics:
+    def test_bottom_leq_everything(self):
+        assert BOT.leq(itv(3, 5))
+        assert BOT.leq(BOT)
+
+    def test_top_contains_everything(self):
+        assert itv(-1000, 1000).leq(TOP)
+
+    def test_const(self):
+        c = Interval.const(7)
+        assert c.is_const() and c.contains(7) and not c.contains(8)
+
+    def test_range_empty_when_inverted(self):
+        assert Interval.range(5, 3).is_bottom()
+
+    def test_join(self):
+        assert itv(0, 3).join(itv(5, 9)) == itv(0, 9)
+
+    def test_meet(self):
+        assert itv(0, 5).meet(itv(3, 9)) == itv(3, 5)
+
+    def test_meet_disjoint_is_bottom(self):
+        assert itv(0, 2).meet(itv(5, 9)).is_bottom()
+
+    def test_widen_blows_unstable_bounds(self):
+        assert itv(0, 3).widen(itv(0, 4)) == itv(0, None)
+        assert itv(0, 3).widen(itv(-1, 3)) == itv(None, 3)
+
+    def test_widen_keeps_stable_bounds(self):
+        assert itv(0, 5).widen(itv(1, 4)) == itv(0, 5)
+
+    def test_narrow_refines_infinite_bounds_only(self):
+        assert itv(0, None).narrow(itv(0, 10)) == itv(0, 10)
+        assert itv(0, 20).narrow(itv(0, 10)) == itv(0, 20)
+
+
+class TestArithmeticUnits:
+    def test_add(self):
+        assert itv(1, 2).add(itv(10, 20)) == itv(11, 22)
+
+    def test_add_unbounded(self):
+        assert itv(1, None).add(itv(1, 1)) == itv(2, None)
+
+    def test_neg(self):
+        assert itv(2, 5).neg() == itv(-5, -2)
+        assert itv(None, 3).neg() == itv(-3, None)
+
+    def test_sub(self):
+        assert itv(10, 12).sub(itv(1, 2)) == itv(8, 11)
+
+    def test_mul_signs(self):
+        assert itv(-2, 3).mul(itv(-5, 4)) == itv(-15, 12)
+
+    def test_mul_by_zero(self):
+        assert TOP.mul(ZERO) == ZERO
+
+    def test_div_positive(self):
+        assert itv(10, 20).div(itv(2, 5)) == itv(2, 10)
+
+    def test_div_by_exactly_zero_is_bottom(self):
+        assert itv(1, 5).div(ZERO).is_bottom()
+
+    def test_div_straddling_zero_splits(self):
+        result = itv(10, 10).div(itv(-2, 2))
+        assert result.contains(5) and result.contains(-5)
+
+    def test_mod_non_negative_small(self):
+        assert itv(0, 4).mod(itv(5, 5)) == itv(0, 4)  # unchanged: x < m
+
+    def test_mod_bounded_by_divisor(self):
+        result = itv(0, 100).mod(itv(7, 7))
+        assert result.leq(itv(0, 6))
+
+    def test_shift_left_constant(self):
+        assert itv(1, 3).shl(Interval.const(2)) == itv(4, 12)
+
+    def test_bitand_nonneg_bounded(self):
+        result = itv(0, 12).bitand(itv(0, 10))
+        assert result.leq(itv(0, 10))
+
+    def test_lnot(self):
+        assert ZERO.lnot() == ONE
+        assert itv(3, 9).lnot() == ZERO
+        assert itv(0, 5).lnot() == BOOL
+
+    def test_bnot(self):
+        assert Interval.const(0).bnot() == Interval.const(-1)
+
+
+class TestComparisons:
+    def test_definitely_less(self):
+        assert itv(0, 3).cmp("<", itv(5, 9)) == ONE
+
+    def test_definitely_not_less(self):
+        assert itv(5, 9).cmp("<", itv(0, 3)) == ZERO
+
+    def test_uncertain(self):
+        assert itv(0, 9).cmp("<", itv(5, 6)) == BOOL
+
+    def test_eq_consts(self):
+        assert Interval.const(4).cmp("==", Interval.const(4)) == ONE
+        assert Interval.const(4).cmp("==", Interval.const(5)) == ZERO
+
+    def test_neq_disjoint(self):
+        assert itv(0, 1).cmp("!=", itv(5, 6)) == ONE
+
+
+class TestFilters:
+    def test_filter_lt(self):
+        assert itv(0, 20).filter("<", Interval.const(10)) == itv(0, 9)
+
+    def test_filter_ge(self):
+        assert itv(0, 20).filter(">=", Interval.const(10)) == itv(10, 20)
+
+    def test_filter_eq(self):
+        assert itv(0, 20).filter("==", Interval.const(7)) == itv(7, 7)
+
+    def test_filter_neq_shaves_endpoint(self):
+        assert itv(0, 10).filter("!=", Interval.const(10)) == itv(0, 9)
+        assert itv(0, 10).filter("!=", Interval.const(0)) == itv(1, 10)
+
+    def test_filter_neq_interior_no_change(self):
+        assert itv(0, 10).filter("!=", Interval.const(5)) == itv(0, 10)
+
+    def test_filter_contradiction_is_bottom(self):
+        assert Interval.const(5).filter("!=", Interval.const(5)).is_bottom()
+        assert itv(0, 3).filter(">", Interval.const(9)).is_bottom()
+
+
+# --------------------------------------------------------------------------
+# hypothesis properties
+# --------------------------------------------------------------------------
+
+
+class TestLatticeLaws:
+    @given(intervals(), intervals())
+    def test_join_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(intervals(), intervals())
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(intervals(), intervals(), intervals())
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(intervals())
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(intervals(), intervals())
+    def test_meet_lower_bound(self, a, b):
+        m = a.meet(b)
+        assert m.leq(a) and m.leq(b)
+
+    @given(intervals(), intervals())
+    def test_widen_is_upper_bound(self, a, b):
+        w = a.widen(b)
+        assert a.leq(w) and b.leq(w)
+
+    @given(intervals(), intervals())
+    def test_leq_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+    @given(intervals())
+    def test_widening_chain_terminates(self, a):
+        """Any chain x, x▽f(x), ... stabilizes quickly for intervals."""
+        current = a
+        for step in range(8):
+            grown = current.add(Interval.const(1)).join(current)
+            nxt = current.widen(grown)
+            if nxt == current:
+                break
+            current = nxt
+        else:
+            pytest.fail("widening chain did not stabilize")
+
+
+class TestArithmeticSoundness:
+    """Abstract ops over-approximate the concrete ones on all members."""
+
+    @given(intervals(), intervals())
+    @settings(max_examples=60)
+    def test_add_sound(self, a, b):
+        for x in members(a)[:7]:
+            for y in members(b)[:7]:
+                assert a.add(b).contains(x + y)
+
+    @given(intervals(), intervals())
+    @settings(max_examples=60)
+    def test_mul_sound(self, a, b):
+        for x in members(a)[:7]:
+            for y in members(b)[:7]:
+                assert a.mul(b).contains(x * y)
+
+    @given(intervals(), intervals())
+    @settings(max_examples=60)
+    def test_div_sound(self, a, b):
+        quotient = a.div(b)
+        for x in members(a)[:7]:
+            for y in members(b)[:7]:
+                if y == 0:
+                    continue
+                q = abs(x) // abs(y)
+                q = q if (x >= 0) == (y >= 0) else -q
+                assert quotient.contains(q), (a, b, x, y, q, quotient)
+
+    @given(intervals(), intervals())
+    @settings(max_examples=60)
+    def test_mod_sound(self, a, b):
+        result = a.mod(b)
+        for x in members(a)[:7]:
+            for y in members(b)[:7]:
+                if y == 0:
+                    continue
+                q = abs(x) // abs(y)
+                q = q if (x >= 0) == (y >= 0) else -q
+                assert result.contains(x - q * y), (a, b, x, y)
+
+    @given(intervals(), intervals(), st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    @settings(max_examples=80)
+    def test_cmp_sound(self, a, b, op):
+        verdict = a.cmp(op, b)
+        import operator
+
+        fn = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+              ">=": operator.ge, "==": operator.eq, "!=": operator.ne}[op]
+        for x in members(a)[:6]:
+            for y in members(b)[:6]:
+                assert verdict.contains(int(fn(x, y)))
+
+    @given(intervals(), intervals(), st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+    @settings(max_examples=80)
+    def test_filter_sound(self, a, b, op):
+        """filter keeps every member that can satisfy the comparison."""
+        refined = a.filter(op, b)
+        import operator
+
+        fn = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+              ">=": operator.ge, "==": operator.eq, "!=": operator.ne}[op]
+        for x in members(a)[:8]:
+            if any(fn(x, y) for y in members(b)[:8]):
+                assert refined.contains(x), (a, b, op, x, refined)
+
+    @given(intervals(), intervals())
+    @settings(max_examples=60)
+    def test_filter_refines(self, a, b):
+        assert a.filter("<", b).leq(a)

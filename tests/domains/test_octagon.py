@@ -1,0 +1,200 @@
+"""Octagon domain: unit tests + hypothesis soundness against point sets."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains.interval import Interval
+from repro.domains.octagon import Octagon
+
+
+def top(n=2):
+    return Octagon.top(n)
+
+
+class TestBasics:
+    def test_top_projects_to_top(self):
+        assert top().project(0).is_top()
+
+    def test_bottom(self):
+        assert Octagon.bottom(2).is_bottom()
+        assert not top().is_bottom()
+
+    def test_assign_interval_roundtrip(self):
+        o = top().assign_interval(0, Interval.range(2, 9))
+        assert o.project(0) == Interval.range(2, 9)
+
+    def test_assign_var_plus(self):
+        o = top().assign_interval(0, Interval.range(0, 10))
+        o = o.assign_var_plus(1, 0, Interval.const(3))
+        assert o.project(1) == Interval.range(3, 13)
+
+    def test_assign_negated_var(self):
+        o = top().assign_interval(0, Interval.range(1, 5))
+        o = o.assign_var_plus(1, 0, Interval.const(0), negate=True)
+        assert o.project(1) == Interval.range(-5, -1)
+
+    def test_self_shift(self):
+        o = top().assign_interval(0, Interval.range(0, 4))
+        o = o.assign_var_plus(0, 0, Interval.const(2))
+        assert o.project(0) == Interval.range(2, 6)
+
+    def test_self_shift_preserves_relations(self):
+        o = top(2).assign_interval(0, Interval.range(0, 10))
+        o = o.assign_var_plus(1, 0, Interval.const(0))  # y == x
+        o = o.assign_var_plus(0, 0, Interval.const(1))  # x' = x + 1
+        refined = o.test_upper(0, 5)  # x' <= 5 → y <= 4
+        assert refined.project(1).hi == 4
+
+
+class TestRelationalPropagation:
+    def test_diff_constraint_propagates(self):
+        o = top(2).assign_interval(0, Interval.range(0, 100))
+        o = o.assign_var_plus(1, 0, Interval.const(1))  # y = x + 1
+        o = o.test_upper(1, 10)  # y <= 10
+        assert o.project(0).hi == 9
+
+    def test_test_var_eq(self):
+        o = top(2).assign_interval(0, Interval.range(3, 7))
+        o = o.test_var_eq(1, 0)
+        assert o.project(1) == Interval.range(3, 7)
+
+    def test_test_diff_upper(self):
+        o = top(2)
+        o = o.assign_interval(0, Interval.range(0, 10))
+        o = o.assign_interval(1, Interval.range(0, 10))
+        o = o.test_diff_upper(0, 1, -1.0)  # x - y <= -1, i.e. x < y
+        assert o.project(0).hi == 9
+
+    def test_infeasible_becomes_bottom(self):
+        o = top(1).test_upper(0, 3).test_lower(0, 5)
+        assert o.is_bottom()
+
+    def test_forget_drops_constraints(self):
+        o = top(2).assign_interval(0, Interval.range(1, 2))
+        o = o.assign_var_plus(1, 0, Interval.const(0))
+        o = o.forget(0)
+        assert o.project(0).is_top()
+        assert o.project(1) == Interval.range(1, 2)  # y keeps its bounds
+
+
+class TestLattice:
+    def test_join_of_points(self):
+        a = top(1).test_eq(0, 2)
+        b = top(1).test_eq(0, 8)
+        assert a.join(b).project(0) == Interval.range(2, 8)
+
+    def test_meet_refines(self):
+        a = top(1).test_upper(0, 10)
+        b = top(1).test_lower(0, 5)
+        assert a.meet(b).project(0) == Interval.range(5, 10)
+
+    def test_widen_unstable_to_inf(self):
+        a = top(1).assign_interval(0, Interval.range(0, 1))
+        b = top(1).assign_interval(0, Interval.range(0, 2))
+        assert a.widen(b).project(0) == Interval.range(0, None)
+
+    def test_narrow_recovers_bound(self):
+        a = top(1).assign_interval(0, Interval.range(0, None))
+        b = top(1).assign_interval(0, Interval.range(0, 10))
+        assert a.narrow(b).project(0) == Interval.range(0, 10)
+
+    def test_closure_idempotent(self):
+        o = (
+            top(3)
+            .assign_interval(0, Interval.range(0, 5))
+            .assign_var_plus(1, 0, Interval.const(1))
+            .test_upper(2, 9)
+        )
+        assert o.closed() == o.closed().closed()
+
+    def test_leq_reflexive_and_bottom(self):
+        o = top(2).test_upper(0, 5).closed()
+        assert o.leq(o)
+        assert Octagon.bottom(2).leq(o)
+        assert not o.leq(Octagon.bottom(2))
+
+
+# --------------------------------------------------------------------------
+# hypothesis: soundness against explicit point sets
+# --------------------------------------------------------------------------
+
+point = st.tuples(st.integers(-8, 8), st.integers(-8, 8))
+
+
+def octagon_of_points(points):
+    """Smallest octagon containing the given 2-D points (built by joins)."""
+    out = Octagon.bottom(2)
+    for x, y in points:
+        o = Octagon.top(2).test_eq(0, x).test_eq(1, y)
+        out = out.join(o)
+    return out.closed()
+
+
+class TestSoundnessProperties:
+    @given(st.lists(point, min_size=1, max_size=5))
+    @settings(max_examples=50)
+    def test_join_contains_all_points(self, points):
+        o = octagon_of_points(points)
+        xs = o.project(0)
+        ys = o.project(1)
+        for x, y in points:
+            assert xs.contains(x) and ys.contains(y)
+
+    @given(st.lists(point, min_size=1, max_size=4), st.integers(-8, 8))
+    @settings(max_examples=50)
+    def test_test_upper_sound(self, points, c):
+        o = octagon_of_points(points)
+        refined = o.test_upper(0, c)
+        surviving = [(x, y) for x, y in points if x <= c]
+        if surviving:
+            assert not refined.is_bottom()
+            for x, y in surviving:
+                assert refined.project(0).contains(x)
+                assert refined.project(1).contains(y)
+
+    @given(st.lists(point, min_size=1, max_size=4), st.integers(-3, 3))
+    @settings(max_examples=50)
+    def test_assign_var_plus_sound(self, points, c):
+        o = octagon_of_points(points)
+        assigned = o.assign_var_plus(1, 0, Interval.const(c))
+        for x, _y in points:
+            assert assigned.project(1).contains(x + c)
+
+    @given(st.lists(point, min_size=1, max_size=4),
+           st.lists(point, min_size=1, max_size=4))
+    @settings(max_examples=40)
+    def test_join_upper_bound(self, ps, qs):
+        a, b = octagon_of_points(ps), octagon_of_points(qs)
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(st.lists(point, min_size=1, max_size=4),
+           st.lists(point, min_size=1, max_size=4))
+    @settings(max_examples=40)
+    def test_widen_upper_bound(self, ps, qs):
+        a, b = octagon_of_points(ps), octagon_of_points(qs)
+        w = a.widen(b)
+        assert a.leq(w) and b.leq(w)
+
+    @given(st.lists(point, min_size=1, max_size=4))
+    @settings(max_examples=40)
+    def test_closure_preserves_meaning(self, ps):
+        o = octagon_of_points(ps)
+        c = o.closed()
+        for k in range(2):
+            assert c.project(k) == o.project(k)
+
+    @given(st.lists(point, min_size=1, max_size=3), st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_widening_chain_stabilizes(self, ps, step):
+        current = octagon_of_points(ps)
+        for _ in range(12):
+            shifted = current.assign_var_plus(0, 0, Interval.const(step))
+            grown = current.join(shifted)
+            nxt = current.widen(grown)
+            if nxt == current:
+                return
+            current = nxt
+        raise AssertionError("octagon widening chain did not stabilize")

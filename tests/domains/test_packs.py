@@ -1,0 +1,105 @@
+"""Variable-packing strategy tests (Section 6.2)."""
+
+from repro.domains.absloc import RetLoc, VarLoc
+from repro.domains.packs import PACK_SIZE_THRESHOLD, Pack, build_packs
+from repro.ir.program import build_program
+
+
+def packs_of(src):
+    return build_packs(build_program(src))
+
+
+class TestPackStructure:
+    def test_pack_members_sorted_unique(self):
+        p = Pack.of([VarLoc("b"), VarLoc("a"), VarLoc("b")])
+        assert len(p) == 2
+        assert p.members[0] == VarLoc("a")
+
+    def test_index(self):
+        p = Pack.of([VarLoc("a"), VarLoc("b")])
+        assert p.index(VarLoc("b")) == 1
+
+    def test_contains(self):
+        p = Pack.of([VarLoc("a")])
+        assert VarLoc("a") in p and VarLoc("z") not in p
+
+
+class TestStrategy:
+    def test_singletons_for_every_variable(self):
+        ps = packs_of(
+            "int main(void) { int a = 1; int b = a + 2; return b; }"
+        )
+        assert VarLoc("a", "main") in ps.singleton
+        assert VarLoc("b", "main") in ps.singleton
+
+    def test_statement_locality_groups(self):
+        ps = packs_of(
+            "int main(void) { int a = 1; int b = a + 2; return b; }"
+        )
+        joint = [
+            p
+            for p in ps.packs
+            if VarLoc("a", "main") in p and VarLoc("b", "main") in p
+        ]
+        assert joint
+
+    def test_unrelated_variables_not_grouped(self):
+        src = """
+        int main(void) {
+          int a = 1; int b = a + 1;   /* group {a, b} */
+          int x = 5; int y = x + 1;   /* group {x, y} */
+          return b;
+        }
+        """
+        ps = packs_of(src)
+        for p in ps.packs:
+            if VarLoc("a", "main") in p and len(p) > 1:
+                assert VarLoc("x", "main") not in p or VarLoc("b", "main") in p
+
+    def test_params_grouped_with_arguments(self):
+        src = """
+        int f(int v) { return v; }
+        int main(void) { int arg = 3; return f(arg); }
+        """
+        ps = packs_of(src)
+        joint = [
+            p
+            for p in ps.packs
+            if VarLoc("arg", "main") in p and VarLoc("v", "f") in p
+        ]
+        assert joint
+
+    def test_return_grouped_with_result(self):
+        src = """
+        int f(int v) { return v + 1; }
+        int main(void) { int r = f(1); return r; }
+        """
+        ps = packs_of(src)
+        assert any(
+            RetLoc("f") in p and VarLoc("v", "f") in p for p in ps.packs
+        )
+
+    def test_pointers_excluded(self):
+        src = "int main(void) { int x; int *p = &x; return x; }"
+        ps = packs_of(src)
+        assert VarLoc("p", "main") not in ps.by_var
+
+    def test_threshold_respected(self):
+        decls = " ".join(f"int v{i} = {i};" for i in range(20))
+        chain = " + ".join(f"v{i}" for i in range(20))
+        src = f"int main(void) {{ {decls} int t = {chain}; return t; }}"
+        ps = packs_of(src)
+        assert all(len(p) <= PACK_SIZE_THRESHOLD for p in ps.packs)
+
+    def test_average_size_reasonable(self):
+        """Paper reports average multi-pack sizes of 3–7."""
+        src = """
+        int f(int a, int b) { int c = a + b; return c * 2; }
+        int main(void) {
+          int x = 1; int y = x + 2; int z;
+          z = f(x, y);
+          return z;
+        }
+        """
+        ps = packs_of(src)
+        assert 2 <= ps.average_size() <= PACK_SIZE_THRESHOLD

@@ -1,0 +1,199 @@
+"""Abstract values (product domain) and abstract states."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains.absloc import AllocLoc, FieldLoc, FuncLoc, VarLoc
+from repro.domains.interval import Interval
+from repro.domains.state import AbsState
+from repro.domains.value import BOT, AbsValue, ArrayBlock
+
+X = VarLoc("x")
+Y = VarLoc("y", "f")
+HEAP = AllocLoc("site1")
+
+
+def val(lo, hi):
+    return AbsValue.of_interval(Interval.range(lo, hi))
+
+
+@st.composite
+def values(draw):
+    lo = draw(st.one_of(st.none(), st.integers(-20, 20)))
+    hi = draw(st.one_of(st.none(), st.integers(-20, 20)))
+    if lo is not None and hi is not None and lo > hi:
+        lo, hi = hi, lo
+    itv = Interval.range(lo, hi) if draw(st.booleans()) else Interval.bottom()
+    locs = draw(st.sets(st.sampled_from([X, Y, HEAP, FuncLoc("g")]), max_size=3))
+    blocks = ()
+    if draw(st.booleans()):
+        blocks = (ArrayBlock(HEAP, Interval.const(draw(st.integers(0, 5))),
+                             Interval.const(draw(st.integers(1, 10)))),)
+    return AbsValue(itv=itv, ptsto=frozenset(locs), arrays=blocks)
+
+
+class TestAbsLocs:
+    def test_var_loc_identity(self):
+        assert VarLoc("x") == VarLoc("x")
+        assert VarLoc("x", "f") != VarLoc("x", "g")
+
+    def test_summary_flags(self):
+        assert AllocLoc("s").is_summary()
+        assert not VarLoc("x").is_summary()
+        assert FieldLoc(AllocLoc("s"), "f").is_summary()
+        assert not FieldLoc(VarLoc("x"), "f").is_summary()
+
+    def test_total_order(self):
+        locs = [HEAP, X, Y, FuncLoc("m")]
+        assert sorted(locs) == sorted(locs[::-1])
+
+
+class TestAbsValue:
+    def test_bottom(self):
+        assert BOT.is_bottom()
+        assert not val(1, 2).is_bottom()
+
+    def test_join_combines_components(self):
+        a = AbsValue(itv=Interval.const(1), ptsto=frozenset({X}))
+        b = AbsValue(itv=Interval.const(5), ptsto=frozenset({Y}))
+        j = a.join(b)
+        assert j.itv == Interval.range(1, 5)
+        assert j.ptsto == {X, Y}
+
+    def test_join_merges_blocks_by_base(self):
+        b1 = AbsValue.of_block(ArrayBlock(HEAP, Interval.const(0), Interval.const(8)))
+        b2 = AbsValue.of_block(ArrayBlock(HEAP, Interval.const(3), Interval.const(8)))
+        j = b1.join(b2)
+        assert len(j.arrays) == 1
+        assert j.arrays[0].offset == Interval.range(0, 3)
+
+    def test_all_pointees_includes_blocks(self):
+        v = AbsValue(
+            ptsto=frozenset({X}),
+            arrays=(ArrayBlock(HEAP, Interval.const(0), Interval.const(4)),),
+        )
+        assert v.all_pointees() == {X, HEAP}
+
+    def test_truthiness_pointer_nonzero(self):
+        from repro.domains.interval import ONE
+
+        assert AbsValue.of_locs({X}).truthiness() == ONE
+
+    def test_truthiness_zero(self):
+        from repro.domains.interval import ZERO
+
+        assert AbsValue.of_const(0).truthiness() == ZERO
+
+    def test_block_shift(self):
+        blk = ArrayBlock(HEAP, Interval.const(2), Interval.const(10))
+        assert blk.shift(Interval.const(3)).offset == Interval.const(5)
+
+    @given(values(), values())
+    def test_join_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(values(), values())
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(values())
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(values(), values())
+    def test_widen_upper_bound(self, a, b):
+        w = a.widen(b)
+        assert a.leq(w) and b.leq(w)
+
+    @given(values(), values())
+    def test_leq_antisymmetry(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+
+class TestAbsState:
+    def test_missing_is_bottom(self):
+        assert AbsState().get(X).is_bottom()
+
+    def test_set_and_get(self):
+        s = AbsState()
+        s.set(X, val(1, 2))
+        assert s.get(X) == val(1, 2)
+
+    def test_setting_bottom_removes(self):
+        s = AbsState()
+        s.set(X, val(1, 2))
+        s.set(X, BOT)
+        assert X not in s
+
+    def test_weak_set_joins(self):
+        s = AbsState()
+        s.set(X, val(0, 0))
+        s.weak_set(X, val(5, 5))
+        assert s.get(X) == val(0, 5)
+
+    def test_update_locs_strong_single(self):
+        s = AbsState()
+        s.set(X, val(0, 0))
+        s.update_locs({X}, val(9, 9))
+        assert s.get(X) == val(9, 9)
+
+    def test_update_locs_weak_for_summary(self):
+        s = AbsState()
+        s.set(HEAP, val(0, 0))
+        s.update_locs({HEAP}, val(9, 9))
+        assert s.get(HEAP) == val(0, 9)
+
+    def test_update_locs_weak_for_multiple(self):
+        s = AbsState()
+        s.set(X, val(0, 0))
+        s.set(Y, val(1, 1))
+        s.update_locs({X, Y}, val(9, 9))
+        assert s.get(X) == val(0, 9)
+        assert s.get(Y) == val(1, 9)
+
+    def test_restrict_and_remove(self):
+        s = AbsState()
+        s.set(X, val(1, 1))
+        s.set(Y, val(2, 2))
+        assert s.restrict({X}).locations() == {X}
+        assert s.remove({X}).locations() == {Y}
+
+    def test_join_with_reports_change(self):
+        a = AbsState()
+        b = AbsState()
+        b.set(X, val(1, 1))
+        assert a.join_with(b) is True
+        assert a.join_with(b) is False
+
+    def test_widen_with(self):
+        a = AbsState()
+        a.set(X, val(0, 0))
+        b = AbsState()
+        b.set(X, val(0, 5))
+        assert a.widen_with(b)
+        assert a.get(X) == val(0, None)
+
+    def test_leq(self):
+        a = AbsState()
+        a.set(X, val(1, 2))
+        b = AbsState()
+        b.set(X, val(0, 5))
+        assert a.leq(b) and not b.leq(a)
+
+    def test_delta_items_detects_changes_only(self):
+        a = AbsState()
+        a.set(X, val(1, 1))
+        a.set(Y, val(2, 2))
+        b = a.copy()
+        b.set(Y, val(3, 3))
+        changed = dict(b.delta_items(a))
+        assert list(changed) == [Y]
+
+    def test_copy_independent(self):
+        a = AbsState()
+        a.set(X, val(1, 1))
+        b = a.copy()
+        b.set(X, val(9, 9))
+        assert a.get(X) == val(1, 1)

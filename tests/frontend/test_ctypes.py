@@ -1,0 +1,72 @@
+"""C type model tests."""
+
+from repro.frontend.ctypes import (
+    INT,
+    VOID,
+    ArrayType,
+    FuncType,
+    IntType,
+    PointerType,
+    StructLayout,
+    StructType,
+    strip_arrays,
+)
+
+
+class TestPredicates:
+    def test_int_is_scalar(self):
+        assert IntType("long").is_scalar()
+
+    def test_pointer_is_pointer(self):
+        assert PointerType(INT).is_pointer()
+        assert not PointerType(INT).is_scalar()
+
+    def test_array_is_array(self):
+        assert ArrayType(INT, 4).is_array()
+
+    def test_struct_is_struct(self):
+        assert StructType("s").is_struct()
+
+    def test_void(self):
+        assert not VOID.is_scalar()
+
+
+class TestEquality:
+    def test_int_types_by_name(self):
+        assert IntType("int") == IntType("int")
+        assert IntType("int") != IntType("char")
+
+    def test_nested_pointer_equality(self):
+        assert PointerType(PointerType(INT)) == PointerType(PointerType(INT))
+
+    def test_array_length_matters(self):
+        assert ArrayType(INT, 3) != ArrayType(INT, 4)
+
+
+class TestStructLayout:
+    def test_field_lookup(self):
+        layout = StructLayout("p", [("x", INT), ("y", PointerType(INT))])
+        assert layout.field_type("x") == INT
+        assert layout.field_type("y") == PointerType(INT)
+        assert layout.field_type("z") is None
+
+    def test_field_names_ordered(self):
+        layout = StructLayout("p", [("b", INT), ("a", INT)])
+        assert layout.field_names() == ["b", "a"]
+
+
+class TestDecay:
+    def test_array_decays_to_pointer(self):
+        assert strip_arrays(ArrayType(INT, 8)) == PointerType(INT)
+
+    def test_non_array_unchanged(self):
+        assert strip_arrays(INT) == INT
+
+
+class TestFormatting:
+    def test_str_forms(self):
+        assert str(PointerType(INT)) == "int*"
+        assert str(ArrayType(INT, 5)) == "int[5]"
+        assert str(StructType("p")) == "struct p"
+        assert str(FuncType(INT, (INT,))) == "int(int)"
+        assert str(FuncType(INT, (), True)) == "int(...)"

@@ -1,0 +1,180 @@
+"""AST inliner tests: semantic preservation and precision gains."""
+
+import pytest
+
+from repro.api import analyze
+from repro.frontend import parse
+from repro.frontend.inliner import inline_unit
+from repro.ir.interp import run_program
+from repro.ir.program import ProgramBuilder
+
+
+def both_programs(src, **kw):
+    original = ProgramBuilder(parse(src)).build()
+    inlined_unit, count = inline_unit(parse(src), **kw)
+    inlined = ProgramBuilder(inlined_unit).build()
+    return original, inlined, count
+
+
+def assert_same_result(src, **kw):
+    original, inlined, count = both_programs(src, **kw)
+    assert run_program(original) == run_program(inlined)
+    return count
+
+
+class TestSemanticPreservation:
+    def test_simple_call(self):
+        count = assert_same_result(
+            "int sq(int x) { return x * x; } "
+            "int main(void) { return sq(7); }"
+        )
+        assert count == 1
+
+    def test_nested_calls(self):
+        assert_same_result(
+            "int add(int a, int b) { return a + b; } "
+            "int main(void) { return add(add(1, 2), add(3, 4)); }"
+        )
+
+    def test_multiple_returns(self):
+        assert_same_result(
+            """
+            int clamp(int v, int lo, int hi) {
+              if (v < lo) return lo;
+              if (v > hi) return hi;
+              return v;
+            }
+            int main(void) { return clamp(15, 0, 9) + clamp(-3, 0, 9); }
+            """
+        )
+
+    def test_locals_renamed(self):
+        assert_same_result(
+            """
+            int f(int x) { int t = x * 2; return t + 1; }
+            int main(void) { int t = 100; return f(3) + t; }
+            """
+        )
+
+    def test_call_in_loop_body(self):
+        assert_same_result(
+            """
+            int inc(int v) { return v + 1; }
+            int main(void) {
+              int i; int s = 0;
+              for (i = 0; i < 5; i++) s = inc(s);
+              return s;
+            }
+            """
+        )
+
+    def test_global_side_effects_ordered(self):
+        assert_same_result(
+            """
+            int g;
+            int bump(int v) { g = g + v; return g; }
+            int main(void) { g = 0; return bump(1) * 10 + bump(2); }
+            """
+        )
+
+    def test_void_like_callee(self):
+        assert_same_result(
+            """
+            int g;
+            int set_g(int v) { g = v; return 0; }
+            int main(void) { set_g(5); return g; }
+            """
+        )
+
+    def test_callee_with_early_loop_return(self):
+        assert_same_result(
+            """
+            int find(int limit) {
+              int i;
+              for (i = 0; i < 10; i++) {
+                if (i * i > limit) return i;
+              }
+              return -1;
+            }
+            int main(void) { return find(10) + find(200); }
+            """
+        )
+
+
+class TestInliningPolicy:
+    def test_recursive_functions_kept(self):
+        src = (
+            "int fact(int n) { if (n <= 1) return 1; "
+            "return n * fact(n - 1); } "
+            "int main(void) { return fact(5); }"
+        )
+        _orig, _inl, count = both_programs(src)
+        assert count == 0
+        assert_same_result(src)
+
+    def test_large_functions_kept(self):
+        body = " ".join(f"x = x + {i};" for i in range(40))
+        src = (
+            f"int big(int x) {{ {body} return x; }} "
+            "int main(void) { return big(1); }"
+        )
+        _o, _i, count = both_programs(src, max_stmts=12)
+        assert count == 0
+
+    def test_address_taken_functions_kept(self):
+        src = """
+        int f(int x) { return x + 1; }
+        int main(void) {
+          int (*fp)(int) = &f;
+          return fp(1) + f(2);
+        }
+        """
+        _o, _i, count = both_programs(src)
+        assert count == 0
+
+    def test_depth_bounded_nesting(self):
+        src = """
+        int a(int x) { return x + 1; }
+        int b(int x) { return a(x) + 1; }
+        int c(int x) { return b(x) + 1; }
+        int main(void) { return c(0); }
+        """
+        count = assert_same_result(src, max_depth=3)
+        assert count >= 3
+
+
+class TestPrecisionGain:
+    def test_inlining_separates_call_sites(self):
+        """Context-insensitivity joins both call sites' arguments; the
+        inlined copies keep them apart."""
+        src = """
+        int id(int v) { return v; }
+        int main(void) {
+          int small = id(1);
+          int big = id(1000);
+          return small + big;
+        }
+        """
+        plain = analyze(src)
+        inlined_unit, count = inline_unit(parse(src))
+        assert count == 2
+        inlined_prog = ProgramBuilder(inlined_unit).build()
+        from repro.analysis.sparse import run_sparse
+        from repro.domains.absloc import VarLoc
+
+        res = run_sparse(inlined_prog)
+        ret = next(
+            n
+            for n in inlined_prog.cfgs["main"].nodes
+            if "return" in str(n.cmd)
+        )
+        small = res.table[ret.nid]
+        # the merged analysis gives small ∈ [1, 1000]; inlined is exact
+        plain_small = plain.interval_at_exit("main", "small")
+        # merged call sites: small absorbs 1000 (and may widen to +∞)
+        assert plain_small.hi is None or plain_small.hi >= 1000
+        # after inlining, small's dependency carries exactly [1,1]
+        from repro.api import AnalysisRun
+
+        run2 = AnalysisRun(inlined_prog, res.pre, "interval", "sparse", res)
+        assert run2.interval_at_exit("main", "small").hi == 1

@@ -1,0 +1,160 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import TokenKind, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)[:-1]]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+def values(src):
+    return [t.value for t in tokenize(src)[:-1]]
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert values("42") == [42]
+
+    def test_zero(self):
+        assert values("0") == [0]
+
+    def test_hex(self):
+        assert values("0xFF 0x10") == [255, 16]
+
+    def test_octal(self):
+        assert values("0755") == [0o755]
+
+    def test_float(self):
+        assert values("3.25") == [3.25]
+
+    def test_float_exponent(self):
+        assert values("1e3 2.5e-2") == [1000.0, 0.025]
+
+    def test_suffixes_ignored(self):
+        assert values("10u 10L 10UL 10ull") == [10, 10, 10, 10]
+
+    def test_number_kind(self):
+        assert kinds("123") == [TokenKind.NUMBER]
+
+
+class TestIdentifiersAndKeywords:
+    def test_identifier(self):
+        toks = tokenize("foo_bar123")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].text == "foo_bar123"
+
+    def test_underscore_start(self):
+        assert tokenize("_x")[0].kind is TokenKind.IDENT
+
+    def test_keywords(self):
+        for kw in ("int", "while", "return", "struct", "sizeof"):
+            assert tokenize(kw)[0].kind is TokenKind.KEYWORD
+
+    def test_keyword_prefix_is_ident(self):
+        assert tokenize("integer")[0].kind is TokenKind.IDENT
+
+
+class TestCharAndString:
+    def test_char(self):
+        assert values("'a'") == [ord("a")]
+
+    def test_char_escape(self):
+        assert values(r"'\n' '\t' '\0' '\\'") == [10, 9, 0, 92]
+
+    def test_hex_escape(self):
+        assert values(r"'\x41'") == [65]
+
+    def test_string(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_string_with_escapes(self):
+        assert values(r'"a\nb"') == ["a\nb"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+
+class TestOperators:
+    def test_multi_char_operators(self):
+        assert texts("a <<= b >>= c") == ["a", "<<=", "b", ">>=", "c"]
+
+    def test_two_char_operators(self):
+        ops = "-> ++ -- << >> <= >= == != && || += -= *= /= %="
+        lexed = texts(ops)
+        assert lexed == ops.split()
+
+    def test_single_char_operators(self):
+        assert texts("a+b*c") == ["a", "+", "b", "*", "c"]
+
+    def test_arrow_vs_minus(self):
+        assert texts("a->b - c") == ["a", "->", "b", "-", "c"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+
+    def test_unknown_char(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_preprocessor_skipped(self):
+        assert texts("#include <stdio.h>\nint x;") == ["int", "x", ";"]
+
+    def test_preprocessor_continuation(self):
+        assert texts("#define A \\\n 1\nint x;") == ["int", "x", ";"]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].pos.line, toks[0].pos.column) == (1, 1)
+        assert (toks[1].pos.line, toks[1].pos.column) == (2, 3)
+
+    def test_eof_token(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is TokenKind.EOF
+
+    def test_adjacent_strings_kept_separate_by_lexer(self):
+        toks = tokenize('"a" "b"')
+        assert [t.kind for t in toks[:-1]] == [TokenKind.STRING] * 2
+
+
+class TestEofRegressions:
+    """Numbers at end-of-input: `"" in "uUlL"` is True, so every membership
+    loop must guard against the empty peek (used to hang)."""
+
+    def test_bare_number_at_eof(self):
+        assert values("42") == [42]
+
+    def test_hex_at_eof(self):
+        assert values("0x1F") == [31]
+
+    def test_zero_at_eof(self):
+        assert values("0") == [0]
+
+    def test_float_at_eof(self):
+        assert values("1.5") == [1.5]
+
+    def test_suffix_at_eof(self):
+        assert values("7UL") == [7]

@@ -1,0 +1,137 @@
+"""Mini-preprocessor tests."""
+
+import pytest
+
+from repro.frontend import parse
+from repro.frontend.preprocessor import PreprocessError, preprocess
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        out = preprocess("#define N 64\nint a[N];\n")
+        assert "int a[64];" in out
+
+    def test_define_without_body(self):
+        out = preprocess("#define FLAG\nint x;\n")
+        assert "int x;" in out
+
+    def test_chained_expansion(self):
+        out = preprocess("#define A B\n#define B 7\nint x = A;\n")
+        assert "int x = 7;" in out
+
+    def test_undef(self):
+        out = preprocess("#define N 1\n#undef N\nint x = N;\n")
+        assert "int x = N;" in out
+
+    def test_no_partial_identifier_expansion(self):
+        out = preprocess("#define N 1\nint NEXT = 2;\n")
+        assert "NEXT" in out
+
+    def test_predefines(self):
+        out = preprocess("int a[SIZE];\n", defines={"SIZE": "8"})
+        assert "int a[8];" in out
+
+    def test_recursive_macro_rejected(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#define A A + 1\nint x = A;\n")
+
+
+class TestFunctionMacros:
+    def test_basic_substitution(self):
+        out = preprocess(
+            "#define SQR(x) ((x) * (x))\nint y = SQR(3);\n"
+        )
+        assert "((3) * (3))" in out
+
+    def test_two_parameters(self):
+        out = preprocess(
+            "#define MIN(a, b) ((a) < (b) ? (a) : (b))\nint m = MIN(2, 9);\n"
+        )
+        assert "((2) < (9) ? (2) : (9))" in out
+
+    def test_nested_call_arguments(self):
+        out = preprocess(
+            "#define ID(x) (x)\nint y = ID(f(1, 2));\n"
+        )
+        assert "(f(1, 2))" in out
+
+    def test_name_without_parens_not_expanded(self):
+        out = preprocess("#define F(x) (x)\nint y = F;\n")
+        assert "int y = F;" in out
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#define TWO(a, b) a + b\nint x = TWO(1);\n")
+
+
+class TestConditionals:
+    def test_if_zero_drops(self):
+        out = preprocess("#if 0\nint dead;\n#endif\nint live;\n")
+        assert "dead" not in out and "live" in out
+
+    def test_ifdef(self):
+        src = "#define ON\n#ifdef ON\nint a;\n#endif\n#ifdef OFF\nint b;\n#endif\n"
+        out = preprocess(src)
+        assert "int a;" in out and "int b;" not in out
+
+    def test_ifndef_else(self):
+        src = "#ifndef X\nint yes;\n#else\nint no;\n#endif\n"
+        out = preprocess(src)
+        assert "yes" in out and "no" not in out
+
+    def test_defined_operator(self):
+        src = "#define A 1\n#if defined(A) && !defined(B)\nint ok;\n#endif\n"
+        assert "ok" in preprocess(src)
+
+    def test_elif(self):
+        src = "#if 0\nint a;\n#elif 1\nint b;\n#else\nint c;\n#endif\n"
+        out = preprocess(src)
+        assert "int b;" in out and "int a;" not in out and "int c;" not in out
+
+    def test_nested_conditionals(self):
+        src = (
+            "#if 1\n#if 0\nint dead;\n#endif\nint live;\n#endif\n"
+        )
+        out = preprocess(src)
+        assert "live" in out and "dead" not in out
+
+    def test_unbalanced_endif(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#endif\n")
+
+    def test_unterminated_if(self):
+        with pytest.raises(PreprocessError):
+            preprocess("#if 1\nint x;\n")
+
+
+class TestIntegration:
+    def test_include_dropped(self):
+        out = preprocess('#include <stdio.h>\nint x;\n')
+        assert "include" not in out and "int x;" in out
+
+    def test_line_numbers_preserved(self):
+        out = preprocess("#define N 4\n\nint a[N];\n")
+        assert out.splitlines()[2] == "int a[4];"
+
+    def test_preprocessed_source_parses_and_analyzes(self):
+        src = """
+#define CAP 16
+#define INC(v) ((v) + 1)
+#ifdef DEBUG
+int debug_buf[999];
+#endif
+int buf[CAP];
+int main(void) {
+  int i = 0;
+  while (i < CAP) { buf[i] = INC(i); i = INC(i); }
+  return buf[0];
+}
+"""
+        from repro.api import analyze
+
+        text = preprocess(src)
+        unit = parse(text)
+        assert unit.function("main") is not None
+        run = analyze(text)
+        reports = run.overrun_reports()
+        assert all(r.verdict.value != "alarm" for r in reports)

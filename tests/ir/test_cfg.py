@@ -1,0 +1,83 @@
+"""ProcCFG structure utilities."""
+
+from repro.ir.cfg import NodeFactory, ProcCFG
+from repro.ir.commands import CSet, CSkip, ENum, VarLv
+from repro.ir.program import build_program
+
+
+def chain(*cmds):
+    factory = NodeFactory()
+    cfg = ProcCFG("t", factory)
+    nodes = [cfg.add_node(c) for c in cmds]
+    for a, b in zip(nodes, nodes[1:]):
+        cfg.add_edge(a, b)
+    cfg.entry, cfg.exit = nodes[0], nodes[-1]
+    return cfg, nodes
+
+
+class TestEdges:
+    def test_add_edge_deduplicates(self):
+        cfg, nodes = chain(CSkip(), CSkip())
+        cfg.add_edge(nodes[0], nodes[1])
+        assert cfg.succs[nodes[0].nid] == [nodes[1].nid]
+        assert cfg.preds[nodes[1].nid] == [nodes[0].nid]
+
+    def test_successors_predecessors(self):
+        cfg, nodes = chain(CSkip(), CSet(VarLv("x"), ENum(1)), CSkip())
+        assert cfg.successors(nodes[0]) == [nodes[1]]
+        assert cfg.predecessors(nodes[2]) == [nodes[1]]
+
+    def test_global_node_ids_unique(self):
+        factory = NodeFactory()
+        a = ProcCFG("a", factory)
+        b = ProcCFG("b", factory)
+        n1 = a.add_node(CSkip())
+        n2 = b.add_node(CSkip())
+        assert n1.nid != n2.nid
+
+
+class TestRemoveUnreachable:
+    def test_drops_orphans(self):
+        cfg, nodes = chain(CSkip(), CSkip())
+        orphan = cfg.add_node(CSet(VarLv("dead"), ENum(0)))
+        removed = cfg.remove_unreachable()
+        assert removed == 1
+        assert orphan not in cfg.nodes
+
+    def test_keeps_exit(self):
+        cfg, nodes = chain(CSkip(), CSkip())
+        cfg.remove_unreachable()
+        assert cfg.exit in cfg.nodes
+
+
+class TestCompressSkips:
+    def test_splices_linear_skip(self):
+        cfg, nodes = chain(
+            CSet(VarLv("a"), ENum(1)),
+            CSkip("mid"),
+            CSet(VarLv("b"), ENum(2)),
+        )
+        # entry/exit are protected, so wrap with real entry/exit markers
+        cfg.entry, cfg.exit = nodes[0], nodes[2]
+        removed = cfg.compress_skips()
+        assert removed == 1
+        assert nodes[2].nid in cfg.succs[nodes[0].nid]
+
+    def test_branch_skips_kept(self):
+        factory = NodeFactory()
+        cfg = ProcCFG("t", factory)
+        top = cfg.add_node(CSkip("branch"))
+        left = cfg.add_node(CSet(VarLv("x"), ENum(1)))
+        right = cfg.add_node(CSet(VarLv("x"), ENum(2)))
+        cfg.add_edge(top, left)
+        cfg.add_edge(top, right)
+        cfg.entry = top
+        cfg.exit = right
+        assert cfg.compress_skips() == 0
+
+
+class TestDot:
+    def test_dot_output(self):
+        program = build_program("int main(void) { int x = 1; return x; }")
+        dot = program.cfgs["main"].to_dot()
+        assert dot.startswith("digraph") and "->" in dot

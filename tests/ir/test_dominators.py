@@ -1,0 +1,94 @@
+"""Dominator / dominance-frontier tests on hand-built graphs."""
+
+from repro.ir.dominators import compute_dominators, iterated_frontier
+
+
+def graph(edges):
+    succs: dict = {}
+    preds: dict = {}
+    for a, b in edges:
+        succs.setdefault(a, []).append(b)
+        preds.setdefault(b, []).append(a)
+        succs.setdefault(b, [])
+        preds.setdefault(a, [])
+    return succs, preds
+
+
+class TestDominators:
+    def test_straight_line(self):
+        succs, preds = graph([(1, 2), (2, 3)])
+        info = compute_dominators(1, succs, preds)
+        assert info.idom == {2: 1, 3: 2}
+
+    def test_diamond(self):
+        succs, preds = graph([(1, 2), (1, 3), (2, 4), (3, 4)])
+        info = compute_dominators(1, succs, preds)
+        assert info.idom[4] == 1  # join dominated by the branch point
+
+    def test_loop(self):
+        succs, preds = graph([(1, 2), (2, 3), (3, 2), (2, 4)])
+        info = compute_dominators(1, succs, preds)
+        assert info.idom[2] == 1
+        assert info.idom[3] == 2
+        assert info.idom[4] == 2
+
+    def test_dominates_is_reflexive(self):
+        succs, preds = graph([(1, 2)])
+        info = compute_dominators(1, succs, preds)
+        assert info.dominates(1, 1)
+        assert info.dominates(2, 2)
+
+    def test_dominates_transitive(self):
+        succs, preds = graph([(1, 2), (2, 3), (3, 4)])
+        info = compute_dominators(1, succs, preds)
+        assert info.dominates(1, 4)
+        assert info.dominates(2, 4)
+        assert not info.dominates(4, 2)
+
+    def test_unreachable_ignored(self):
+        succs, preds = graph([(1, 2), (9, 2)])  # 9 unreachable from 1
+        info = compute_dominators(1, succs, preds)
+        assert info.idom[2] == 1
+        assert 9 not in info.idom
+
+    def test_irreducible(self):
+        # two entries into a cycle {3, 4}
+        succs, preds = graph([(1, 2), (1, 3), (2, 4), (3, 4), (4, 3)])
+        info = compute_dominators(1, succs, preds)
+        assert info.idom[3] == 1
+        assert info.idom[4] == 1
+
+    def test_dom_tree_preorder_covers_reachable(self):
+        succs, preds = graph([(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)])
+        info = compute_dominators(1, succs, preds)
+        assert set(info.dom_tree_preorder()) == {1, 2, 3, 4, 5}
+
+
+class TestFrontiers:
+    def test_diamond_frontier(self):
+        succs, preds = graph([(1, 2), (1, 3), (2, 4), (3, 4)])
+        info = compute_dominators(1, succs, preds)
+        assert info.frontier[2] == {4}
+        assert info.frontier[3] == {4}
+        assert info.frontier[1] == set()
+
+    def test_loop_frontier(self):
+        succs, preds = graph([(1, 2), (2, 3), (3, 2), (2, 4)])
+        info = compute_dominators(1, succs, preds)
+        # the loop head 2 is in its own body's frontier (and its own)
+        assert 2 in info.frontier[3]
+        assert 2 in info.frontier[2]
+
+    def test_iterated_frontier(self):
+        succs, preds = graph(
+            [(1, 2), (1, 3), (2, 4), (3, 4), (4, 5), (1, 5)]
+        )
+        info = compute_dominators(1, succs, preds)
+        phis = iterated_frontier(info, {2})
+        # def at 2 needs a phi at join 4, whose own frontier adds join 5
+        assert phis == {4, 5}
+
+    def test_no_defs_no_phis(self):
+        succs, preds = graph([(1, 2), (2, 3)])
+        info = compute_dominators(1, succs, preds)
+        assert iterated_frontier(info, set()) == set()

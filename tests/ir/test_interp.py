@@ -1,0 +1,207 @@
+"""Concrete interpreter tests: executing real programs through the IR."""
+
+import pytest
+
+from repro.ir.interp import InterpError, Interpreter, OutOfFuel, run_program
+from repro.ir.program import build_program
+
+
+def run(src: str, fuel: int = 200_000):
+    return run_program(build_program(src), fuel=fuel)
+
+
+class TestArithmetic:
+    def test_constant_return(self):
+        assert run("int main(void) { return 42; }") == 42
+
+    def test_arithmetic(self):
+        assert run("int main(void) { return (3 + 4) * 2 - 5; }") == 9
+
+    def test_c_division_truncates_toward_zero(self):
+        assert run("int main(void) { return -7 / 2; }") == -3
+        assert run("int main(void) { return 7 / -2; }") == -3
+
+    def test_c_modulo_sign(self):
+        assert run("int main(void) { return -7 % 2; }") == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError):
+            run("int main(void) { int z = 0; return 1 / z; }")
+
+    def test_bitwise(self):
+        assert run("int main(void) { return (12 & 10) | (1 << 4); }") == 24
+
+    def test_comparisons_and_logic(self):
+        assert run("int main(void) { return (3 < 4) && (5 >= 5); }") == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run("int main(void) { int x = 5; if (x > 3) return 1; return 0; }") == 1
+
+    def test_while_sum(self):
+        src = """
+        int main(void) {
+          int i = 0; int s = 0;
+          while (i < 10) { s = s + i; i = i + 1; }
+          return s;
+        }
+        """
+        assert run(src) == 45
+
+    def test_nested_loops(self):
+        src = """
+        int main(void) {
+          int i; int j; int c = 0;
+          for (i = 0; i < 3; i++) for (j = 0; j < 4; j++) c++;
+          return c;
+        }
+        """
+        assert run(src) == 12
+
+    def test_out_of_fuel(self):
+        with pytest.raises(OutOfFuel):
+            run("int main(void) { while (1) { } return 0; }", fuel=1000)
+
+
+class TestFunctions:
+    def test_call_and_return(self):
+        assert run("int sq(int x) { return x * x; } int main(void) { return sq(7); }") == 49
+
+    def test_recursion(self):
+        src = "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }\n" \
+              "int main(void) { return fact(6); }"
+        assert run(src) == 720
+
+    def test_mutual_recursion(self):
+        src = """
+        int odd(int n);
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        int main(void) { return even(10) + odd(10); }
+        """
+        assert run(src) == 1
+
+    def test_recursion_uses_fresh_frames(self):
+        src = """
+        int f(int n) {
+          int local = n * 10;
+          if (n > 0) f(n - 1);
+          return local;   /* must not be clobbered by the inner call */
+        }
+        int main(void) { return f(3); }
+        """
+        assert run(src) == 30
+
+    def test_function_pointer_dispatch(self):
+        src = """
+        int inc(int x) { return x + 1; }
+        int dec(int x) { return x - 1; }
+        int main(void) {
+          int (*op)(int) = &inc;
+          int a = op(5);
+          op = &dec;
+          return a + op(5);
+        }
+        """
+        assert run(src) == 10
+
+    def test_external_call_returns_unknown_default(self):
+        assert run("int main(void) { return external_thing(); }") == 0
+
+
+class TestMemory:
+    def test_globals(self):
+        assert run("int g = 5; int main(void) { g = g + 1; return g; }") == 6
+
+    def test_pointer_write(self):
+        src = "int main(void) { int x = 1; int *p = &x; *p = 9; return x; }"
+        assert run(src) == 9
+
+    def test_array_sum(self):
+        src = """
+        int main(void) {
+          int a[5]; int i; int s = 0;
+          for (i = 0; i < 5; i++) a[i] = i * i;
+          for (i = 0; i < 5; i++) s = s + a[i];
+          return s;
+        }
+        """
+        assert run(src) == 30
+
+    def test_array_out_of_bounds_raises(self):
+        with pytest.raises(InterpError):
+            run("int main(void) { int a[3]; a[5] = 1; return 0; }")
+
+    def test_malloc_block(self):
+        src = """
+        int main(void) {
+          int *p = (int*)malloc(4 * sizeof(int));
+          p[2] = 7;
+          return p[2];
+        }
+        """
+        assert run(src) == 7
+
+    def test_struct_fields(self):
+        src = """
+        struct pt { int x; int y; };
+        int main(void) {
+          struct pt p; struct pt *q = &p;
+          p.x = 3; q->y = 4;
+          return p.x + p.y;
+        }
+        """
+        assert run(src) == 7
+
+    def test_struct_copy(self):
+        src = """
+        struct pt { int x; int y; };
+        int main(void) {
+          struct pt a; struct pt b;
+          a.x = 1; a.y = 2;
+          b = a; a.x = 99;
+          return b.x + b.y;
+        }
+        """
+        assert run(src) == 3
+
+    def test_pointer_arithmetic(self):
+        src = """
+        int main(void) {
+          int a[4]; int *p = a;
+          a[0] = 10; a[1] = 20;
+          p = p + 1;
+          return *p;
+        }
+        """
+        assert run(src) == 20
+
+    def test_string_literal_contents(self):
+        src = 'int main(void) { char *s = "AB"; return s[0] + s[1]; }'
+        assert run(src) == ord("A") + ord("B")
+
+    def test_uninitialized_local_read_raises(self):
+        with pytest.raises(InterpError):
+            run("int main(void) { int x; return x; }")
+
+
+class TestObservations:
+    def test_observations_recorded_per_visit(self):
+        src = """
+        int main(void) {
+          int i;
+          for (i = 0; i < 3; i++) { }
+          return i;
+        }
+        """
+        program = build_program(src)
+        interp = Interpreter(program)
+        interp.run()
+        incr_nodes = [
+            n.nid
+            for n in program.cfgs["main"].nodes
+            if "i + 1" in str(n.cmd)
+        ]
+        visits = [o for o in interp.observations if o.nid in incr_nodes]
+        assert len(visits) == 3

@@ -1,0 +1,374 @@
+"""AST → IR lowering tests."""
+
+import pytest
+
+from repro.frontend.errors import LoweringError
+from repro.ir.commands import (
+    CAlloc,
+    CAssume,
+    CCall,
+    CEntry,
+    CExit,
+    CRetBind,
+    CReturn,
+    CSet,
+    CSkip,
+    DerefLv,
+    EStrAddr,
+    FieldLv,
+    IndexLv,
+    VarLv,
+)
+from repro.ir.program import build_program
+
+
+def cmds_of(src: str, proc: str = "main"):
+    program = build_program(src)
+    return [n.cmd for n in program.cfgs[proc].nodes]
+
+
+def cmd_strs(src: str, proc: str = "main"):
+    return [str(c) for c in cmds_of(src, proc)]
+
+
+class TestBasicLowering:
+    def test_assignment(self):
+        cmds = cmds_of("int main(void) { int x; x = 1; }")
+        sets = [c for c in cmds if isinstance(c, CSet)]
+        assert str(sets[0]) == "main::x := 1"
+
+    def test_entry_exit_markers(self):
+        cmds = cmds_of("int main(void) { }")
+        assert isinstance(cmds[0], CEntry)
+        assert isinstance(cmds[-1], CExit)
+
+    def test_local_scoping(self):
+        strs = cmd_strs("int g; int main(void) { int x; x = g; }")
+        assert "main::x := g" in strs
+
+    def test_shadowing_gets_fresh_slot(self):
+        strs = cmd_strs(
+            "int main(void) { int x; x = 1; { int x; x = 2; } x = 3; }"
+        )
+        assert "main::x := 1" in strs
+        assert "main::x$2 := 2" in strs
+        assert "main::x := 3" in strs
+
+    def test_param_scoping(self):
+        strs = cmd_strs("int f(int a) { return a + 1; }", "f")
+        assert any("f::a" in s for s in strs)
+
+    def test_initializer_becomes_assignment(self):
+        strs = cmd_strs("int main(void) { int x = 7; }")
+        assert "main::x := 7" in strs
+
+
+class TestControlFlow:
+    def test_if_produces_assume_pair(self):
+        cmds = cmds_of("int main(void) { int x; if (x > 0) x = 1; }")
+        assumes = [c for c in cmds if isinstance(c, CAssume)]
+        assert len(assumes) == 2
+        assert {a.positive for a in assumes} == {True, False}
+
+    def test_while_loop_shape(self):
+        program = build_program(
+            "int main(void) { int i = 0; while (i < 3) i = i + 1; }"
+        )
+        cfg = program.cfgs["main"]
+        heads = [n for n in cfg.nodes if isinstance(n.cmd, CSkip)
+                 and "loop-head" in n.cmd.note]
+        assert len(heads) == 1
+        # back edge: increment node flows to loop head
+        head = heads[0]
+        assert any(
+            head.nid in cfg.succs[n.nid]
+            for n in cfg.nodes
+            if "i + 1" in str(n.cmd)
+        )
+
+    def test_do_while_executes_body_first(self):
+        program = build_program(
+            "int main(void) { int i = 0; do i = i + 1; while (i < 3); }"
+        )
+        cfg = program.cfgs["main"]
+        entry_succ = cfg.node(cfg.succs[cfg.entry.nid][0])
+        # i = 0, then the loop head, then straight into the body
+        assert "i := 0" in str(entry_succ.cmd)
+
+    def test_for_desugars_to_while(self):
+        cmds = cmds_of(
+            "int main(void) { int i; int s = 0; "
+            "for (i = 0; i < 4; i++) s += i; }"
+        )
+        assumes = [c for c in cmds if isinstance(c, CAssume)]
+        assert len(assumes) == 2
+
+    def test_break_leaves_loop(self):
+        src = """
+        int main(void) {
+          int i = 0;
+          while (1) { if (i > 5) break; i = i + 1; }
+          return i;
+        }
+        """
+        program = build_program(src)
+        cfg = program.cfgs["main"]
+        ret = next(n for n in cfg.nodes if isinstance(n.cmd, CReturn))
+        # the break's skip node must reach the return
+        assert cfg.preds[ret.nid]
+
+    def test_continue_targets_loop_head(self):
+        src = """
+        int main(void) {
+          int i = 0; int s = 0;
+          while (i < 10) { i = i + 1; if (i == 3) continue; s = s + i; }
+          return s;
+        }
+        """
+        program = build_program(src)  # must lower without error
+        assert program.cfgs["main"].nodes
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(LoweringError):
+            build_program("int main(void) { break; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(LoweringError):
+            build_program("int main(void) { continue; }")
+
+    def test_switch_cases_guarded_by_equality(self):
+        src = """
+        int main(void) {
+          int x = 2; int y;
+          switch (x) { case 1: y = 10; break; case 2: y = 20; break;
+                       default: y = 0; }
+          return y;
+        }
+        """
+        cmds = cmds_of(src)
+        eq_assumes = [
+            c for c in cmds if isinstance(c, CAssume) and "==" in str(c.cond)
+        ]
+        assert len(eq_assumes) == 2
+
+    def test_switch_fallthrough_preserved(self):
+        src = """
+        int main(void) {
+          int x = 1; int y = 0;
+          switch (x) { case 1: y = y + 1; case 2: y = y + 2; break; }
+          return y;
+        }
+        """
+        from repro.ir.interp import Interpreter
+
+        program = build_program(src)
+        interp = Interpreter(program)
+        assert interp.run() == 3
+
+    def test_goto_forward_and_back(self):
+        src = """
+        int main(void) {
+          int i = 0;
+          top: i = i + 1;
+          if (i < 3) goto top;
+          return i;
+        }
+        """
+        from repro.ir.interp import Interpreter
+
+        assert Interpreter(build_program(src)).run() == 3
+
+    def test_goto_undefined_label_rejected(self):
+        with pytest.raises(LoweringError):
+            build_program("int main(void) { goto nowhere; }")
+
+
+class TestShortCircuit:
+    def test_and_splits_into_nested_assumes(self):
+        src = "int main(void) { int a; int b; if (a > 0 && b > 0) a = 1; }"
+        cmds = cmds_of(src)
+        assumes = [c for c in cmds if isinstance(c, CAssume)]
+        assert len(assumes) == 4  # two per leaf condition
+
+    def test_or_in_condition(self):
+        src = "int main(void) { int a; int b; if (a > 0 || b > 0) a = 1; }"
+        cmds = cmds_of(src)
+        assert len([c for c in cmds if isinstance(c, CAssume)]) == 4
+
+    def test_not_flips_branches(self):
+        src = "int main(void) { int a; if (!(a > 0)) a = 1; }"
+        cmds = cmds_of(src)
+        assumes = [c for c in cmds if isinstance(c, CAssume)]
+        assert len(assumes) == 2
+
+    def test_bool_value_context_builds_diamond(self):
+        src = "int main(void) { int a; int b; int c = (a > 0) && (b > 0); }"
+        strs = cmd_strs(src)
+        assert any("__bool" in s and ":= 1" in s for s in strs)
+        assert any("__bool" in s and ":= 0" in s for s in strs)
+
+    def test_conditional_expression(self):
+        src = "int main(void) { int a = 1; int b = a > 0 ? 10 : 20; }"
+        from repro.ir.interp import Interpreter
+
+        program = build_program(src + "\nint dummy;")
+        strs = [str(n.cmd) for n in program.cfgs["main"].nodes]
+        assert any("__cond" in s for s in strs)
+
+
+class TestSideEffects:
+    def test_call_extracted_with_temp(self):
+        src = "int f(void) { return 1; } int main(void) { int x = f() + 2; }"
+        cmds = cmds_of(src)
+        assert any(isinstance(c, CCall) for c in cmds)
+        assert any(isinstance(c, CRetBind) for c in cmds)
+
+    def test_nested_calls_ordered(self):
+        src = (
+            "int f(int a) { return a; } "
+            "int main(void) { int x = f(f(1)); }"
+        )
+        cmds = [c for c in cmds_of(src) if isinstance(c, CCall)]
+        assert len(cmds) == 2
+
+    def test_postfix_increment_yields_old_value(self):
+        src = "int main(void) { int i = 5; int j = i++; return j; }"
+        from repro.ir.interp import Interpreter
+
+        interp = Interpreter(build_program(src))
+        assert interp.run() == 5
+
+    def test_prefix_increment_yields_new_value(self):
+        src = "int main(void) { int i = 5; int j = ++i; return j; }"
+        from repro.ir.interp import Interpreter
+
+        assert Interpreter(build_program(src)).run() == 6
+
+    def test_compound_assignment_desugared(self):
+        strs = cmd_strs("int main(void) { int x = 1; x *= 3; }")
+        assert any("(main::x * 3)" in s for s in strs)
+
+    def test_comma_sequences_effects(self):
+        src = "int main(void) { int a; int b; a = (b = 2, b + 1); return a; }"
+        from repro.ir.interp import Interpreter
+
+        assert Interpreter(build_program(src)).run() == 3
+
+
+class TestMemoryLowering:
+    def test_local_array_allocates(self):
+        cmds = cmds_of("int main(void) { int buf[10]; }")
+        allocs = [c for c in cmds if isinstance(c, CAlloc)]
+        assert len(allocs) == 1
+        assert str(allocs[0].size) == "10"
+
+    def test_multidim_array_total_size(self):
+        cmds = cmds_of("int main(void) { int m[3][4]; }")
+        allocs = [c for c in cmds if isinstance(c, CAlloc)]
+        assert str(allocs[0].size) == "12"
+
+    def test_malloc_becomes_alloc(self):
+        cmds = cmds_of("int main(void) { int *p = (int*)malloc(8); }")
+        assert any(isinstance(c, CAlloc) for c in cmds)
+
+    def test_free_is_noop(self):
+        cmds = cmds_of("int main(void) { int *p; free(p); }")
+        assert not any(isinstance(c, CCall) for c in cmds)
+
+    def test_array_index_lvalue(self):
+        cmds = cmds_of("int a[4]; int main(void) { a[2] = 1; }")
+        sets = [c for c in cmds if isinstance(c, CSet)]
+        assert isinstance(sets[0].lval, IndexLv)
+
+    def test_pointer_store(self):
+        cmds = cmds_of("int main(void) { int x; int *p = &x; *p = 3; }")
+        deref_sets = [
+            c for c in cmds if isinstance(c, CSet) and isinstance(c.lval, DerefLv)
+        ]
+        assert len(deref_sets) == 1
+
+    def test_struct_field_write(self):
+        src = "struct p { int x; int y; }; int main(void) { struct p v; v.x = 1; }"
+        cmds = cmds_of(src)
+        field_sets = [
+            c for c in cmds if isinstance(c, CSet) and isinstance(c.lval, FieldLv)
+        ]
+        assert len(field_sets) == 1
+
+    def test_arrow_write(self):
+        src = (
+            "struct p { int x; }; "
+            "int main(void) { struct p v; struct p *q = &v; q->x = 1; }"
+        )
+        cmds = cmds_of(src)
+        arrow = [
+            c
+            for c in cmds
+            if isinstance(c, CSet)
+            and isinstance(c.lval, DerefLv)
+            and c.lval.fieldname == "x"
+        ]
+        assert len(arrow) == 1
+
+    def test_struct_assignment_expands_to_fields(self):
+        src = (
+            "struct p { int x; int y; }; "
+            "int main(void) { struct p a; struct p b; a.x = 1; a.y = 2; b = a; }"
+        )
+        strs = cmd_strs(src)
+        assert any("b.x := main::a.x" in s for s in strs)
+        assert any("b.y := main::a.y" in s for s in strs)
+
+    def test_nested_struct_assignment(self):
+        src = (
+            "struct in { int v; }; struct out { struct in i; int w; }; "
+            "int main(void) { struct out a; struct out b; b = a; }"
+        )
+        strs = cmd_strs(src)
+        assert any("b.i.v := main::a.i.v" in s for s in strs)
+
+    def test_string_literal_lowered_to_site(self):
+        program = build_program('int main(void) { char *s = "hi"; }')
+        cmds = [n.cmd for n in program.cfgs["main"].nodes]
+        sets = [c for c in cmds if isinstance(c, CSet)]
+        assert any(isinstance(c.expr, EStrAddr) for c in sets)
+        assert "hi" in program.string_literals.values()
+
+    def test_address_of_array_element_is_arithmetic(self):
+        strs = cmd_strs("int a[4]; int main(void) { int *p = &a[2]; }")
+        assert any("(a + 2)" in s for s in strs)
+
+    def test_global_zero_initialization(self):
+        strs = cmd_strs("int g;", "__init")
+        assert "g := 0" in strs
+
+    def test_global_array_alloc_in_init(self):
+        cmds = cmds_of("int a[5];", "__init")
+        assert any(isinstance(c, CAlloc) for c in cmds)
+
+    def test_init_calls_main(self):
+        cmds = cmds_of("int main(void) { return 0; }", "__init")
+        calls = [c for c in cmds if isinstance(c, CCall)]
+        assert len(calls) == 1 and calls[0].static_callee == "main"
+
+
+class TestOrphans:
+    def test_orphans_not_called_by_default(self):
+        src = "int orphan(void) { return 1; } int main(void) { return 0; }"
+        program = build_program(src)
+        init_calls = [
+            n.cmd.static_callee
+            for n in program.cfgs["__init"].nodes
+            if isinstance(n.cmd, CCall)
+        ]
+        assert init_calls == ["main"]
+
+    def test_call_orphans_links_them(self):
+        src = "int orphan(void) { return 1; } int main(void) { return 0; }"
+        program = build_program(src, call_orphans=True)
+        init_calls = [
+            n.cmd.static_callee
+            for n in program.cfgs["__init"].nodes
+            if isinstance(n.cmd, CCall)
+        ]
+        assert set(init_calls) == {"main", "orphan"}

@@ -1,0 +1,77 @@
+"""Pretty-printer tests."""
+
+from repro.analysis.preanalysis import run_preanalysis
+from repro.analysis.sparse import run_sparse
+from repro.domains.absloc import VarLoc
+from repro.ir.pretty import (
+    cfg_to_dot,
+    format_dependencies,
+    format_procedure,
+    format_program,
+    sparsity_report,
+)
+from repro.ir.program import build_program
+
+SRC = """
+int g;
+int main(void) {
+  int x = 1;
+  g = x + 2;
+  return g;
+}
+"""
+
+
+def setup():
+    program = build_program(SRC)
+    result = run_sparse(program)
+    return program, result
+
+
+class TestListings:
+    def test_procedure_listing_has_all_nodes(self):
+        program, _ = setup()
+        text = format_procedure(program, "main")
+        for node in program.cfgs["main"].nodes:
+            assert f"[{node.nid:>4}]" in text
+
+    def test_listing_with_values(self):
+        program, result = setup()
+        text = format_procedure(
+            program, "main", result, locs=[VarLoc("g")]
+        )
+        assert "g=" in text
+
+    def test_program_listing_covers_procedures(self):
+        program, _ = setup()
+        text = format_program(program)
+        assert "procedure main:" in text and "procedure __init:" in text
+
+    def test_dependency_listing(self):
+        program, result = setup()
+        text = format_dependencies(result.deps, program)
+        assert "—" in text and "⇒" in text
+
+    def test_dependency_listing_filtered(self):
+        program, result = setup()
+        text = format_dependencies(result.deps, program, loc=VarLoc("g"))
+        assert "g→" in text
+        assert "main::x→" not in text
+
+    def test_sparsity_report(self):
+        program, result = setup()
+        text = sparsity_report(result.defuse, program)
+        assert "main" in text and "|D̂|" in text
+
+
+class TestDot:
+    def test_valid_digraph(self):
+        program, result = setup()
+        dot = cfg_to_dot(program, "main")
+        assert dot.startswith('digraph "main"') and dot.endswith("}")
+        assert "->" in dot
+
+    def test_dependency_overlay(self):
+        program, result = setup()
+        dot = cfg_to_dot(program, "main", deps=result.deps)
+        assert "style=dashed" in dot

@@ -1,0 +1,89 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(
+        """
+        int buf[8];
+        int main(void) {
+          int i; int d = unknown();
+          for (i = 0; i < 8; i++) buf[i] = 100 / (i + 1);
+          buf[2] = 50 / d;
+          return buf[9];
+        }
+        """
+    )
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(
+        """
+        int a[4];
+        int main(void) {
+          int i;
+          for (i = 0; i < 4; i++) a[i] = i;
+          return a[0];
+        }
+        """
+    )
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_alarming_program_exits_2(self, demo_file, capsys):
+        code = main(["analyze", demo_file])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "ALARM" in out
+
+    def test_clean_program_exits_0(self, clean_file, capsys):
+        code = main(["analyze", clean_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SAFE" in out and "ALARM" not in out
+
+    def test_divzero_checker(self, demo_file, capsys):
+        code = main(["analyze", demo_file, "--check", "divzero"])
+        out = capsys.readouterr().out
+        assert "divzero" in out and "ALARM" in out
+
+    def test_nullderef_checker(self, clean_file, capsys):
+        main(["analyze", clean_file, "--check", "nullderef"])
+        assert "nullderef" in capsys.readouterr().out
+
+    def test_stats_flag(self, clean_file, capsys):
+        main(["analyze", clean_file, "--stats"])
+        out = capsys.readouterr().out
+        assert "dependencies" in out and "control points" in out
+
+    def test_query_flag(self, clean_file, capsys):
+        main(["analyze", clean_file, "--query", "main:i"])
+        out = capsys.readouterr().out
+        assert "main:i at exit" in out
+
+    def test_octagon_domain(self, clean_file, capsys):
+        code = main(["analyze", clean_file, "--domain", "octagon", "--stats"])
+        assert code == 0
+
+    def test_vanilla_mode(self, clean_file):
+        assert main(["analyze", clean_file, "--mode", "vanilla"]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.c"]) == 1
+
+
+class TestTablesCommand:
+    def test_table1_quick(self, capsys):
+        code = main(["tables", "table1", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "maxSCC" in out
