@@ -32,8 +32,16 @@ from repro.checkers.overrun import check_overruns
 from repro.domains.interval import Interval
 from repro.frontend import parse
 from repro.ir.program import Program, build_program
+from repro.runtime import (
+    AnalysisError,
+    Budget,
+    BudgetExceeded,
+    Diagnostics,
+    FaultPlan,
+    ReproError,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analyze",
@@ -48,5 +56,11 @@ __all__ = [
     "run_rel_sparse",
     "check_overruns",
     "Interval",
+    "Budget",
+    "Diagnostics",
+    "FaultPlan",
+    "ReproError",
+    "AnalysisError",
+    "BudgetExceeded",
     "__version__",
 ]

@@ -18,6 +18,17 @@ import sys
 from repro.api import analyze
 from repro.checkers.divzero import check_divisions
 from repro.checkers.nullderef import check_null_derefs
+from repro.frontend.errors import FrontendError
+from repro.runtime.budget import Budget
+from repro.runtime.errors import ReproError
+
+
+def _one_line_diagnostic(exc: ReproError) -> str:
+    """A ``file:line:col: message`` line for frontend errors, a labelled
+    one-liner for everything else in the :class:`ReproError` hierarchy."""
+    if isinstance(exc, FrontendError):
+        return f"{exc.pos}: error: {exc.message}"
+    return f"error: {exc}"
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -34,13 +45,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     }
     if args.narrow:
         options["narrowing_passes"] = args.narrow
+    if args.budget_seconds is not None or args.max_iterations is not None:
+        options["budget"] = Budget(
+            max_seconds=args.budget_seconds,
+            max_iterations=args.max_iterations,
+        )
     run = analyze(
         source,
         domain=args.domain,
         mode=args.mode,
         filename=args.file,
+        on_budget=args.on_budget,
         **options,
     )
+
+    if run.diagnostics.degraded_procs:
+        print(
+            "note: budget-degraded to the pre-analysis in: "
+            + ", ".join(run.diagnostics.degraded_procs),
+            file=sys.stderr,
+        )
 
     if args.stats:
         program = run.program
@@ -155,6 +179,19 @@ def main(argv: list[str] | None = None) -> int:
         "--cluster", action="store_true",
         help="group overrun alarms into dominance clusters for triage",
     )
+    p_analyze.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="S",
+        help="wall-clock budget for the fixpoint computation",
+    )
+    p_analyze.add_argument(
+        "--max-iterations", type=int, default=None, metavar="N",
+        help="iteration budget for the fixpoint computation",
+    )
+    p_analyze.add_argument(
+        "--on-budget", choices=["fail", "degrade"], default="fail",
+        help="on budget exhaustion: fail (exit non-zero) or degrade "
+        "affected procedures to the sound pre-analysis result",
+    )
     p_analyze.set_defaults(fn=_cmd_analyze)
 
     p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -165,7 +202,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "check", None) is None and args.command == "analyze":
         args.check = ["overrun"]
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # One-line diagnostic instead of a traceback: parse errors point at
+        # file:line:col, budget exhaustion and engine failures are labelled.
+        print(_one_line_diagnostic(exc), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

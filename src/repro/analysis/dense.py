@@ -26,6 +26,9 @@ from repro.domains.absloc import AbsLoc
 from repro.domains.state import AbsState
 from repro.ir.commands import CCall, CRetBind
 from repro.ir.program import Program
+from repro.runtime.budget import Budget
+from repro.runtime.degrade import DegradeController, Diagnostics, make_watchdog
+from repro.runtime.faults import FaultInjector
 
 
 @dataclass
@@ -127,6 +130,7 @@ class DenseResult:
     defuse: DefUseInfo | None
     graph: InterprocGraph
     elapsed: float = 0.0
+    diagnostics: Diagnostics | None = None
 
     def state_at(self, nid: int) -> AbsState:
         return self.table.get(nid, AbsState())
@@ -144,6 +148,10 @@ def run_dense(
     widen: bool = True,
     max_iterations: int | None = None,
     widening_thresholds: tuple[int, ...] | str | None = None,
+    budget: Budget | None = None,
+    on_budget: str = "fail",
+    faults=None,
+    watchdog: bool = True,
 ) -> DenseResult:
     """Run the dense interval analysis (``vanilla`` or, with ``localize``,
     ``base``).
@@ -155,10 +163,29 @@ def run_dense(
     finite chains, e.g. constant-bounded loops) — in that mode the computed
     table is the exact ``lfp F♯`` of the paper and Lemma 2's equality with
     the sparse result holds bit for bit.
+
+    ``budget`` (or the legacy ``max_iterations``) limits the fixpoint work;
+    ``on_budget="degrade"`` fills unconverged procedures from the
+    pre-analysis state instead of raising :class:`BudgetExceeded`, with the
+    actions recorded in the result's ``diagnostics``. ``faults`` accepts a
+    :class:`repro.runtime.faults.FaultPlan` for deterministic failure tests.
     """
+    if on_budget not in ("fail", "degrade"):
+        raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
     start = time.perf_counter()
     if pre is None:
         pre = run_preanalysis(program)
+    resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
+    diagnostics = Diagnostics(budget=resolved_budget)
+    degrade = None
+    if on_budget == "degrade":
+        pre_state = pre.state
+        degrade = DegradeController(
+            program,
+            fallback_state=lambda proc: pre_state.copy(),
+            diagnostics=diagnostics,
+            watchdog=make_watchdog(pre_state) if watchdog else None,
+        )
     ctx = AnalysisContext(program, pre.site_callees, strict=strict)
     graph = build_interproc_graph(program, pre.site_callees, localized=localize)
 
@@ -204,8 +231,10 @@ def run_dense(
         widening_points,
         edge_transform=edge_transform,
         narrowing_passes=narrowing_passes,
-        max_iterations=max_iterations,
+        budget=resolved_budget,
         widening_thresholds=_resolve_thresholds(program, widening_thresholds),
+        faults=FaultInjector.coerce(faults),
+        degrade=degrade,
     )
     if strict:
         entries = {entry.nid: AbsState()}
@@ -214,4 +243,6 @@ def run_dense(
         entries = {node.nid: AbsState() for node in program.nodes()}
     table = solver.solve(entries)
     elapsed = time.perf_counter() - start
-    return DenseResult(table, solver.stats, pre, defuse, graph, elapsed)
+    diagnostics.iterations = solver.stats.iterations
+    diagnostics.timings["fix"] = elapsed
+    return DenseResult(table, solver.stats, pre, defuse, graph, elapsed, diagnostics)

@@ -28,6 +28,7 @@ from repro.ir.cfg import Node
 from repro.ir.commands import CAssume, CCall
 from repro.ir.program import Program
 from repro.analysis.semantics import AnalysisContext, transfer
+from repro.runtime.budget import Budget, BudgetMeter
 
 #: Join-only rounds before switching to widening.
 _JOIN_ROUNDS = 3
@@ -47,13 +48,24 @@ class PreAnalysis:
         return self.site_callees.get(node.nid, ())
 
 
-def run_preanalysis(program: Program) -> PreAnalysis:
+def run_preanalysis(
+    program: Program,
+    budget: Budget | None = None,
+    meter: BudgetMeter | None = None,
+) -> PreAnalysis:
     """Iterate ``F♯_pre`` to a post-fixpoint.
 
     Function-pointer call sites are re-resolved against the growing global
     state every round, so the call graph and the invariant converge
     together.
+
+    The optional ``budget``/``meter`` charge one tick per node visit. The
+    pre-analysis is itself the degradation safety net (Lemma 2), so there is
+    nothing sound to fall back to when *it* runs out: exhaustion always
+    raises :class:`repro.runtime.errors.BudgetExceeded`.
     """
+    if meter is None:
+        meter = BudgetMeter(budget, stage="pre-analysis")
     ctx = AnalysisContext(program, site_callees=None)
     state = AbsState()
     nodes = program.nodes()
@@ -64,6 +76,7 @@ def run_preanalysis(program: Program) -> PreAnalysis:
         changed = False
         widening = rounds > _JOIN_ROUNDS
         for node in nodes:
+            meter.tick()
             if isinstance(node.cmd, CAssume):
                 # Assumes only *refine* states; in a flow-insensitive
                 # setting they are sound no-ops and skipping them avoids

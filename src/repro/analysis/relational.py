@@ -54,8 +54,27 @@ from repro.ir.commands import (
     VarLv,
 )
 from repro.ir.program import Program
+from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.degrade import DegradeController, Diagnostics, make_watchdog
+from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
+from repro.runtime.faults import FaultInjector
 
 _NEGATED = {"<": ">=", ">": "<=", "<=": ">", ">=": "<", "==": "!=", "!=": "=="}
+
+
+def _make_rel_degrade(
+    program: Program, diagnostics: Diagnostics, watchdog: bool
+) -> DegradeController:
+    """Degradation for pack states: the pre-analysis tracks no relations, so
+    the per-procedure fallback is the ⊤ pack map (no relation claimed) —
+    trivially above every true state and trivially within the watchdog
+    bound."""
+    return DegradeController(
+        program,
+        fallback_state=lambda proc: PackState(),
+        diagnostics=diagnostics,
+        watchdog=make_watchdog(PackState()) if watchdog else None,
+    )
 
 #: sentinel distinguishing "no entry yet" from "pinned at ⊤" (None)
 _UNSET = object()
@@ -652,6 +671,7 @@ class RelResult:
     iterations: int = 0
     time_dep: float = 0.0
     time_fix: float = 0.0
+    diagnostics: Diagnostics | None = None
 
     def state_at(self, nid: int) -> PackState:
         return self.table.get(nid, PackState())
@@ -676,13 +696,26 @@ def run_rel_dense(
     widen: bool = True,
     max_iterations: int | None = None,
     narrowing_passes: int = 0,
+    budget: Budget | None = None,
+    on_budget: str = "fail",
+    faults=None,
+    watchdog: bool = True,
 ) -> RelResult:
     """Dense octagon analysis (``Octagon_vanilla`` / ``Octagon_base``)."""
+    if on_budget not in ("fail", "degrade"):
+        raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
     start = time.perf_counter()
     if pre is None:
         pre = run_preanalysis(program)
     if packs is None:
         packs = build_packs(program)
+    resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
+    diagnostics = Diagnostics(budget=resolved_budget)
+    degrade = (
+        _make_rel_degrade(program, diagnostics, watchdog)
+        if on_budget == "degrade"
+        else None
+    )
     ctx = RelContext(program, pre, packs, strict=strict)
     graph = build_interproc_graph(program, pre.site_callees, localized=localize)
 
@@ -722,14 +755,17 @@ def run_rel_dense(
         node_transfer,
         wps,
         edge_transform=edge_transform,
-        max_iterations=max_iterations,
+        budget=resolved_budget,
         narrowing_passes=narrowing_passes,
+        faults=FaultInjector.coerce(faults),
+        degrade=degrade,
     )
     if strict:
         entries = {entry.nid: PackState()}
     else:
         entries = {n.nid: PackState() for n in program.nodes()}
     table = solver.solve(entries)
+    diagnostics.iterations = solver.stats.iterations
     return RelResult(
         table,
         packs,
@@ -738,6 +774,7 @@ def run_rel_dense(
         graph=graph,
         elapsed=time.perf_counter() - start,
         iterations=solver.stats.iterations,
+        diagnostics=diagnostics,
     )
 
 
@@ -752,19 +789,85 @@ class RelSparseSolver:
         graph: InterprocGraph,
         widening_points: set[int],
         max_iterations: int | None = None,
+        budget: Budget | None = None,
+        meter: BudgetMeter | None = None,
+        faults=None,
+        degrade=None,
     ) -> None:
         self.program = program
         self.ctx = ctx
         self.deps = deps
         self.graph = graph
         self.widening_points = widening_points
-        self.max_iterations = max_iterations
+        if meter is None:
+            meter = BudgetMeter(
+                Budget.coerce(budget, max_iterations=max_iterations),
+                stage="sparse relational fixpoint",
+            )
+        self._meter = meter
+        self._faults = faults
+        self._degrade = degrade
         self.table: dict[int, PackState] = {}
         #: push-based input accumulator per consumer node; a pack mapped to
         #: None is pinned at ⊤ (some source was unconstrained)
         self.in_cache: dict[int, dict[Pack, Octagon | None]] = {}
         self.reached: set[int] = set()
         self.iterations = 0
+
+    # -- resilience hooks ------------------------------------------------------
+
+    def _table_entries(self) -> int:
+        return sum(len(s) for s in self.table.values())
+
+    def _tick(self) -> None:
+        if self._faults is not None:
+            self._faults.on_iteration(self.iterations)
+        self._meter.tick(self._table_entries)
+
+    def _apply_transfer(self, nid: int, in_state: PackState, in_work, work):
+        node_map = self.program.factory.nodes
+        try:
+            if self._faults is not None:
+                self._faults.before_transfer(nid)
+            return rel_transfer(node_map[nid], in_state, self.ctx)
+        except BudgetExceeded:
+            raise
+        except Exception as exc:
+            if self._degrade is None:
+                if isinstance(exc, ReproError):
+                    raise
+                raise AnalysisError(
+                    f"transfer function crashed at node {nid}: {exc}", node=nid
+                ) from exc
+            newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
+            self._absorb_degraded(newly, in_work, work)
+            return None
+
+    def _absorb_degraded(
+        self, newly: set[int], in_work: set[int], work: list[int]
+    ) -> None:
+        """Mirror of :meth:`SparseSolver._absorb_degraded` for pack states:
+        push the (⊤) fallback along data dependencies and re-establish
+        control reachability across the degraded region."""
+        import heapq
+
+        if not newly:
+            return
+        succs_to_run: set[int] = set()
+        for dn in newly:
+            self.reached.add(dn)
+            for s in self.graph.succs.get(dn, ()):
+                self.reached.add(s)
+                if not self._degrade.is_degraded_node(s):
+                    succs_to_run.add(s)
+        for dn in newly:
+            state = self.table.get(dn)
+            if state is not None:
+                self._push(dn, state, None, in_work, work)
+        for s in succs_to_run:
+            if s not in in_work:
+                in_work.add(s)
+                heapq.heappush(work, s)
 
     def _assemble_input(self, nid: int) -> PackState:
         state = PackState()
@@ -810,13 +913,17 @@ class RelSparseSolver:
         while work:
             nid = heapq.heappop(work)
             in_work.discard(nid)
+            if self._degrade is not None and self._degrade.is_degraded_node(nid):
+                continue
             self.iterations += 1
-            if self.max_iterations is not None and self.iterations > self.max_iterations:
-                from repro.analysis.worklist import AnalysisBudgetExceeded
-
-                raise AnalysisBudgetExceeded(
-                    f"sparse relational fixpoint exceeded {self.max_iterations}"
-                )
+            try:
+                self._tick()
+            except BudgetExceeded as exc:
+                if self._degrade is None:
+                    raise
+                newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
+                self._absorb_degraded(newly, in_work, work)
+                continue
             cache = self.in_cache.get(nid)
             if cache:
                 in_state = PackState(
@@ -824,7 +931,7 @@ class RelSparseSolver:
                 )
             else:
                 in_state = PackState()
-            out = rel_transfer(node_map[nid], in_state, self.ctx)
+            out = self._apply_transfer(nid, in_state, in_work, work)
             if out is None:
                 continue
 
@@ -861,6 +968,8 @@ class RelSparseSolver:
         import heapq
 
         for dst, packs in self.deps.out_edges(nid):
+            if self._faults is not None and not self._faults.keep_dep_push(nid, dst):
+                continue
             touched = packs if changed is None else (packs & changed)
             if not touched:
                 continue
@@ -893,17 +1002,49 @@ class RelSparseSolver:
 
     def narrow(self, passes: int) -> None:
         """Decreasing iteration: re-run transfers without widening, keeping
-        only sound refinements (mirrors the interval engines)."""
+        only sound refinements (mirrors the interval engines). Counts against
+        the same budget as the ascending phase."""
         node_map = self.program.factory.nodes
         order = sorted(self.table.keys())
         for _ in range(passes):
             changed = False
             for nid in order:
+                if self._degrade is not None and self._degrade.is_degraded_node(
+                    nid
+                ):
+                    continue
+                self.iterations += 1
+                try:
+                    self._tick()
+                except BudgetExceeded as exc:
+                    if self._degrade is None:
+                        raise
+                    self._degrade.diagnostics.events.append(
+                        f"narrowing stopped early: {exc}"
+                    )
+                    return
                 in_state = self._assemble_input(nid)
-                out = rel_transfer(node_map[nid], in_state, self.ctx)
+                try:
+                    if self._faults is not None:
+                        self._faults.before_transfer(nid)
+                    out = rel_transfer(node_map[nid], in_state, self.ctx)
+                except BudgetExceeded:
+                    raise
+                except Exception as exc:
+                    if self._degrade is None:
+                        if isinstance(exc, ReproError):
+                            raise
+                        raise AnalysisError(
+                            f"transfer function crashed at node {nid}: {exc}",
+                            node=nid,
+                        ) from exc
+                    self._degrade.degrade_node(nid, self.table, cause=str(exc))
+                    continue
                 if out is None:
                     continue
-                old = self.table[nid]
+                old = self.table.get(nid)
+                if old is None:
+                    continue
                 if out.leq(old) and not old.leq(out):
                     self.table[nid] = out.copy()
                     changed = True
@@ -921,14 +1062,27 @@ def run_rel_sparse(
     widen: bool = True,
     max_iterations: int | None = None,
     narrowing_passes: int = 0,
+    budget: Budget | None = None,
+    on_budget: str = "fail",
+    faults=None,
+    watchdog: bool = True,
 ) -> RelResult:
     """Sparse octagon analysis (``Octagon_sparse``)."""
+    if on_budget not in ("fail", "degrade"):
+        raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
     start = time.perf_counter()
     if pre is None:
         pre = run_preanalysis(program)
     if packs is None:
         packs = build_packs(program)
     ctx = RelContext(program, pre, packs, strict=strict)
+    resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
+    diagnostics = Diagnostics(budget=resolved_budget)
+    degrade = (
+        _make_rel_degrade(program, diagnostics, watchdog)
+        if on_budget == "degrade"
+        else None
+    )
 
     t_dep = time.perf_counter()
     graph = build_interproc_graph(program, pre.site_callees, localized=False)
@@ -945,13 +1099,22 @@ def run_rel_sparse(
 
     t_fix = time.perf_counter()
     solver = RelSparseSolver(
-        program, ctx, dep_result.deps, graph, wps, max_iterations=max_iterations
+        program,
+        ctx,
+        dep_result.deps,
+        graph,
+        wps,
+        budget=resolved_budget,
+        faults=FaultInjector.coerce(faults),
+        degrade=degrade,
     )
     table = solver.solve(strict=strict)
     if narrowing_passes:
         solver.narrow(narrowing_passes)
     time_fix = time.perf_counter() - t_fix
 
+    diagnostics.iterations = solver.iterations
+    diagnostics.timings.update(dep=time_dep, fix=time_fix)
     return RelResult(
         table,
         packs,
@@ -963,4 +1126,5 @@ def run_rel_sparse(
         iterations=solver.iterations,
         time_dep=time_dep,
         time_fix=time_fix,
+        diagnostics=diagnostics,
     )

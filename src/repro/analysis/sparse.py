@@ -40,6 +40,10 @@ from repro.analysis.worklist import find_widening_points
 from repro.domains.absloc import AbsLoc
 from repro.domains.state import AbsState
 from repro.ir.program import Program
+from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.degrade import DegradeController, Diagnostics, make_watchdog
+from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
+from repro.runtime.faults import FaultInjector
 
 
 @dataclass
@@ -68,6 +72,7 @@ class SparseResult:
     pre: PreAnalysis
     stats: SparseStats
     graph: InterprocGraph
+    diagnostics: Diagnostics | None = None
 
     def state_at(self, nid: int) -> AbsState:
         return self.table.get(nid, AbsState())
@@ -88,8 +93,19 @@ class SparseSolver:
         widening_points: set[int] | None = None,
         max_iterations: int | None = None,
         widening_thresholds: tuple[int, ...] | None = None,
+        budget: Budget | None = None,
+        meter: BudgetMeter | None = None,
+        faults=None,
+        degrade=None,
     ) -> None:
-        self.max_iterations = max_iterations
+        if meter is None:
+            meter = BudgetMeter(
+                Budget.coerce(budget, max_iterations=max_iterations),
+                stage="sparse fixpoint",
+            )
+        self._meter = meter
+        self._faults = faults
+        self._degrade = degrade
         self.thresholds = widening_thresholds
         self.program = program
         self.ctx = ctx
@@ -108,6 +124,61 @@ class SparseSolver:
                 list(dep_succs.keys()), dep_succs
             )
         self.widening_points = widening_points
+
+    # -- resilience hooks ------------------------------------------------------
+
+    def _table_entries(self) -> int:
+        return sum(len(s) for s in self.table.values())
+
+    def _tick(self) -> None:
+        if self._faults is not None:
+            self._faults.on_iteration(self.iterations)
+        self._meter.tick(self._table_entries)
+
+    def _apply_transfer(self, nid: int, in_state: AbsState, in_work, enqueue):
+        """Faults hook + transfer; a crash degrades the node's procedure when
+        a degrade controller is attached."""
+        node_map = self.program.factory.nodes
+        try:
+            if self._faults is not None:
+                self._faults.before_transfer(nid)
+            return transfer(node_map[nid], in_state, self.ctx)
+        except BudgetExceeded:
+            raise
+        except Exception as exc:
+            if self._degrade is None:
+                if isinstance(exc, ReproError):
+                    raise
+                raise AnalysisError(
+                    f"transfer function crashed at node {nid}: {exc}", node=nid
+                ) from exc
+            newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
+            self._absorb_degraded(newly, in_work, enqueue)
+            return None
+
+    def _absorb_degraded(self, newly: set[int], in_work: set[int], enqueue) -> None:
+        """Splice freshly degraded nodes back into the sparse propagation:
+        their (pre-analysis) fallback values are pushed along outgoing data
+        dependencies, and control reachability is re-established across the
+        degraded region — the degraded procedure conservatively 'executes
+        everything', so its control successors must run."""
+        if not newly:
+            return
+        succs_to_run: set[int] = set()
+        for dn in newly:
+            self.reached.add(dn)
+            for s in self.graph.succs.get(dn, ()):
+                self.reached.add(s)
+                if not self._degrade.is_degraded_node(s):
+                    succs_to_run.add(s)
+        for dn in newly:
+            state = self.table.get(dn)
+            if state is not None:
+                self._push(dn, state, None, in_work, enqueue)
+        for s in succs_to_run:
+            if s not in in_work:
+                in_work.add(s)
+                enqueue(s)
 
     def _assemble_input(self, nid: int) -> AbsState:
         """From-scratch input assembly (used by narrowing; the main loop
@@ -135,6 +206,8 @@ class SparseSolver:
         consumers' input caches — O(#changed) per edge instead of
         re-assembling O(fan-in) inputs at every consumer visit."""
         for dst, locs in self.deps.out_edges(nid):
+            if self._faults is not None and not self._faults.keep_dep_push(nid, dst):
+                continue
             touched = locs if changed is None else (locs & changed)
             if not touched:
                 continue
@@ -173,16 +246,23 @@ class SparseSolver:
             in_work.discard(nid)
             if nid not in self.reached:
                 continue
+            if self._degrade is not None and self._degrade.is_degraded_node(nid):
+                continue
             self.iterations += 1
-            if self.max_iterations is not None and self.iterations > self.max_iterations:
-                from repro.analysis.worklist import AnalysisBudgetExceeded
-
-                raise AnalysisBudgetExceeded(
-                    f"sparse fixpoint exceeded {self.max_iterations} iterations"
-                )
+            try:
+                self._tick()
+            except BudgetExceeded as exc:
+                if self._degrade is None:
+                    raise
+                # Every later tick re-raises, so all still-pending
+                # procedures fall back to the pre-analysis one by one and
+                # the loop drains without further fixpoint work.
+                newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
+                self._absorb_degraded(newly, in_work, work.append)
+                continue
             in_state = self.in_cache.get(nid)
             in_state = in_state if in_state is not None else AbsState()
-            out = transfer(node_map[nid], in_state, self.ctx)
+            out = self._apply_transfer(nid, in_state, in_work, work.append)
             if out is None:
                 continue
 
@@ -215,17 +295,50 @@ class SparseSolver:
 
     def narrow(self, passes: int) -> None:
         """Decreasing iteration over the dependency graph: re-run transfers
-        without widening, keeping only sound refinements."""
+        without widening, keeping only sound refinements. Counts against the
+        same budget as the ascending phase; in degrade mode an exhausted
+        budget simply stops the (optional) refinement."""
         node_map = self.program.factory.nodes
         order = sorted(self.table.keys())
         for _ in range(passes):
             changed = False
             for nid in order:
+                if self._degrade is not None and self._degrade.is_degraded_node(
+                    nid
+                ):
+                    continue
+                self.iterations += 1
+                try:
+                    self._tick()
+                except BudgetExceeded as exc:
+                    if self._degrade is None:
+                        raise
+                    self._degrade.diagnostics.events.append(
+                        f"narrowing stopped early: {exc}"
+                    )
+                    return
                 in_state = self._assemble_input(nid)
-                out = transfer(node_map[nid], in_state, self.ctx)
+                try:
+                    if self._faults is not None:
+                        self._faults.before_transfer(nid)
+                    out = transfer(node_map[nid], in_state, self.ctx)
+                except BudgetExceeded:
+                    raise
+                except Exception as exc:
+                    if self._degrade is None:
+                        if isinstance(exc, ReproError):
+                            raise
+                        raise AnalysisError(
+                            f"transfer function crashed at node {nid}: {exc}",
+                            node=nid,
+                        ) from exc
+                    self._degrade.degrade_node(nid, self.table, cause=str(exc))
+                    continue
                 if out is None:
                     continue
-                old = self.table[nid]
+                old = self.table.get(nid)
+                if old is None:
+                    continue
                 if out.leq(old) and not old.leq(out):
                     self.table[nid] = out.copy()
                     changed = True
@@ -245,6 +358,10 @@ def run_sparse(
     narrowing_passes: int = 0,
     max_iterations: int | None = None,
     widening_thresholds: tuple[int, ...] | str | None = None,
+    budget: Budget | None = None,
+    on_budget: str = "fail",
+    faults=None,
+    watchdog: bool = True,
 ) -> SparseResult:
     """Run the sparse interval analysis end to end: pre-analysis → D̂/Û →
     data dependencies → sparse fixpoint (the three phases whose times the
@@ -252,8 +369,12 @@ def run_sparse(
 
     ``strict``/``widen`` mirror :func:`repro.analysis.dense.run_dense`; with
     ``strict=False, widen=False`` the result equals the dense analysis
-    exactly (Lemma 2) on programs with finite abstract chains.
+    exactly (Lemma 2) on programs with finite abstract chains. The
+    resilience knobs (``budget``, ``on_budget``, ``faults``, ``watchdog``)
+    also mirror :func:`run_dense`.
     """
+    if on_budget not in ("fail", "degrade"):
+        raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
     stats = SparseStats()
 
     t0 = time.perf_counter()
@@ -287,14 +408,27 @@ def run_sparse(
     ctx = AnalysisContext(program, pre.site_callees, strict=strict)
     from repro.analysis.dense import _resolve_thresholds
 
+    resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
+    diagnostics = Diagnostics(budget=resolved_budget)
+    degrade = None
+    if on_budget == "degrade":
+        pre_state = pre.state
+        degrade = DegradeController(
+            program,
+            fallback_state=lambda proc: pre_state.copy(),
+            diagnostics=diagnostics,
+            watchdog=make_watchdog(pre_state) if watchdog else None,
+        )
     solver = SparseSolver(
         program,
         ctx,
         dep_result.deps,
         graph,
         widening_points,
-        max_iterations=max_iterations,
+        budget=resolved_budget,
         widening_thresholds=_resolve_thresholds(program, widening_thresholds),
+        faults=FaultInjector.coerce(faults),
+        degrade=degrade,
     )
     table = solver.solve(strict=strict)
     if narrowing_passes:
@@ -302,5 +436,11 @@ def run_sparse(
     stats.time_fix = time.perf_counter() - t2
     stats.iterations = solver.iterations
     stats.reachable_nodes = len(solver.reached)
+    diagnostics.iterations = solver.iterations
+    diagnostics.timings.update(
+        pre=stats.time_pre, dep=stats.time_dep, fix=stats.time_fix
+    )
 
-    return SparseResult(table, dep_result.deps, defuse, pre, stats, graph)
+    return SparseResult(
+        table, dep_result.deps, defuse, pre, stats, graph, diagnostics
+    )

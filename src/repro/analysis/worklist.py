@@ -8,6 +8,14 @@ back edges), which guarantees termination for infinite-height domains.
 The engine is shared by the vanilla and localized dense analyses (the
 sparse engine in :mod:`repro.analysis.sparse` propagates along data
 dependencies instead and has its own loop).
+
+Resilience (see :mod:`repro.runtime`): the solver meters every iteration —
+including narrowing passes — against a unified :class:`repro.runtime.Budget`,
+optionally runs a :class:`~repro.runtime.faults.FaultInjector` hook before
+each transfer application, and, when a
+:class:`~repro.runtime.degrade.DegradeController` is attached, converts
+budget exhaustion and transfer-function crashes into per-procedure
+degradation to the pre-analysis state instead of aborting the run.
 """
 
 from __future__ import annotations
@@ -16,14 +24,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.domains.state import AbsState
+from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
+
+#: Backwards-compatible alias — the reproduction analog of the paper's
+#: 24-hour timeout (the ∞ entries of Tables 2/3) now lives in the unified
+#: :mod:`repro.runtime.errors` hierarchy.
+AnalysisBudgetExceeded = BudgetExceeded
 
 Transfer = Callable[[int, AbsState], AbsState | None]
 EdgeTransform = Callable[[int, int, AbsState], AbsState | None]
-
-
-class AnalysisBudgetExceeded(RuntimeError):
-    """Raised when a solver exceeds its iteration budget — the reproduction
-    analog of the paper's 24-hour timeout (the ∞ entries of Tables 2/3)."""
 
 
 def find_widening_points(
@@ -83,6 +93,10 @@ class WorklistSolver:
         narrowing_passes: int = 0,
         max_iterations: int | None = None,
         widening_thresholds: tuple[int, ...] | None = None,
+        budget: Budget | None = None,
+        meter: BudgetMeter | None = None,
+        faults=None,
+        degrade=None,
     ) -> None:
         self._succs = succs
         self._preds = preds
@@ -90,10 +104,65 @@ class WorklistSolver:
         self._widening_points = widening_points
         self._edge_transform = edge_transform
         self._narrowing_passes = narrowing_passes
-        self._max_iterations = max_iterations
         self._thresholds = widening_thresholds
+        if meter is None:
+            meter = BudgetMeter(
+                Budget.coerce(budget, max_iterations=max_iterations),
+                stage="fixpoint",
+            )
+        self._meter = meter
+        self._faults = faults
+        self._degrade = degrade
         self.table: dict[int, AbsState] = {}
         self.stats = FixpointStats()
+        self._work = None
+        self._in_work: set[int] = set()
+
+    # -- resilience hooks ------------------------------------------------------
+
+    def _table_entries(self) -> int:
+        return sum(len(s) for s in self.table.values())
+
+    def _tick(self) -> None:
+        if self._faults is not None:
+            self._faults.on_iteration(self.stats.iterations)
+        self._meter.tick(self._table_entries)
+
+    def _apply_transfer(self, node: int, in_state: AbsState) -> AbsState | None:
+        """Run faults hook + transfer; a crash degrades the node's procedure
+        when a degrade controller is attached, otherwise surfaces as a
+        structured :class:`AnalysisError`."""
+        try:
+            if self._faults is not None:
+                self._faults.before_transfer(node)
+            return self._transfer(node, in_state)
+        except BudgetExceeded:
+            raise
+        except Exception as exc:
+            if self._degrade is None:
+                if isinstance(exc, ReproError):
+                    raise
+                raise AnalysisError(
+                    f"transfer function crashed at node {node}: {exc}", node=node
+                ) from exc
+            newly = self._degrade.degrade_node(node, self.table, cause=str(exc))
+            self._absorb_degraded(newly)
+            return None
+
+    def _absorb_degraded(self, newly: set[int]) -> None:
+        """Re-enqueue live successors of freshly degraded nodes so they
+        consume the fallback states (e.g. a return site reading a degraded
+        callee's exit)."""
+        if not newly or self._work is None:
+            return
+        for dn in newly:
+            for s in self._succs.get(dn, ()):
+                if (
+                    not self._degrade.is_degraded_node(s)
+                    and s not in self._in_work
+                ):
+                    self._in_work.add(s)
+                    self._work.append(s)
 
     def _in_state(self, node: int, initial: AbsState | None) -> AbsState | None:
         acc: AbsState | None = None
@@ -121,25 +190,34 @@ class WorklistSolver:
         """Run to fixpoint from the given entry states (node -> initial)."""
         from collections import deque
 
-        work: deque[int] = deque(entries.keys())
-        in_work = set(entries.keys())
+        self._work: deque[int] | None = deque(entries.keys())
+        self._in_work: set[int] = set(entries.keys())
+        work, in_work = self._work, self._in_work
         while work:
             self.stats.max_worklist = max(self.stats.max_worklist, len(work))
             node = work.popleft()
             in_work.discard(node)
+            if self._degrade is not None and self._degrade.is_degraded_node(node):
+                continue
             self.stats.iterations += 1
-            if (
-                self._max_iterations is not None
-                and self.stats.iterations > self._max_iterations
-            ):
-                raise AnalysisBudgetExceeded(
-                    f"fixpoint exceeded {self._max_iterations} iterations"
-                )
+            try:
+                self._tick()
+            except BudgetExceeded as exc:
+                if self._degrade is None:
+                    raise
+                # Degrade the procedure whose node could not afford its next
+                # visit; pending work in other procedures degrades the same
+                # way as it is popped (every further tick re-raises), so the
+                # loop still terminates and every unconverged procedure ends
+                # at the pre-analysis bound.
+                newly = self._degrade.degrade_node(node, self.table, cause=str(exc))
+                self._absorb_degraded(newly)
+                continue
             self.stats.visited.add(node)
             in_state = self._in_state(node, entries.get(node))
             if in_state is None:
                 continue
-            out = self._transfer(node, in_state)
+            out = self._apply_transfer(node, in_state)
             if out is None:
                 continue
             old = self.table.get(node)
@@ -155,24 +233,45 @@ class WorklistSolver:
                     if s not in in_work:
                         in_work.add(s)
                         work.append(s)
+        self._work = None
+        self._in_work = set()
         if self._narrowing_passes:
             self._narrow(entries)
         return self.table
 
     def _narrow(self, entries: dict[int, AbsState]) -> None:
         """Decreasing iteration: recompute states without widening for a
-        bounded number of passes, keeping only sound refinements."""
+        bounded number of passes, keeping only sound refinements. Narrowing
+        work counts against the same budget as the ascending phase; when the
+        budget runs out mid-narrowing the widened table — already sound — is
+        kept as-is (degrade mode) or the exhaustion is surfaced (fail mode)."""
         order = sorted(self.table.keys())
         for _ in range(self._narrowing_passes):
             changed = False
             for node in order:
+                if self._degrade is not None and self._degrade.is_degraded_node(
+                    node
+                ):
+                    continue
+                self.stats.iterations += 1
+                try:
+                    self._tick()
+                except BudgetExceeded as exc:
+                    if self._degrade is None:
+                        raise
+                    self._degrade.diagnostics.events.append(
+                        f"narrowing stopped early: {exc}"
+                    )
+                    return
                 in_state = self._in_state(node, entries.get(node))
                 if in_state is None:
                     continue
-                out = self._transfer(node, in_state)
+                out = self._apply_transfer(node, in_state)
                 if out is None:
                     continue
-                old = self.table[node]
+                old = self.table.get(node)
+                if old is None:
+                    continue
                 if out.leq(old) and not old.leq(out):
                     self.table[node] = out.copy()
                     changed = True

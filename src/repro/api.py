@@ -11,13 +11,26 @@ One-call entry points for the common workflows::
 ``domain`` selects the abstract domain (``"interval"`` non-relational or
 ``"octagon"`` packed relational); ``mode`` selects the engine
 (``"sparse"``, ``"base"`` with access-based localization, or ``"vanilla"``).
+
+Resilience (see :mod:`repro.runtime`): ``budget`` caps the fixpoint work,
+``on_budget="degrade"`` trades per-procedure precision for guaranteed
+completion (falling back to the pre-analysis state, sound by Lemma 2), and
+``fallback=("sparse", "base", "vanilla")`` is a whole-run engine ladder —
+each rung gets a slice of the budget, and the terminal pseudo-engine
+``"pre"`` always succeeds by answering every query from the pre-analysis.
+What actually happened is recorded on ``run.diagnostics``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
-from repro.analysis.dense import DenseResult, run_dense
+from repro.analysis.dense import (
+    DenseResult,
+    build_interproc_graph,
+    run_dense,
+)
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
 from repro.analysis.relational import (
     RelContext,
@@ -26,11 +39,22 @@ from repro.analysis.relational import (
     run_rel_sparse,
 )
 from repro.analysis.sparse import SparseResult, run_sparse
+from repro.analysis.worklist import FixpointStats
 from repro.checkers.overrun import AccessReport, check_overruns
 from repro.domains.absloc import AbsLoc, VarLoc
 from repro.domains.interval import Interval
 from repro.domains.value import AbsValue
 from repro.ir.program import Program, build_program
+from repro.runtime.budget import Budget
+from repro.runtime.degrade import Diagnostics, preanalysis_table
+from repro.runtime.errors import AnalysisError, BudgetExceeded
+from repro.runtime.faults import FaultInjector
+
+#: cache sentinel — ``None`` is a legitimate lookup result
+_MISS = object()
+
+#: sparse-only engine options that must not reach the dense drivers
+_SPARSE_ONLY_OPTIONS = ("method", "bypass")
 
 
 @dataclass
@@ -41,19 +65,34 @@ class AnalysisRun:
     *defined* (Lemma 1's scope) — queries at arbitrary points therefore
     walk backward to the reaching definitions: the value at ``c`` is the
     join of the nearest ancestor states that carry the location (values
-    flow unchanged along definition-free paths)."""
+    flow unchanged along definition-free paths).
+
+    ``diagnostics`` records what the resilience runtime did: degraded
+    procedures, the fallback engine used (if any), timings and iteration
+    counts."""
 
     program: Program
     pre: PreAnalysis
     domain: str
     mode: str
     result: DenseResult | SparseResult | RelResult
+    diagnostics: Diagnostics = field(default_factory=Diagnostics)
+    #: memo for :meth:`_reaching_lookup` — repeated checker queries walk the
+    #: same predecessor chains over and over; one entry per (node, key)
+    _lookup_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # -- queries ---------------------------------------------------------------
 
     def _reaching_lookup(self, nid: int, key) -> object | None:
         """Join of the nearest states (backward over the control graph)
-        that carry ``key``; None when no path defines it."""
+        that carry ``key``; None when no path defines it. Memoized per
+        ``(nid, key)`` on the run object."""
+        cache_key = (nid, key)
+        hit = self._lookup_cache.get(cache_key, _MISS)
+        if hit is not _MISS:
+            return hit
         preds = self.result.graph.preds
         table = self.result.table
         found = None
@@ -72,6 +111,7 @@ class AnalysisRun:
                         seen.add(p)
                         new_frontier.append(p)
             frontier = new_frontier
+        self._lookup_cache[cache_key] = found
         return found
 
     def value_at(self, nid: int, loc: AbsLoc) -> AbsValue:
@@ -121,6 +161,60 @@ class AnalysisRun:
         return check_overruns(self.program, self.result)
 
 
+def _run_engine(
+    program: Program,
+    pre: PreAnalysis,
+    domain: str,
+    mode: str,
+    options: dict,
+) -> DenseResult | SparseResult | RelResult:
+    """Dispatch one engine×domain combination (one rung of the ladder)."""
+    if mode == "pre":
+        # Terminal fallback: answer everything from the pre-analysis state.
+        table = preanalysis_table(program, pre, domain)
+        graph = build_interproc_graph(program, pre.site_callees, localized=False)
+        diagnostics = Diagnostics(
+            degraded_procs=list(program.procedures()),
+            events=["whole run answered from the pre-analysis state"],
+        )
+        if domain == "interval":
+            return DenseResult(
+                table, FixpointStats(), pre, None, graph, 0.0, diagnostics
+            )
+        from repro.domains.packs import build_packs
+
+        return RelResult(
+            table,
+            build_packs(program),
+            pre,
+            graph=graph,
+            diagnostics=diagnostics,
+        )
+    if domain == "interval":
+        if mode == "sparse":
+            return run_sparse(program, pre, **options)
+        dense_options = {
+            k: v for k, v in options.items() if k not in _SPARSE_ONLY_OPTIONS
+        }
+        if mode == "base":
+            return run_dense(program, pre, localize=True, **dense_options)
+        if mode == "vanilla":
+            return run_dense(program, pre, **dense_options)
+        raise ValueError(f"unknown mode {mode!r}")
+    if domain == "octagon":
+        if mode == "sparse":
+            return run_rel_sparse(program, pre, **options)
+        dense_options = {
+            k: v for k, v in options.items() if k not in _SPARSE_ONLY_OPTIONS
+        }
+        if mode == "base":
+            return run_rel_dense(program, pre, localize=True, **dense_options)
+        if mode == "vanilla":
+            return run_rel_dense(program, pre, **dense_options)
+        raise ValueError(f"unknown mode {mode!r}")
+    raise ValueError(f"unknown domain {domain!r}")
+
+
 def analyze(
     source: str,
     domain: str = "interval",
@@ -128,6 +222,12 @@ def analyze(
     filename: str = "<input>",
     preprocess_source: bool = False,
     inline: bool = False,
+    budget: Budget | None = None,
+    budget_seconds: float | None = None,
+    on_budget: str = "fail",
+    fallback: tuple[str, ...] | None = None,
+    faults=None,
+    watchdog: bool = True,
     **options,
 ) -> AnalysisRun:
     """Parse, lower, and analyze C-subset ``source``.
@@ -137,7 +237,25 @@ def analyze(
     context sensitivity). Remaining ``options`` are forwarded to the
     underlying engine (``strict``, ``widen``, ``narrowing_passes``,
     ``widening_thresholds``, ``max_iterations``, ``method``, ``bypass``).
+
+    Resilience knobs:
+
+    * ``budget`` / ``budget_seconds`` / ``max_iterations`` — a unified
+      :class:`repro.runtime.Budget` on the main fixpoint (the pre-analysis,
+      being the degradation safety net, is not charged against it);
+    * ``on_budget`` — ``"fail"`` raises :class:`BudgetExceeded` (the paper's
+      ∞ entries); ``"degrade"`` fills unconverged procedures from the
+      pre-analysis state and completes the run;
+    * ``fallback`` — an engine ladder, e.g. ``("sparse", "base", "pre")``:
+      each rung gets ``budget.split(len(fallback))`` and the first to finish
+      wins; the pseudo-engine ``"pre"`` cannot fail;
+    * ``faults`` — a :class:`repro.runtime.faults.FaultPlan` for
+      deterministic failure injection (testing);
+    * ``watchdog`` — verify every degraded state stays ⊑ the pre-analysis
+      bound.
     """
+    if on_budget not in ("fail", "degrade"):
+        raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
     if preprocess_source:
         from repro.frontend.preprocessor import preprocess
 
@@ -152,24 +270,50 @@ def analyze(
     else:
         program = build_program(source, filename)
     pre = run_preanalysis(program)
-    if domain == "interval":
-        if mode == "sparse":
-            result = run_sparse(program, pre, **options)
-        elif mode == "base":
-            result = run_dense(program, pre, localize=True, **options)
-        elif mode == "vanilla":
-            result = run_dense(program, pre, **options)
-        else:
-            raise ValueError(f"unknown mode {mode!r}")
-    elif domain == "octagon":
-        if mode == "sparse":
-            result = run_rel_sparse(program, pre, **options)
-        elif mode == "base":
-            result = run_rel_dense(program, pre, localize=True, **options)
-        elif mode == "vanilla":
-            result = run_rel_dense(program, pre, **options)
-        else:
-            raise ValueError(f"unknown mode {mode!r}")
-    else:
-        raise ValueError(f"unknown domain {domain!r}")
-    return AnalysisRun(program, pre, domain, mode, result)
+
+    resolved_budget = Budget.coerce(
+        budget,
+        max_iterations=options.pop("max_iterations", None),
+        max_seconds=budget_seconds,
+    )
+    injector = FaultInjector.coerce(faults)
+
+    stages = tuple(fallback) if fallback else (mode,)
+    stage_budget = (
+        resolved_budget.split(len(stages)) if resolved_budget is not None else None
+    )
+    engine_options = dict(options)
+    if stage_budget is not None:
+        engine_options["budget"] = stage_budget
+    engine_options["on_budget"] = on_budget
+    engine_options["watchdog"] = watchdog
+    if injector is not None:
+        engine_options["faults"] = injector
+
+    attempts: list[tuple[str, str, float, str | None]] = []
+    last_exc: Exception | None = None
+    for stage in stages:
+        start = time.perf_counter()
+        try:
+            stage_options = (
+                {} if stage == "pre" else engine_options
+            )
+            result = _run_engine(program, pre, domain, stage, stage_options)
+        except (BudgetExceeded, AnalysisError) as exc:
+            outcome = "budget" if isinstance(exc, BudgetExceeded) else "error"
+            attempts.append((stage, outcome, time.perf_counter() - start, str(exc)))
+            last_exc = exc
+            continue
+        diagnostics = result.diagnostics
+        if diagnostics is None:
+            diagnostics = Diagnostics(budget=stage_budget)
+        for prior_stage, outcome, seconds, error in attempts:
+            diagnostics.record_attempt(prior_stage, outcome, seconds, error=error)
+        diagnostics.record_attempt(
+            stage, "ok", time.perf_counter() - start, diagnostics.iterations
+        )
+        if stage != stages[0]:
+            diagnostics.fallback_used = stage
+        return AnalysisRun(program, pre, domain, mode, result, diagnostics)
+    assert last_exc is not None
+    raise last_exc

@@ -2,12 +2,16 @@
 
 All frontend failures are reported through :class:`FrontendError` (or one of
 its subclasses) carrying a source :class:`Position` so callers can point at
-the offending token.
+the offending token. ``FrontendError`` is part of the package-wide
+:class:`repro.runtime.errors.ReproError` hierarchy, so ``except ReproError``
+catches frontend and analysis failures alike.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.runtime.errors import ReproError
 
 
 @dataclass(frozen=True, order=True)
@@ -22,7 +26,7 @@ class Position:
         return f"{self.filename}:{self.line}:{self.column}"
 
 
-class FrontendError(Exception):
+class FrontendError(ReproError):
     """Base class for all lexing/parsing/typing errors."""
 
     def __init__(self, message: str, pos: Position | None = None) -> None:

@@ -1,0 +1,49 @@
+"""Resilient analysis runtime: budgets, graceful degradation, fault injection.
+
+The runtime layer makes every fixpoint engine budget-aware and
+failure-tolerant:
+
+* :mod:`repro.runtime.budget` — a unified :class:`Budget` (wall-clock
+  deadline, iteration cap, state-table ceiling) metered cheaply inside every
+  solver loop;
+* :mod:`repro.runtime.degrade` — per-procedure fallback to the flow-
+  insensitive pre-analysis state (sound by Lemma 2) plus the
+  :class:`Diagnostics` record exposed on :class:`repro.api.AnalysisRun`;
+* :mod:`repro.runtime.faults` — a deterministic fault-injection harness so
+  the degradation paths are actually testable;
+* :mod:`repro.runtime.errors` — the structured :class:`ReproError`
+  exception hierarchy shared by the frontend and the engines.
+"""
+
+from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.degrade import (
+    DegradeController,
+    Diagnostics,
+    StageAttempt,
+    make_watchdog,
+    preanalysis_table,
+)
+from repro.runtime.errors import (
+    AnalysisError,
+    BudgetExceeded,
+    ReproError,
+    SoundnessViolation,
+)
+from repro.runtime.faults import FaultInjected, FaultInjector, FaultPlan
+
+__all__ = [
+    "AnalysisError",
+    "Budget",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "DegradeController",
+    "Diagnostics",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "ReproError",
+    "SoundnessViolation",
+    "StageAttempt",
+    "make_watchdog",
+    "preanalysis_table",
+]

@@ -1,0 +1,180 @@
+"""Graceful per-procedure degradation to the pre-analysis.
+
+The flow-insensitive pre-analysis state ``ŝ`` over-approximates the state at
+*every* control point (Lemma 2), so whenever the main analysis cannot finish
+a procedure — its budget ran out, or a transfer function crashed — the
+procedure's table entries can be *filled from ``ŝ``* instead of aborting the
+whole run: strictly less precise, still sound, always terminating. This is
+the in-process analog of the paper's 24-hour timeout rows (Tables 2/3):
+where the paper reports ∞ and no result, we report the pre-analysis bound
+and say so in :class:`Diagnostics`.
+
+:class:`DegradeController` owns the mechanics (which procedures fell back,
+filling tables, the optional soundness watchdog); the solvers decide *when*
+(on :class:`~repro.runtime.errors.BudgetExceeded` with ``on_budget=
+"degrade"``, or on a transfer crash). Nodes of a degraded procedure are
+pinned: solvers skip them for the rest of the run so the fallback state is
+never weakened.
+
+This module is engine-agnostic on purpose — fallback states and ⊑-bounds are
+injected by the engine (an ``AbsState`` copy of ``ŝ`` for the interval
+analyzers, the ⊤ pack map for the octagon analyzers), so it works unchanged
+for every state shape that offers ``leq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.runtime.budget import Budget
+from repro.runtime.errors import SoundnessViolation
+
+
+@dataclass
+class StageAttempt:
+    """One rung of the engine fallback ladder (or the single direct run)."""
+
+    mode: str
+    outcome: str  # "ok" | "budget" | "error"
+    seconds: float = 0.0
+    iterations: int = 0
+    error: str | None = None
+
+
+@dataclass
+class Diagnostics:
+    """What actually happened during an analysis run.
+
+    ``degraded_procs`` lists procedures whose states were replaced by the
+    pre-analysis bound, in degradation order; ``fallback_used`` names the
+    ladder stage that produced the final result when it differs from the
+    requested engine; ``events`` is a human-readable trace of every
+    resilience action taken.
+    """
+
+    degraded_procs: list[str] = field(default_factory=list)
+    fallback_used: str | None = None
+    attempts: list[StageAttempt] = field(default_factory=list)
+    iterations: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+    budget: Budget | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_procs)
+
+    @property
+    def clean(self) -> bool:
+        """True when no resilience machinery had to act."""
+        return not self.degraded_procs and self.fallback_used is None
+
+    def record_attempt(
+        self,
+        mode: str,
+        outcome: str,
+        seconds: float = 0.0,
+        iterations: int = 0,
+        error: str | None = None,
+    ) -> None:
+        self.attempts.append(StageAttempt(mode, outcome, seconds, iterations, error))
+
+    def __str__(self) -> str:
+        bits = [f"iterations={self.iterations}"]
+        if self.degraded_procs:
+            bits.append(f"degraded={','.join(self.degraded_procs)}")
+        if self.fallback_used:
+            bits.append(f"fallback={self.fallback_used}")
+        return "Diagnostics(" + " ".join(bits) + ")"
+
+
+def make_watchdog(bound) -> Callable[[str, object], None]:
+    """A soundness watchdog: every degraded state must be ⊑ ``bound`` (the
+    pre-analysis state, or ⊤ for relational packs) — anything above it would
+    claim facts Lemma 2 cannot justify."""
+
+    def check(proc: str, state) -> None:
+        if not state.leq(bound):
+            raise SoundnessViolation(
+                f"degraded state for {proc!r} is not bounded by the "
+                "pre-analysis state",
+                proc=proc,
+            )
+
+    return check
+
+
+class DegradeController:
+    """Per-procedure fallback bookkeeping shared by all solvers.
+
+    ``fallback_state`` builds the replacement state for one procedure (called
+    at most once per procedure; the returned object is shared read-only by
+    every node of that procedure). ``watchdog`` — usually
+    :func:`make_watchdog` — vets each fallback state before installation.
+    """
+
+    def __init__(
+        self,
+        program,
+        fallback_state: Callable[[str], object],
+        diagnostics: Diagnostics | None = None,
+        watchdog: Callable[[str, object], None] | None = None,
+    ) -> None:
+        self.program = program
+        self._fallback_state = fallback_state
+        self.diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+        self._watchdog = watchdog
+        self.degraded_procs: set[str] = set()
+        self._degraded_nodes: set[int] = set()
+
+    def is_degraded_node(self, nid: int) -> bool:
+        return nid in self._degraded_nodes
+
+    def proc_of(self, nid: int) -> str:
+        return self.program.node(nid).proc
+
+    def degrade_proc(self, proc: str, table: dict, cause: str | None = None) -> set[int]:
+        """Replace every table entry of ``proc`` with the fallback state;
+        returns the newly pinned node ids (empty if already degraded)."""
+        if proc in self.degraded_procs:
+            return set()
+        self.degraded_procs.add(proc)
+        state = self._fallback_state(proc)
+        if self._watchdog is not None:
+            self._watchdog(proc, state)
+        cfg = self.program.cfgs.get(proc)
+        newly: set[int] = set()
+        if cfg is not None:
+            for node in cfg.nodes:
+                table[node.nid] = state
+                newly.add(node.nid)
+        self._degraded_nodes |= newly
+        self.diagnostics.degraded_procs.append(proc)
+        self.diagnostics.events.append(
+            f"degraded {proc!r} to the pre-analysis state"
+            + (f" ({cause})" if cause else "")
+        )
+        return newly
+
+    def degrade_node(self, nid: int, table: dict, cause: str | None = None) -> set[int]:
+        return self.degrade_proc(self.proc_of(nid), table, cause)
+
+
+def preanalysis_table(program, pre, domain: str = "interval") -> dict[int, object]:
+    """A whole-program table filled from the pre-analysis — the terminal
+    ``"pre"`` rung of the engine ladder, which always succeeds."""
+    table: dict[int, object] = {}
+    for proc in program.procedures():
+        cfg = program.cfgs.get(proc)
+        if cfg is None:
+            continue
+        if domain == "interval":
+            state = pre.state.copy()
+        else:
+            from repro.analysis.relational import PackState
+
+            state = PackState()  # ⊤ for every pack: no relation claimed
+        for node in cfg.nodes:
+            table[node.nid] = state
+    return table

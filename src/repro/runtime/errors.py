@@ -1,0 +1,65 @@
+"""Structured exception hierarchy for the whole reproduction.
+
+Every failure the framework itself can anticipate derives from
+:class:`ReproError`::
+
+    ReproError
+    ├── FrontendError        (repro.frontend.errors — lex/parse/lowering)
+    ├── AnalysisError        (a solver or transfer function failed)
+    │   └── FaultInjected    (repro.runtime.faults — deliberate test faults)
+    └── BudgetExceeded       (a resource budget ran out mid-analysis)
+
+Callers that want "anything this package can raise on bad input or
+exhausted resources" catch ``ReproError``; callers that want the paper's
+timeout semantics (the ∞ entries of Tables 2/3) catch ``BudgetExceeded``.
+``AnalysisBudgetExceeded`` remains available from
+:mod:`repro.analysis.worklist` as a backwards-compatible alias.
+
+This module must stay import-leaf (no ``repro`` imports) — the frontend,
+the runtime, and every solver depend on it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every anticipated failure in the reproduction."""
+
+
+class AnalysisError(ReproError):
+    """An analysis engine failed: a transfer function crashed, a solver
+    invariant broke, or a degraded state failed the soundness watchdog."""
+
+    def __init__(self, message: str, node: int | None = None, proc: str | None = None) -> None:
+        self.node = node
+        self.proc = proc
+        super().__init__(message)
+
+
+class BudgetExceeded(AnalysisError):
+    """A resource budget was exhausted mid-analysis.
+
+    ``kind`` names the limit that tripped (``"iterations"``,
+    ``"wall_clock"``, ``"state_size"``, or ``"fault"`` for injected trips);
+    ``spent``/``limit`` quantify it; ``stage`` names the consuming phase
+    (e.g. ``"sparse fixpoint"``, ``"narrowing"``, ``"pre-analysis"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "iterations",
+        spent: float | int | None = None,
+        limit: float | int | None = None,
+        stage: str | None = None,
+    ) -> None:
+        self.kind = kind
+        self.spent = spent
+        self.limit = limit
+        self.stage = stage
+        super().__init__(message)
+
+
+class SoundnessViolation(AnalysisError):
+    """The soundness watchdog found a degraded state that is *not* bounded
+    by the flow-insensitive pre-analysis state (Lemma 2 would not apply)."""

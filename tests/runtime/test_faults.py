@@ -1,0 +1,68 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.runtime.errors import BudgetExceeded
+from repro.runtime.faults import FaultInjected, FaultInjector, FaultPlan
+
+
+class TestFaultPlan:
+    def test_seeded_plans_are_deterministic(self):
+        a = FaultPlan.seeded(42, crash_transfer=True, trip_budget=True)
+        b = FaultPlan.seeded(42, crash_transfer=True, trip_budget=True)
+        assert a == b
+        assert a.crash_transfer_at is not None
+        assert 1 <= a.crash_transfer_at <= 50
+
+    def test_different_seeds_differ_somewhere(self):
+        plans = {
+            FaultPlan.seeded(s, crash_transfer=True, drop_dep_push=True)
+            for s in range(20)
+        }
+        assert len(plans) > 1
+
+    def test_empty_plan_fires_nothing(self):
+        inj = FaultPlan().injector()
+        for n in range(100):
+            inj.before_transfer(n)
+            inj.on_iteration(n)
+            assert inj.keep_dep_push(n, n + 1)
+        assert inj.fired == []
+
+
+class TestFaultInjector:
+    def test_crash_at_nth_transfer(self):
+        inj = FaultPlan(crash_transfer_at=3).injector()
+        inj.before_transfer(10)
+        inj.before_transfer(11)
+        with pytest.raises(FaultInjected) as err:
+            inj.before_transfer(12)
+        assert err.value.node == 12
+        assert inj.fired == ["crash_transfer"]
+
+    def test_budget_trip_at_iteration(self):
+        inj = FaultPlan(trip_budget_at=5).injector()
+        inj.on_iteration(4)
+        with pytest.raises(BudgetExceeded) as err:
+            inj.on_iteration(5)
+        assert err.value.kind == "fault"
+
+    def test_drop_nth_dep_push(self):
+        inj = FaultPlan(drop_dep_push_at=2).injector()
+        assert inj.keep_dep_push(1, 2)
+        assert not inj.keep_dep_push(2, 3)
+        assert inj.keep_dep_push(3, 4)
+        assert inj.fired == ["drop_dep_push"]
+
+    def test_drop_specific_edge(self):
+        inj = FaultPlan(drop_dep_edge=(7, 9)).injector()
+        assert inj.keep_dep_push(1, 2)
+        assert not inj.keep_dep_push(7, 9)
+        assert not inj.keep_dep_push(7, 9)
+
+    def test_coerce(self):
+        assert FaultInjector.coerce(None) is None
+        plan = FaultPlan(crash_transfer_at=1)
+        inj = FaultInjector.coerce(plan)
+        assert isinstance(inj, FaultInjector)
+        assert FaultInjector.coerce(inj) is inj

@@ -81,6 +81,82 @@ class TestAnalyzeCommand:
         assert main(["analyze", "/nonexistent.c"]) == 1
 
 
+class TestRobustness:
+    @pytest.fixture
+    def loopy_file(self, tmp_path):
+        path = tmp_path / "loopy.c"
+        path.write_text(
+            """
+            int g;
+            int main(void) {
+              int i; int s = 0;
+              for (i = 0; i < 100; i++) { s = s + i; g = s; }
+              return s;
+            }
+            """
+        )
+        return str(path)
+
+    @pytest.fixture
+    def broken_file(self, tmp_path):
+        path = tmp_path / "broken.c"
+        path.write_text("int main( {\n")
+        return str(path)
+
+    def test_budget_fail_exits_1_with_one_liner(self, loopy_file, capsys):
+        code = main(["analyze", loopy_file, "--max-iterations", "3"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert err.count("\n") == 1  # exactly one diagnostic line
+        assert "error:" in err and "exceeded" in err
+        assert "Traceback" not in err
+
+    def test_budget_degrade_completes_with_note(self, loopy_file, capsys):
+        code = main(
+            [
+                "analyze",
+                loopy_file,
+                "--max-iterations",
+                "3",
+                "--on-budget",
+                "degrade",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "degraded" in captured.err
+        assert "main" in captured.err
+
+    def test_budget_seconds_flag_accepted(self, loopy_file):
+        # a generous wall-clock budget must not perturb a normal run
+        assert main(["analyze", loopy_file, "--budget-seconds", "60"]) == 0
+
+    def test_parse_error_one_line_diagnostic(self, broken_file, capsys):
+        code = main(["analyze", broken_file])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err
+        assert "broken.c" in err  # file:line:col prefix
+        assert "Traceback" not in err
+
+    def test_degrade_query_still_answers(self, loopy_file, capsys):
+        code = main(
+            [
+                "analyze",
+                loopy_file,
+                "--max-iterations",
+                "3",
+                "--on-budget",
+                "degrade",
+                "--query",
+                "main:g",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "main:g at exit" in out
+
+
 class TestTablesCommand:
     def test_table1_quick(self, capsys):
         code = main(["tables", "table1", "--quick"])
