@@ -1,0 +1,194 @@
+"""Fixpoint scheduling and value-interning benchmark.
+
+Compares, on scheduling variants of the Table-2 workloads:
+
+* **FIFO vs WTO** worklist order, for the dense (``vanilla``) and sparse
+  interval engines — total fixpoint pops must go *down* under WTO and the
+  final tables must be identical on every workload;
+* **plain vs interned** abstract values (the ``set_interning`` ablation) —
+  identical tables, with the join/widen memo hit rate reported.
+
+The workloads are the Table-2 quick suite reshaped to a finite call
+structure (``recursion_cycle=0, unique_callees=True``): with recursion
+cycles interval widening is order-sensitive (see DESIGN.md §8), so a
+table-identity comparison between two schedules is only meaningful where
+the widening sequences coincide. Loops — and therefore widening and the
+WTO's nested components — remain in every workload.
+
+Usage::
+
+    python benchmarks/bench_scheduling.py --quick   # CI smoke (4 workloads)
+    python benchmarks/bench_scheduling.py           # full suite
+
+Emits ``BENCH_scheduling.json`` next to the repo root and exits non-zero
+if WTO regresses total iterations vs FIFO on either engine or any table
+diverges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import analyze  # noqa: E402
+from repro.bench.codegen import default_suite, generate_source  # noqa: E402
+from repro.domains.value import set_interning  # noqa: E402
+
+ENGINES = ("vanilla", "sparse")
+
+
+def scheduling_specs(quick: bool):
+    """Table-2 workloads with the call graph reshaped to a tree (finite
+    interprocedural chains — scheduler-independent widening)."""
+    suite = {s.name: s for s in default_suite()}
+    names = ["gzip-mini", "bc-mini", "tar-mini", "less-mini"]
+    if not quick:
+        # make-mini is excluded: even tree-shaped, its dense-engine widening
+        # sequences differ between the two schedules (both sound; FIFO
+        # happens to batch one ascent WTO observes incrementally), so a
+        # table-identity gate is not meaningful there — see DESIGN.md §8.
+        names += ["wget-mini", "screen-mini", "sendmail-mini"]
+    return [
+        dataclasses.replace(suite[n], recursion_cycle=0, unique_callees=True)
+        for n in names
+    ]
+
+
+def _tables_equal(a, b) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(a[n] == b[n] for n in a)
+
+
+def _run(source, mode, scheduler):
+    t0 = time.perf_counter()
+    run = analyze(source, mode=mode, scheduler=scheduler)
+    elapsed = time.perf_counter() - t0
+    stats = run.scheduler_stats
+    return run, {
+        "pops": stats.pops,
+        "revisits": stats.revisits,
+        "max_revisits": stats.max_revisits,
+        "inversions": stats.inversions,
+        "widening_points": stats.widening_points,
+        "join_cache_hit_rate": round(stats.join_cache_hit_rate, 4),
+        "seconds": round(elapsed, 3),
+    }
+
+
+def bench_schedulers(specs):
+    failures = []
+    workloads = []
+    totals = {m: {"wto": 0, "fifo": 0} for m in ENGINES}
+    for spec in specs:
+        source = generate_source(spec)
+        entry = {"name": spec.name, "engines": {}}
+        for mode in ENGINES:
+            wto_run, wto_stats = _run(source, mode, "wto")
+            fifo_run, fifo_stats = _run(source, mode, "fifo")
+            identical = _tables_equal(wto_run.result.table, fifo_run.result.table)
+            if not identical:
+                failures.append(f"{spec.name}/{mode}: tables diverge")
+            totals[mode]["wto"] += wto_stats["pops"]
+            totals[mode]["fifo"] += fifo_stats["pops"]
+            entry["engines"][mode] = {
+                "wto": wto_stats,
+                "fifo": fifo_stats,
+                "identical_tables": identical,
+            }
+            print(
+                f"  {spec.name:<12} {mode:<8} pops wto={wto_stats['pops']:>5} "
+                f"fifo={fifo_stats['pops']:>5} "
+                f"identical={'yes' if identical else 'NO'}"
+            )
+        workloads.append(entry)
+    for mode in ENGINES:
+        w, f = totals[mode]["wto"], totals[mode]["fifo"]
+        totals[mode]["reduction"] = round(1 - w / f, 4) if f else 0.0
+        if w >= f:
+            failures.append(
+                f"{mode}: WTO regressed iterations ({w} vs FIFO {f})"
+            )
+        print(f"TOTAL {mode:<8} wto={w} fifo={f} "
+              f"reduction={100 * totals[mode]['reduction']:.1f}%")
+    return workloads, totals, failures
+
+
+def bench_interning(specs):
+    """Plain vs hash-consed values, sparse engine (the hottest join path)."""
+    failures = []
+    out = []
+    for spec in specs:
+        source = generate_source(spec)
+        set_interning(True)
+        interned_run, interned_stats = _run(source, "sparse", "wto")
+        set_interning(False)
+        plain_run, plain_stats = _run(source, "sparse", "wto")
+        set_interning(True)
+        identical = _tables_equal(
+            interned_run.result.table, plain_run.result.table
+        )
+        if not identical:
+            failures.append(f"{spec.name}: interning changed the table")
+        out.append(
+            {
+                "name": spec.name,
+                "interned_seconds": interned_stats["seconds"],
+                "plain_seconds": plain_stats["seconds"],
+                "join_cache_hit_rate": interned_stats["join_cache_hit_rate"],
+                "identical_tables": identical,
+            }
+        )
+        print(
+            f"  {spec.name:<12} interned={interned_stats['seconds']:.3f}s "
+            f"plain={plain_stats['seconds']:.3f}s "
+            f"hit-rate={interned_stats['join_cache_hit_rate']:.0%} "
+            f"identical={'yes' if identical else 'NO'}"
+        )
+    return out, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: first 4 workloads only")
+    parser.add_argument("--output", default=None,
+                        help="JSON output path (default: BENCH_scheduling.json "
+                        "at the repo root)")
+    args = parser.parse_args(argv)
+
+    specs = scheduling_specs(args.quick)
+    print(f"== scheduling: FIFO vs WTO ({len(specs)} workloads) ==")
+    workloads, totals, failures = bench_schedulers(specs)
+    print("== interning: plain vs hash-consed ==")
+    interning, int_failures = bench_interning(specs)
+    failures += int_failures
+
+    payload = {
+        "bench": "scheduling",
+        "quick": args.quick,
+        "workloads": workloads,
+        "totals": totals,
+        "interning": interning,
+        "failures": failures,
+    }
+    out_path = Path(
+        args.output
+        or Path(__file__).resolve().parent.parent / "BENCH_scheduling.json"
+    )
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if failures:
+        print("FAILURES:", *failures, sep="\n  ")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

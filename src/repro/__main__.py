@@ -42,6 +42,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     options = {
         "preprocess_source": args.cpp,
         "inline": args.inline,
+        "scheduler": args.scheduler,
     }
     if args.narrow:
         options["narrowing_passes"] = args.narrow
@@ -78,6 +79,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             if run.result.defuse is not None:
                 d, u = run.result.defuse.average_sizes()
                 print(f"avg |D̂|/|Û|    : {d:.2f} / {u:.2f}")
+        sched = run.scheduler_stats
+        if sched is not None:
+            print(f"scheduler       : {sched.scheduler}")
+            print(f"pops            : {sched.pops} over "
+                  f"{sched.unique_nodes} nodes")
+            print(f"revisits        : {sched.revisits} "
+                  f"(max {sched.max_revisits}, "
+                  f"rate {sched.revisit_rate:.2f})")
+            print(f"inversions      : {sched.inversions}")
+            print(f"widening points : {sched.widening_points}")
+            total = sched.join_cache_hits + sched.join_cache_misses
+            if total:
+                print(f"join cache      : {sched.join_cache_hits}/{total} "
+                      f"hits ({100 * sched.join_cache_hit_rate:.0f}%)")
 
     exit_code = 0
     if args.domain == "interval":
@@ -162,6 +177,11 @@ def main(argv: list[str] | None = None) -> int:
         help="print a variable's interval at a procedure exit (repeatable)",
     )
     p_analyze.add_argument("--stats", action="store_true")
+    p_analyze.add_argument(
+        "--scheduler", choices=["wto", "fifo"], default="wto",
+        help="fixpoint visit order: weak topological order (default) or "
+        "the FIFO baseline",
+    )
     p_analyze.add_argument(
         "--narrow", type=int, default=2, metavar="N",
         help="narrowing passes after widening (default 2)",

@@ -16,12 +16,9 @@ from dataclasses import dataclass, field
 
 from repro.analysis.defuse import DefUseInfo, compute_defuse, localization_set
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
+from repro.analysis.schedule import SchedulerStats, compute_wto
 from repro.analysis.semantics import AnalysisContext, transfer
-from repro.analysis.worklist import (
-    FixpointStats,
-    WorklistSolver,
-    find_widening_points,
-)
+from repro.analysis.worklist import FixpointStats, WorklistSolver
 from repro.domains.absloc import AbsLoc
 from repro.domains.state import AbsState
 from repro.ir.commands import CCall, CRetBind
@@ -131,6 +128,7 @@ class DenseResult:
     graph: InterprocGraph
     elapsed: float = 0.0
     diagnostics: Diagnostics | None = None
+    scheduler_stats: SchedulerStats | None = None
 
     def state_at(self, nid: int) -> AbsState:
         return self.table.get(nid, AbsState())
@@ -152,6 +150,8 @@ def run_dense(
     on_budget: str = "fail",
     faults=None,
     watchdog: bool = True,
+    scheduler: str = "wto",
+    widening_delay: int = 0,
 ) -> DenseResult:
     """Run the dense interval analysis (``vanilla`` or, with ``localize``,
     ``base``).
@@ -169,6 +169,11 @@ def run_dense(
     pre-analysis state instead of raising :class:`BudgetExceeded`, with the
     actions recorded in the result's ``diagnostics``. ``faults`` accepts a
     :class:`repro.runtime.faults.FaultPlan` for deterministic failure tests.
+
+    ``scheduler`` selects the worklist order: ``"wto"`` (default) iterates
+    in weak topological order, ``"fifo"`` is the classic deque baseline.
+    Widening points are WTO component heads either way, so both schedules
+    converge to the same table.
     """
     if on_budget not in ("fail", "degrade"):
         raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
@@ -221,9 +226,11 @@ def run_dense(
         return transfer(node_map[nid], state, ctx)
 
     entry = program.entry_node()
-    widening_points = (
-        find_widening_points([entry.nid], graph.succs) if widen else set()
-    )
+    # One WTO serves both purposes: its component heads are the widening
+    # points (they cut every cycle) and its linear order drives the
+    # priority worklist.
+    wto = compute_wto([entry.nid], graph.succs)
+    widening_points = set(wto.heads) if widen else set()
     solver = WorklistSolver(
         graph.succs,
         graph.preds,
@@ -235,6 +242,9 @@ def run_dense(
         widening_thresholds=_resolve_thresholds(program, widening_thresholds),
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
+        priority=wto.priority,
+        scheduler=scheduler,
+        widening_delay=widening_delay,
     )
     if strict:
         entries = {entry.nid: AbsState()}
@@ -245,4 +255,15 @@ def run_dense(
     elapsed = time.perf_counter() - start
     diagnostics.iterations = solver.stats.iterations
     diagnostics.timings["fix"] = elapsed
-    return DenseResult(table, solver.stats, pre, defuse, graph, elapsed, diagnostics)
+    if solver.scheduler_stats is not None:
+        diagnostics.scheduler = solver.scheduler_stats.as_dict()
+    return DenseResult(
+        table,
+        solver.stats,
+        pre,
+        defuse,
+        graph,
+        elapsed,
+        diagnostics,
+        solver.scheduler_stats,
+    )

@@ -20,7 +20,6 @@ are provided, mirroring Table 3's ``Octagon_vanilla``, ``Octagon_base`` and
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -28,8 +27,9 @@ from repro.analysis.datadep import DataDeps, generate_datadeps
 from repro.analysis.defuse import DefUseInfo
 from repro.analysis.dense import InterprocGraph, build_interproc_graph
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
+from repro.analysis.schedule import SchedulerStats, compute_wto, make_worklist
 from repro.analysis.semantics import AnalysisContext, Evaluator
-from repro.analysis.worklist import WorklistSolver, find_widening_points
+from repro.analysis.worklist import WorklistSolver
 from repro.domains.absloc import AbsLoc, RetLoc, VarLoc
 from repro.domains.interval import BOT as ITV_BOT, Interval, TOP as ITV_TOP
 from repro.domains.octagon import Octagon
@@ -672,6 +672,7 @@ class RelResult:
     time_dep: float = 0.0
     time_fix: float = 0.0
     diagnostics: Diagnostics | None = None
+    scheduler_stats: SchedulerStats | None = None
 
     def state_at(self, nid: int) -> PackState:
         return self.table.get(nid, PackState())
@@ -700,6 +701,8 @@ def run_rel_dense(
     on_budget: str = "fail",
     faults=None,
     watchdog: bool = True,
+    scheduler: str = "wto",
+    widening_delay: int = 0,
 ) -> RelResult:
     """Dense octagon analysis (``Octagon_vanilla`` / ``Octagon_base``)."""
     if on_budget not in ("fail", "degrade"):
@@ -748,7 +751,8 @@ def run_rel_dense(
         return rel_transfer(node_map[nid], state, ctx)
 
     entry = program.entry_node()
-    wps = find_widening_points([entry.nid], graph.succs) if widen else set()
+    wto = compute_wto([entry.nid], graph.succs)
+    wps = set(wto.heads) if widen else set()
     solver = WorklistSolver(
         graph.succs,
         graph.preds,
@@ -759,6 +763,9 @@ def run_rel_dense(
         narrowing_passes=narrowing_passes,
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
+        priority=wto.priority,
+        scheduler=scheduler,
+        widening_delay=widening_delay,
     )
     if strict:
         entries = {entry.nid: PackState()}
@@ -766,6 +773,8 @@ def run_rel_dense(
         entries = {n.nid: PackState() for n in program.nodes()}
     table = solver.solve(entries)
     diagnostics.iterations = solver.stats.iterations
+    if solver.scheduler_stats is not None:
+        diagnostics.scheduler = solver.scheduler_stats.as_dict()
     return RelResult(
         table,
         packs,
@@ -775,6 +784,7 @@ def run_rel_dense(
         elapsed=time.perf_counter() - start,
         iterations=solver.stats.iterations,
         diagnostics=diagnostics,
+        scheduler_stats=solver.scheduler_stats,
     )
 
 
@@ -793,12 +803,19 @@ class RelSparseSolver:
         meter: BudgetMeter | None = None,
         faults=None,
         degrade=None,
+        priority=None,
+        scheduler: str = "wto",
+        widening_delay: int = 0,
     ) -> None:
         self.program = program
         self.ctx = ctx
         self.deps = deps
         self.graph = graph
         self.widening_points = widening_points
+        #: join (don't widen) the first N growth observations per head —
+        #: see :class:`repro.analysis.worklist.WorklistSolver`
+        self._widening_delay = widening_delay
+        self._growth: dict[int, int] = {}
         if meter is None:
             meter = BudgetMeter(
                 Budget.coerce(budget, max_iterations=max_iterations),
@@ -813,18 +830,24 @@ class RelSparseSolver:
         self.in_cache: dict[int, dict[Pack, Octagon | None]] = {}
         self.reached: set[int] = set()
         self.iterations = 0
+        #: WTO positions driving the priority worklist (None = plain FIFO)
+        self._priority = priority
+        self._scheduler = scheduler if priority is not None else "fifo"
+        self.scheduler_stats: SchedulerStats | None = None
+        #: running total of state entries across the table (budget probe)
+        self._entries = 0
 
     # -- resilience hooks ------------------------------------------------------
 
     def _table_entries(self) -> int:
-        return sum(len(s) for s in self.table.values())
+        return self._entries
 
     def _tick(self) -> None:
         if self._faults is not None:
             self._faults.on_iteration(self.iterations)
         self._meter.tick(self._table_entries)
 
-    def _apply_transfer(self, nid: int, in_state: PackState, in_work, work):
+    def _apply_transfer(self, nid: int, in_state: PackState, work):
         node_map = self.program.factory.nodes
         try:
             if self._faults is not None:
@@ -840,19 +863,17 @@ class RelSparseSolver:
                     f"transfer function crashed at node {nid}: {exc}", node=nid
                 ) from exc
             newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
-            self._absorb_degraded(newly, in_work, work)
+            self._absorb_degraded(newly, work)
             return None
 
-    def _absorb_degraded(
-        self, newly: set[int], in_work: set[int], work: list[int]
-    ) -> None:
+    def _absorb_degraded(self, newly: set[int], work) -> None:
         """Mirror of :meth:`SparseSolver._absorb_degraded` for pack states:
         push the (⊤) fallback along data dependencies and re-establish
         control reachability across the degraded region."""
-        import heapq
-
         if not newly:
             return
+        # Degradation wrote table states behind the counter's back — resync.
+        self._entries = sum(len(s) for s in self.table.values())
         succs_to_run: set[int] = set()
         for dn in newly:
             self.reached.add(dn)
@@ -863,11 +884,9 @@ class RelSparseSolver:
         for dn in newly:
             state = self.table.get(dn)
             if state is not None:
-                self._push(dn, state, None, in_work, work)
+                self._push(dn, state, None, work)
         for s in succs_to_run:
-            if s not in in_work:
-                in_work.add(s)
-                heapq.heappush(work, s)
+            work.add(s)
 
     def _assemble_input(self, nid: int) -> PackState:
         state = PackState()
@@ -895,24 +914,17 @@ class RelSparseSolver:
         return state
 
     def solve(self, strict: bool = True) -> dict[int, PackState]:
-        # Priority order (ascending node id ≈ program order) keeps the
-        # octagon engine from recomputing downstream nodes before their
-        # inputs settle — a large constant factor with expensive values.
-        import heapq
-
         node_map = self.program.factory.nodes
         entry = self.program.entry_node()
         if strict:
-            work: list[int] = [entry.nid]
+            initial = [entry.nid]
             self.reached.add(entry.nid)
         else:
-            work = sorted(node_map.keys())
+            initial = sorted(node_map.keys())
             self.reached.update(node_map.keys())
-        heapq.heapify(work)
-        in_work = set(work)
+        work = make_worklist(self._scheduler, self._priority, initial)
         while work:
-            nid = heapq.heappop(work)
-            in_work.discard(nid)
+            nid = work.pop()
             if self._degrade is not None and self._degrade.is_degraded_node(nid):
                 continue
             self.iterations += 1
@@ -922,7 +934,7 @@ class RelSparseSolver:
                 if self._degrade is None:
                     raise
                 newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
-                self._absorb_degraded(newly, in_work, work)
+                self._absorb_degraded(newly, work)
                 continue
             cache = self.in_cache.get(nid)
             if cache:
@@ -931,29 +943,42 @@ class RelSparseSolver:
                 )
             else:
                 in_state = PackState()
-            out = self._apply_transfer(nid, in_state, in_work, work)
+            out = self._apply_transfer(nid, in_state, work)
             if out is None:
                 continue
 
             for succ in self.graph.succs.get(nid, ()):
                 if succ not in self.reached:
                     self.reached.add(succ)
-                    if succ not in in_work:
-                        in_work.add(succ)
-                        heapq.heappush(work, succ)
+                    work.add(succ)
             old = self.table.get(nid)
             if old is None:
-                self.table[nid] = out.copy()
-                out = self.table[nid]
+                # ``in_state`` is rebuilt fresh from the cache every visit,
+                # so ``out`` never aliases a long-lived structure — no copy.
+                self.table[nid] = out
+                self._entries += len(out)
                 changed: set[Pack] | None = None  # everything is new
             elif nid in self.widening_points:
-                changed = old.widen_changed(out)
+                before = len(old)
+                seen = self._growth.get(nid, 0)
+                if seen < self._widening_delay:
+                    changed = old.join_changed(out)
+                    if changed:
+                        self._growth[nid] = seen + 1
+                else:
+                    changed = old.widen_changed(out)
+                self._entries += len(old) - before
                 out = old
             else:
+                before = len(old)
                 changed = old.join_changed(out)
+                self._entries += len(old) - before
                 out = old
             if changed is None or changed:
-                self._push(nid, out, changed, in_work, work)
+                self._push(nid, out, changed, work)
+        self.scheduler_stats = SchedulerStats.from_worklist(
+            work, widening_points=len(self.widening_points)
+        )
         return self.table
 
     def _push(
@@ -961,12 +986,9 @@ class RelSparseSolver:
         nid: int,
         out: PackState,
         changed: "set[Pack] | None",
-        in_work: set[int],
-        work: list[int],
+        work,
     ) -> None:
         """Push changed pack values into consumers' input caches."""
-        import heapq
-
         for dst, packs in self.deps.out_edges(nid):
             if self._faults is not None and not self._faults.keep_dep_push(nid, dst):
                 continue
@@ -996,9 +1018,8 @@ class RelSparseSolver:
                 if joined != prev:
                     cache[pack] = None if joined.is_top() else joined
                     grew = True
-            if grew and dst in self.reached and dst not in in_work:
-                in_work.add(dst)
-                heapq.heappush(work, dst)
+            if grew and dst in self.reached:
+                work.add(dst)
 
     def narrow(self, passes: int) -> None:
         """Decreasing iteration: re-run transfers without widening, keeping
@@ -1046,7 +1067,9 @@ class RelSparseSolver:
                 if old is None:
                     continue
                 if out.leq(old) and not old.leq(out):
-                    self.table[nid] = out.copy()
+                    # narrowing input is assembled from scratch — no aliasing
+                    self.table[nid] = out
+                    self._entries += len(out) - len(old)
                     changed = True
             if not changed:
                 break
@@ -1066,6 +1089,8 @@ def run_rel_sparse(
     on_budget: str = "fail",
     faults=None,
     watchdog: bool = True,
+    scheduler: str = "wto",
+    widening_delay: int = 0,
 ) -> RelResult:
     """Sparse octagon analysis (``Octagon_sparse``)."""
     if on_budget not in ("fail", "degrade"):
@@ -1086,11 +1111,8 @@ def run_rel_sparse(
 
     t_dep = time.perf_counter()
     graph = build_interproc_graph(program, pre.site_callees, localized=False)
-    wps = (
-        find_widening_points([program.entry_node().nid], graph.succs)
-        if widen
-        else set()
-    )
+    wto = compute_wto([program.entry_node().nid], graph.succs)
+    wps = set(wto.heads) if widen else set()
     defuse = compute_rel_defuse(program, pre, ctx)
     dep_result = generate_datadeps(
         program, pre, defuse, method=method, bypass=bypass, widening_points=wps
@@ -1107,6 +1129,9 @@ def run_rel_sparse(
         budget=resolved_budget,
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
+        priority=wto.priority,
+        scheduler=scheduler,
+        widening_delay=widening_delay,
     )
     table = solver.solve(strict=strict)
     if narrowing_passes:
@@ -1115,6 +1140,8 @@ def run_rel_sparse(
 
     diagnostics.iterations = solver.iterations
     diagnostics.timings.update(dep=time_dep, fix=time_fix)
+    if solver.scheduler_stats is not None:
+        diagnostics.scheduler = solver.scheduler_stats.as_dict()
     return RelResult(
         table,
         packs,
@@ -1127,4 +1154,5 @@ def run_rel_sparse(
         time_dep=time_dep,
         time_fix=time_fix,
         diagnostics=diagnostics,
+        scheduler_stats=solver.scheduler_stats,
     )

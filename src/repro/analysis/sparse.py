@@ -28,15 +28,14 @@ Implementation notes:
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass
 
 from repro.analysis.datadep import DataDepResult, DataDeps, generate_datadeps
 from repro.analysis.defuse import DefUseInfo, compute_defuse
 from repro.analysis.dense import InterprocGraph, build_interproc_graph
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
+from repro.analysis.schedule import SchedulerStats, compute_wto, make_worklist
 from repro.analysis.semantics import AnalysisContext, transfer
-from repro.analysis.worklist import find_widening_points
 from repro.domains.absloc import AbsLoc
 from repro.domains.state import AbsState
 from repro.ir.program import Program
@@ -73,6 +72,7 @@ class SparseResult:
     stats: SparseStats
     graph: InterprocGraph
     diagnostics: Diagnostics | None = None
+    scheduler_stats: SchedulerStats | None = None
 
     def state_at(self, nid: int) -> AbsState:
         return self.table.get(nid, AbsState())
@@ -97,12 +97,19 @@ class SparseSolver:
         meter: BudgetMeter | None = None,
         faults=None,
         degrade=None,
+        priority=None,
+        scheduler: str = "wto",
+        widening_delay: int = 0,
     ) -> None:
         if meter is None:
             meter = BudgetMeter(
                 Budget.coerce(budget, max_iterations=max_iterations),
                 stage="sparse fixpoint",
             )
+        #: join (don't widen) the first N growth observations per head —
+        #: see :class:`repro.analysis.worklist.WorklistSolver`
+        self._widening_delay = widening_delay
+        self._growth: dict[int, int] = {}
         self._meter = meter
         self._faults = faults
         self._degrade = degrade
@@ -117,25 +124,34 @@ class SparseSolver:
         self.reached: set[int] = set()
         self.iterations = 0
         if widening_points is None:
-            # Fallback: dep-graph back edges (always terminates, but may
-            # widen at different points than the dense engine).
+            # Fallback: a WTO of the dependency graph itself — its heads cut
+            # every dep cycle (always terminates, but may widen at different
+            # points than the dense engine).
             dep_succs = deps.node_succs()
-            widening_points = find_widening_points(
-                list(dep_succs.keys()), dep_succs
-            )
+            dep_wto = compute_wto(sorted(dep_succs.keys()), dep_succs)
+            widening_points = set(dep_wto.heads)
+            if priority is None:
+                priority = dep_wto.priority
         self.widening_points = widening_points
+        #: WTO positions driving the priority worklist (None = plain FIFO)
+        self._priority = priority
+        self._scheduler = scheduler if priority is not None else "fifo"
+        self.scheduler_stats: SchedulerStats | None = None
+        #: running total of state entries across the table — the budget
+        #: meter's state-size probe reads this instead of re-summing
+        self._entries = 0
 
     # -- resilience hooks ------------------------------------------------------
 
     def _table_entries(self) -> int:
-        return sum(len(s) for s in self.table.values())
+        return self._entries
 
     def _tick(self) -> None:
         if self._faults is not None:
             self._faults.on_iteration(self.iterations)
         self._meter.tick(self._table_entries)
 
-    def _apply_transfer(self, nid: int, in_state: AbsState, in_work, enqueue):
+    def _apply_transfer(self, nid: int, in_state: AbsState, work):
         """Faults hook + transfer; a crash degrades the node's procedure when
         a degrade controller is attached."""
         node_map = self.program.factory.nodes
@@ -153,10 +169,10 @@ class SparseSolver:
                     f"transfer function crashed at node {nid}: {exc}", node=nid
                 ) from exc
             newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
-            self._absorb_degraded(newly, in_work, enqueue)
+            self._absorb_degraded(newly, work)
             return None
 
-    def _absorb_degraded(self, newly: set[int], in_work: set[int], enqueue) -> None:
+    def _absorb_degraded(self, newly: set[int], work) -> None:
         """Splice freshly degraded nodes back into the sparse propagation:
         their (pre-analysis) fallback values are pushed along outgoing data
         dependencies, and control reachability is re-established across the
@@ -164,6 +180,9 @@ class SparseSolver:
         everything', so its control successors must run."""
         if not newly:
             return
+        # Degradation wrote whole-procedure fallback states behind the
+        # incremental counter's back — resync it (rare event).
+        self._entries = sum(len(s) for s in self.table.values())
         succs_to_run: set[int] = set()
         for dn in newly:
             self.reached.add(dn)
@@ -174,11 +193,9 @@ class SparseSolver:
         for dn in newly:
             state = self.table.get(dn)
             if state is not None:
-                self._push(dn, state, None, in_work, enqueue)
+                self._push(dn, state, None, work)
         for s in succs_to_run:
-            if s not in in_work:
-                in_work.add(s)
-                enqueue(s)
+            work.add(s)
 
     def _assemble_input(self, nid: int) -> AbsState:
         """From-scratch input assembly (used by narrowing; the main loop
@@ -199,8 +216,7 @@ class SparseSolver:
         nid: int,
         out: AbsState,
         changed: "set[AbsLoc] | None",
-        in_work: set[int],
-        enqueue,
+        work,
     ) -> None:
         """Push changed values along outgoing dependencies into the
         consumers' input caches — O(#changed) per edge instead of
@@ -221,29 +237,32 @@ class SparseSolver:
                 if value.is_bottom():
                     continue
                 old = cache.get(loc)
+                if old is value:
+                    continue  # interning: pointer-equal means nothing new
                 new = old.join(value)
-                if new != old:
+                if new is not old and new != old:
                     cache.set(loc, new)
                     grew = True
-            if grew and dst in self.reached and dst not in in_work:
-                in_work.add(dst)
-                enqueue(dst)
+            if grew and dst in self.reached:
+                work.add(dst)
 
     def solve(self, strict: bool = True) -> dict[int, AbsState]:
+        from repro.domains.value import cache_stats
+
         entry = self.program.entry_node()
         node_map = self.program.factory.nodes
         if strict:
-            work: deque[int] = deque([entry.nid])
+            initial = [entry.nid]
             self.reached.add(entry.nid)
         else:
             # Non-strict (paper) mode: every control point runs.
-            work = deque(sorted(node_map.keys()))
+            initial = sorted(node_map.keys())
             self.reached.update(node_map.keys())
-        in_work = set(work)
+        cache_before = cache_stats()
+        work = make_worklist(self._scheduler, self._priority, initial)
 
         while work:
-            nid = work.popleft()
-            in_work.discard(nid)
+            nid = work.pop()
             if nid not in self.reached:
                 continue
             if self._degrade is not None and self._degrade.is_degraded_node(nid):
@@ -258,39 +277,58 @@ class SparseSolver:
                 # procedures fall back to the pre-analysis one by one and
                 # the loop drains without further fixpoint work.
                 newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
-                self._absorb_degraded(newly, in_work, work.append)
+                self._absorb_degraded(newly, work)
                 continue
             in_state = self.in_cache.get(nid)
             in_state = in_state if in_state is not None else AbsState()
-            out = self._apply_transfer(nid, in_state, in_work, work.append)
+            out = self._apply_transfer(nid, in_state, work)
             if out is None:
                 continue
 
             # Reachability propagates along control flow (cheap bit).
-            newly_reached = []
             for succ in self.graph.succs.get(nid, ()):
                 if succ not in self.reached:
                     self.reached.add(succ)
-                    newly_reached.append(succ)
-                    if succ not in in_work:
-                        in_work.add(succ)
-                        work.append(succ)
+                    work.add(succ)
             # A node reached late may already have pending cached input
             # from dep pushes; it is enqueued above and will consume it.
 
             old = self.table.get(nid)
             if old is None:
+                # The transfer may return ``in_state`` unchanged (skip
+                # nodes), which aliases the long-lived input cache — the
+                # copy here is NOT redundant, unlike the dense solver's.
                 self.table[nid] = out.copy()
                 out = self.table[nid]
+                self._entries += len(out)
                 changed: set[AbsLoc] | None = None  # everything is new
             elif nid in self.widening_points:
-                changed = old.widen_changed(out, self.thresholds)
+                before = len(old)
+                seen = self._growth.get(nid, 0)
+                if seen < self._widening_delay:
+                    changed = old.join_changed(out)
+                    if changed:
+                        self._growth[nid] = seen + 1
+                else:
+                    changed = old.widen_changed(out, self.thresholds)
+                self._entries += len(old) - before
                 out = old
             else:
+                before = len(old)
                 changed = old.join_changed(out)
+                self._entries += len(old) - before
                 out = old
             if changed is None or changed:
-                self._push(nid, out, changed, in_work, work.append)
+                self._push(nid, out, changed, work)
+        cache_after = cache_stats()
+        self.scheduler_stats = SchedulerStats.from_worklist(
+            work,
+            widening_points=len(self.widening_points),
+            cache_delta=(
+                cache_after[0] - cache_before[0],
+                cache_after[1] - cache_before[1],
+            ),
+        )
         return self.table
 
     def narrow(self, passes: int) -> None:
@@ -340,7 +378,10 @@ class SparseSolver:
                 if old is None:
                     continue
                 if out.leq(old) and not old.leq(out):
-                    self.table[nid] = out.copy()
+                    # narrowing assembles its input from scratch, so ``out``
+                    # never aliases the table or the input cache — no copy
+                    self.table[nid] = out
+                    self._entries += len(out) - len(old)
                     changed = True
             if not changed:
                 break
@@ -362,6 +403,8 @@ def run_sparse(
     on_budget: str = "fail",
     faults=None,
     watchdog: bool = True,
+    scheduler: str = "wto",
+    widening_delay: int = 0,
 ) -> SparseResult:
     """Run the sparse interval analysis end to end: pre-analysis → D̂/Û →
     data dependencies → sparse fixpoint (the three phases whose times the
@@ -384,11 +427,11 @@ def run_sparse(
 
     t1 = time.perf_counter()
     graph = build_interproc_graph(program, pre.site_callees, localized=False)
-    widening_points = (
-        find_widening_points([program.entry_node().nid], graph.succs)
-        if widen
-        else set()
-    )
+    # WTO of the control graph: heads are the widening points (shared with
+    # the dense engine so both widen identical per-location streams) and
+    # its linear order drives the priority worklist.
+    wto = compute_wto([program.entry_node().nid], graph.succs)
+    widening_points = set(wto.heads) if widen else set()
     if defuse is None:
         defuse = compute_defuse(program, pre)
     if dep_result is None:
@@ -429,6 +472,9 @@ def run_sparse(
         widening_thresholds=_resolve_thresholds(program, widening_thresholds),
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
+        priority=wto.priority,
+        scheduler=scheduler,
+        widening_delay=widening_delay,
     )
     table = solver.solve(strict=strict)
     if narrowing_passes:
@@ -440,7 +486,16 @@ def run_sparse(
     diagnostics.timings.update(
         pre=stats.time_pre, dep=stats.time_dep, fix=stats.time_fix
     )
+    if solver.scheduler_stats is not None:
+        diagnostics.scheduler = solver.scheduler_stats.as_dict()
 
     return SparseResult(
-        table, dep_result.deps, defuse, pre, stats, graph, diagnostics
+        table,
+        dep_result.deps,
+        defuse,
+        pre,
+        stats,
+        graph,
+        diagnostics,
+        solver.scheduler_stats,
     )

@@ -2,8 +2,17 @@
 
 Computes ``lfp F♯`` where ``F♯(X)(c) = f♯_c(⊔_{c'↪c} X(c'))`` (equation (3)
 of the paper) over an arbitrary directed graph of control points. Widening
-is applied at a supplied set of widening points (loop heads — targets of
-back edges), which guarantees termination for infinite-height domains.
+is applied at a supplied set of widening points (by default the component
+heads of a weak topological order — see :mod:`repro.analysis.schedule` —
+which cut every cycle), guaranteeing termination for infinite-height
+domains.
+
+Scheduling: with a WTO ``priority`` map the solver iterates nodes in weak
+topological order (inner loops stabilize before outer code resumes); with
+``scheduler="fifo"`` it falls back to the classic FIFO deque — the baseline
+``benchmarks/bench_scheduling.py`` measures against. Either way a
+:class:`~repro.analysis.schedule.SchedulerStats` record of re-visits,
+priority inversions and join-cache hits is left on ``scheduler_stats``.
 
 The engine is shared by the vanilla and localized dense analyses (the
 sparse engine in :mod:`repro.analysis.sparse` propagates along data
@@ -23,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.analysis.schedule import SchedulerStats, make_worklist
 from repro.domains.state import AbsState
 from repro.runtime.budget import Budget, BudgetMeter
 from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
@@ -97,6 +107,9 @@ class WorklistSolver:
         meter: BudgetMeter | None = None,
         faults=None,
         degrade=None,
+        priority: Mapping[int, int] | None = None,
+        scheduler: str = "wto",
+        widening_delay: int = 0,
     ) -> None:
         self._succs = succs
         self._preds = preds
@@ -105,6 +118,11 @@ class WorklistSolver:
         self._edge_transform = edge_transform
         self._narrowing_passes = narrowing_passes
         self._thresholds = widening_thresholds
+        #: join (don't widen) the first N growth observations per head —
+        #: transient ascents shorter than the delay converge exactly, which
+        #: also makes the result independent of the visit order for them
+        self._widening_delay = widening_delay
+        self._growth: dict[int, int] = {}
         if meter is None:
             meter = BudgetMeter(
                 Budget.coerce(budget, max_iterations=max_iterations),
@@ -113,15 +131,21 @@ class WorklistSolver:
         self._meter = meter
         self._faults = faults
         self._degrade = degrade
+        #: WTO positions driving the priority worklist (None = plain FIFO)
+        self._priority = priority
+        self._scheduler = scheduler if priority is not None else "fifo"
         self.table: dict[int, AbsState] = {}
         self.stats = FixpointStats()
+        self.scheduler_stats: SchedulerStats | None = None
         self._work = None
-        self._in_work: set[int] = set()
+        #: running total of state entries across the table — the budget
+        #: meter's state-size probe reads this instead of re-summing
+        self._entries = 0
 
     # -- resilience hooks ------------------------------------------------------
 
     def _table_entries(self) -> int:
-        return sum(len(s) for s in self.table.values())
+        return self._entries
 
     def _tick(self) -> None:
         if self._faults is not None:
@@ -153,16 +177,17 @@ class WorklistSolver:
         """Re-enqueue live successors of freshly degraded nodes so they
         consume the fallback states (e.g. a return site reading a degraded
         callee's exit)."""
-        if not newly or self._work is None:
+        if not newly:
+            return
+        # Degradation wrote whole-procedure fallback states behind the
+        # incremental counter's back — resync it (rare event).
+        self._entries = sum(len(s) for s in self.table.values())
+        if self._work is None:
             return
         for dn in newly:
             for s in self._succs.get(dn, ()):
-                if (
-                    not self._degrade.is_degraded_node(s)
-                    and s not in self._in_work
-                ):
-                    self._in_work.add(s)
-                    self._work.append(s)
+                if not self._degrade.is_degraded_node(s):
+                    self._work.add(s)
 
     def _in_state(self, node: int, initial: AbsState | None) -> AbsState | None:
         acc: AbsState | None = None
@@ -188,15 +213,13 @@ class WorklistSolver:
 
     def solve(self, entries: dict[int, AbsState]) -> dict[int, AbsState]:
         """Run to fixpoint from the given entry states (node -> initial)."""
-        from collections import deque
+        from repro.domains.value import cache_stats
 
-        self._work: deque[int] | None = deque(entries.keys())
-        self._in_work: set[int] = set(entries.keys())
-        work, in_work = self._work, self._in_work
+        cache_before = cache_stats()
+        work = make_worklist(self._scheduler, self._priority, entries.keys())
+        self._work = work
         while work:
-            self.stats.max_worklist = max(self.stats.max_worklist, len(work))
-            node = work.popleft()
-            in_work.discard(node)
+            node = work.pop()
             if self._degrade is not None and self._degrade.is_degraded_node(node):
                 continue
             self.stats.iterations += 1
@@ -222,19 +245,39 @@ class WorklistSolver:
                 continue
             old = self.table.get(node)
             if old is None:
-                self.table[node] = out.copy()
+                # ``out`` is freshly built (the transfer never aliases the
+                # table), so it can be installed without a defensive copy.
+                self.table[node] = out
+                self._entries += len(out)
                 changed = True
             elif node in self._widening_points:
-                changed = old.widen_with(out, self._thresholds)
+                before = len(old)
+                seen = self._growth.get(node, 0)
+                if seen < self._widening_delay:
+                    changed = old.join_with(out)
+                    if changed:
+                        self._growth[node] = seen + 1
+                else:
+                    changed = old.widen_with(out, self._thresholds)
+                self._entries += len(old) - before
             else:
+                before = len(old)
                 changed = old.join_with(out)
+                self._entries += len(old) - before
             if changed:
                 for s in self._succs.get(node, ()):
-                    if s not in in_work:
-                        in_work.add(s)
-                        work.append(s)
+                    work.add(s)
         self._work = None
-        self._in_work = set()
+        self.stats.max_worklist = work.max_size
+        cache_after = cache_stats()
+        self.scheduler_stats = SchedulerStats.from_worklist(
+            work,
+            widening_points=len(self._widening_points),
+            cache_delta=(
+                cache_after[0] - cache_before[0],
+                cache_after[1] - cache_before[1],
+            ),
+        )
         if self._narrowing_passes:
             self._narrow(entries)
         return self.table
@@ -273,7 +316,9 @@ class WorklistSolver:
                 if old is None:
                     continue
                 if out.leq(old) and not old.leq(out):
-                    self.table[node] = out.copy()
+                    # fresh transfer output, never aliased — no copy needed
+                    self.table[node] = out
+                    self._entries += len(out) - len(old)
                     changed = True
             if not changed:
                 break

@@ -85,6 +85,12 @@ class AnalysisRun:
 
     # -- queries ---------------------------------------------------------------
 
+    @property
+    def scheduler_stats(self):
+        """The main fixpoint's :class:`~repro.analysis.schedule.SchedulerStats`
+        (None for pre-analysis-only results)."""
+        return getattr(self.result, "scheduler_stats", None)
+
     def _reaching_lookup(self, nid: int, key) -> object | None:
         """Join of the nearest states (backward over the control graph)
         that carry ``key``; None when no path defines it. Memoized per
@@ -236,7 +242,8 @@ def analyze(
     duplicates small non-recursive callees into their call sites (bounded
     context sensitivity). Remaining ``options`` are forwarded to the
     underlying engine (``strict``, ``widen``, ``narrowing_passes``,
-    ``widening_thresholds``, ``max_iterations``, ``method``, ``bypass``).
+    ``widening_thresholds``, ``max_iterations``, ``method``, ``bypass``,
+    ``scheduler`` — ``"wto"`` or the ``"fifo"`` baseline).
 
     Resilience knobs:
 

@@ -11,11 +11,20 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.domains.absloc import AbsLoc
-from repro.domains.value import BOT, AbsValue
+from repro.domains.value import BOT, AbsValue, intern_value
+
+#: sentinel for the single-location fast path in :meth:`AbsState.update_locs`
+_NO_MORE = object()
 
 
 class AbsState:
-    """A map from abstract locations to abstract values."""
+    """A map from abstract locations to abstract values.
+
+    Stored values are hash-consed (see :mod:`repro.domains.value`), so
+    structurally-equal values across states are pointer-equal; the lattice
+    operations below exploit that with ``is`` fast paths before falling
+    back to structural comparison.
+    """
 
     __slots__ = ("_map",)
 
@@ -32,7 +41,7 @@ class AbsState:
         if value.is_bottom():
             self._map.pop(loc, None)
         else:
-            self._map[loc] = value
+            self._map[loc] = intern_value(value)
 
     def weak_set(self, loc: AbsLoc, value: AbsValue) -> None:
         """Weak update: join with the existing value (the paper's ``[l ↪w v]``)."""
@@ -40,13 +49,23 @@ class AbsState:
 
     def update_locs(self, locs: Iterable[AbsLoc], value: AbsValue) -> None:
         """The paper's store semantics: a strong update when the target is a
-        single non-summary location, a weak update otherwise."""
-        locs = list(locs)
-        if len(locs) == 1 and not locs[0].is_summary():
-            self.set(locs[0], value)
-        else:
-            for loc in locs:
-                self.weak_set(loc, value)
+        single non-summary location, a weak update otherwise. The common
+        single-location case is detected without materializing a list."""
+        it = iter(locs)
+        first = next(it, _NO_MORE)
+        if first is _NO_MORE:
+            return
+        second = next(it, _NO_MORE)
+        if second is _NO_MORE:
+            if first.is_summary():
+                self.weak_set(first, value)
+            else:
+                self.set(first, value)
+            return
+        self.weak_set(first, value)
+        self.weak_set(second, value)
+        for loc in it:
+            self.weak_set(loc, value)
 
     def locations(self) -> set[AbsLoc]:
         return set(self._map)
@@ -95,8 +114,12 @@ class AbsState:
         return not self._map
 
     def leq(self, other: "AbsState") -> bool:
+        other_map = other._map
         for loc, value in self._map.items():
-            if not value.leq(other.get(loc)):
+            ov = other_map.get(loc, BOT)
+            if ov is value:
+                continue
+            if not value.leq(ov):
                 return False
         return True
 
@@ -108,15 +131,18 @@ class AbsState:
     def join_with(self, other: "AbsState") -> bool:
         """In-place join; returns True when this state grew."""
         changed = False
+        self_map = self._map
         for loc, value in other._map.items():
-            old = self._map.get(loc)
+            old = self_map.get(loc)
             if old is None:
-                self._map[loc] = value
+                self_map[loc] = intern_value(value)
                 changed = True
+            elif old is value:
+                continue  # interning makes equal values pointer-equal
             else:
                 new = old.join(value)
-                if new != old:
-                    self._map[loc] = new
+                if new is not old and new != old:
+                    self_map[loc] = new
                     changed = True
         return changed
 
@@ -125,15 +151,18 @@ class AbsState:
     ) -> bool:
         """In-place widening (pointwise); returns True when this state grew."""
         changed = False
+        self_map = self._map
         for loc, value in other._map.items():
-            old = self._map.get(loc)
+            old = self_map.get(loc)
             if old is None:
-                self._map[loc] = value
+                self_map[loc] = intern_value(value)
                 changed = True
+            elif old is value:
+                continue
             else:
                 new = old.widen(value, thresholds)
-                if new != old:
-                    self._map[loc] = new
+                if new is not old and new != old:
+                    self_map[loc] = new
                     changed = True
         return changed
 
@@ -141,15 +170,18 @@ class AbsState:
         """In-place join returning exactly the locations that changed —
         lets the sparse engine propagate per location, not per node."""
         changed: set[AbsLoc] = set()
+        self_map = self._map
         for loc, value in other._map.items():
-            old = self._map.get(loc)
+            old = self_map.get(loc)
             if old is None:
-                self._map[loc] = value
+                self_map[loc] = intern_value(value)
                 changed.add(loc)
+            elif old is value:
+                continue
             else:
                 new = old.join(value)
-                if new != old:
-                    self._map[loc] = new
+                if new is not old and new != old:
+                    self_map[loc] = new
                     changed.add(loc)
         return changed
 
@@ -157,15 +189,18 @@ class AbsState:
         self, other: "AbsState", thresholds: tuple[int, ...] | None = None
     ) -> set[AbsLoc]:
         changed: set[AbsLoc] = set()
+        self_map = self._map
         for loc, value in other._map.items():
-            old = self._map.get(loc)
+            old = self_map.get(loc)
             if old is None:
-                self._map[loc] = value
+                self_map[loc] = intern_value(value)
                 changed.add(loc)
+            elif old is value:
+                continue
             else:
                 new = old.widen(value, thresholds)
-                if new != old:
-                    self._map[loc] = new
+                if new is not old and new != old:
+                    self_map[loc] = new
                     changed.add(loc)
         return changed
 

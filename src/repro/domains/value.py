@@ -11,6 +11,15 @@ An abstract value is the product of:
 The paper's value domain is ``V̂ = Ẑ × P̂`` with arrays folded into the
 pointer part; we keep array blocks separate so the buffer-overrun checker
 can reason about offsets and sizes.
+
+**Hash-consing**: like the BDD package (:mod:`repro.bdd`), values are
+interned so that structurally-equal values are pointer-equal — equality
+checks short-circuit on identity, the state layer can skip no-op joins
+with an ``is`` test, and binary join/widen results are memoized by operand
+identity in a bounded cache. Interning happens at the two choke points
+where values enter long-lived structures (:meth:`AbsValue.join`/``widen``
+results and :meth:`repro.domains.state.AbsState.set`), so transfer-function
+scratch values cost nothing extra.
 """
 
 from __future__ import annotations
@@ -72,13 +81,118 @@ def _merge_blocks(
     return tuple(sorted(by_base.values(), key=lambda x: x.base.sort_key()))
 
 
-@dataclass(frozen=True)
+# -- hash-consing ----------------------------------------------------------
+
+#: table bounds — clearing on overflow only loses sharing, never soundness
+_INTERN_LIMIT = 1 << 16
+_MEMO_LIMIT = 1 << 15
+
+_interned: dict["AbsValue", "AbsValue"] = {}
+_interned_itvs: dict[Interval, Interval] = {}
+_interned_ptsto: dict[frozenset, frozenset] = {}
+#: (id(a), id(b)[, thresholds]) → (a, b, result); the stored operands keep
+#: the keyed objects alive, so an id can never be reused while its entry
+#: exists — hits verify identity against the stored operands.
+_join_memo: dict[tuple[int, int], tuple] = {}
+_widen_memo: dict[tuple, tuple] = {}
+
+_memo_hits = 0
+_memo_misses = 0
+_enabled = True
+
+
+def interning_enabled() -> bool:
+    return _enabled
+
+
+def set_interning(enabled: bool) -> None:
+    """Toggle hash-consing and join/widen memoization (the bench ablation
+    knob). Toggling clears every table so measurements start cold."""
+    global _enabled
+    _enabled = enabled
+    clear_intern_tables()
+
+
+def clear_intern_tables() -> None:
+    _interned.clear()
+    _interned_itvs.clear()
+    _interned_ptsto.clear()
+    _join_memo.clear()
+    _widen_memo.clear()
+
+
+def cache_stats() -> tuple[int, int]:
+    """Cumulative (hits, misses) of the join/widen memo caches — solvers
+    snapshot this around a run to report per-run hit rates."""
+    return _memo_hits, _memo_misses
+
+
+def intern_value(value: "AbsValue") -> "AbsValue":
+    """The canonical instance structurally equal to ``value`` — after this,
+    equality of interned values is pointer equality. Components (interval,
+    points-to set) are canonicalized too, so even distinct values share
+    their equal parts."""
+    if not _enabled:
+        return value
+    found = _interned.get(value)
+    if found is not None:
+        return found
+    if len(_interned) >= _INTERN_LIMIT:
+        _interned.clear()
+    itv = value.itv
+    cached_itv = _interned_itvs.get(itv)
+    if cached_itv is None:
+        if len(_interned_itvs) >= _INTERN_LIMIT:
+            _interned_itvs.clear()
+        _interned_itvs[itv] = itv
+    elif cached_itv is not itv:
+        itv = cached_itv
+    ptsto = value.ptsto
+    if ptsto:
+        cached_pts = _interned_ptsto.get(ptsto)
+        if cached_pts is None:
+            if len(_interned_ptsto) >= _INTERN_LIMIT:
+                _interned_ptsto.clear()
+            _interned_ptsto[ptsto] = ptsto
+        elif cached_pts is not ptsto:
+            ptsto = cached_pts
+    if itv is not value.itv or ptsto is not value.ptsto:
+        value = AbsValue(itv, ptsto, value.arrays)
+    _interned[value] = value
+    return value
+
+
+@dataclass(frozen=True, eq=False)
 class AbsValue:
-    """Product value: interval × points-to set × array blocks."""
+    """Product value: interval × points-to set × array blocks.
+
+    Equality short-circuits on identity and the hash is computed once per
+    instance — both matter because interning makes repeated values
+    pointer-equal on the fixpoint hot paths.
+    """
 
     itv: Interval = ITV_BOT
     ptsto: frozenset[AbsLoc] = frozenset()
     arrays: tuple[ArrayBlock, ...] = ()
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not AbsValue:
+            return NotImplemented
+        return (
+            self.itv == other.itv
+            and self.ptsto == other.ptsto
+            and self.arrays == other.arrays
+        )
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.itv, self.ptsto, self.arrays))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     # -- constructors -----------------------------------------------------------
 
@@ -114,6 +228,8 @@ class AbsValue:
         return self.itv.is_bottom() and not self.ptsto and not self.arrays
 
     def leq(self, other: "AbsValue") -> bool:
+        if self is other:
+            return True
         if not self.itv.leq(other.itv):
             return False
         if not self.ptsto <= other.ptsto:
@@ -126,28 +242,60 @@ class AbsValue:
         return True
 
     def join(self, other: "AbsValue") -> "AbsValue":
+        if self is other:
+            return self
         if self.is_bottom():
             return other
         if other.is_bottom():
             return self
-        return AbsValue(
+        global _memo_hits, _memo_misses
+        if _enabled:
+            key = (id(self), id(other))
+            hit = _join_memo.get(key)
+            if hit is not None and hit[0] is self and hit[1] is other:
+                _memo_hits += 1
+                return hit[2]
+            _memo_misses += 1
+        result = AbsValue(
             itv=self.itv.join(other.itv),
             ptsto=self.ptsto | other.ptsto,
             arrays=_merge_blocks(
                 self.arrays, other.arrays, lambda x, y: x.join(y)
             ),
         )
+        if _enabled:
+            result = intern_value(result)
+            if len(_join_memo) >= _MEMO_LIMIT:
+                _join_memo.clear()
+            _join_memo[key] = (self, other, result)
+        return result
 
     def widen(
         self, other: "AbsValue", thresholds: tuple[int, ...] | None = None
     ) -> "AbsValue":
-        return AbsValue(
+        if self is other:
+            return self
+        global _memo_hits, _memo_misses
+        if _enabled:
+            key = (id(self), id(other), thresholds)
+            hit = _widen_memo.get(key)
+            if hit is not None and hit[0] is self and hit[1] is other:
+                _memo_hits += 1
+                return hit[2]
+            _memo_misses += 1
+        result = AbsValue(
             itv=self.itv.widen(other.itv, thresholds),
             ptsto=self.ptsto | other.ptsto,
             arrays=_merge_blocks(
                 self.arrays, other.arrays, lambda x, y: x.widen(y)
             ),
         )
+        if _enabled:
+            result = intern_value(result)
+            if len(_widen_memo) >= _MEMO_LIMIT:
+                _widen_memo.clear()
+            _widen_memo[key] = (self, other, result)
+        return result
 
     def narrow(self, other: "AbsValue") -> "AbsValue":
         return AbsValue(
@@ -213,5 +361,5 @@ def _truthiness_of_itv(itv: Interval) -> Interval:
     return BOOL
 
 
-BOT = AbsValue()
-TOP_NUM = AbsValue(itv=ITV_TOP)
+BOT = intern_value(AbsValue())
+TOP_NUM = intern_value(AbsValue(itv=ITV_TOP))

@@ -60,6 +60,9 @@ class Diagnostics:
     timings: dict[str, float] = field(default_factory=dict)
     events: list[str] = field(default_factory=list)
     budget: Budget | None = None
+    #: scheduler stats from the main fixpoint (see
+    #: :meth:`repro.analysis.schedule.SchedulerStats.as_dict`)
+    scheduler: dict | None = None
 
     @property
     def degraded(self) -> bool:
