@@ -1,0 +1,135 @@
+"""Engine-core overhead gate for the unified fixpoint engine (ISSUE 3).
+
+The refactor that folded the four hand-rolled worklist solvers into one
+generic ``FixpointEngine`` must not cost scheduling quality: this benchmark
+runs all six engine×domain combos on the quick scheduling workloads,
+records worklist pops and wall time, and compares the pops against the
+**seed baseline** (``benchmarks/baseline_engine_seed.json``, recorded with
+the pre-refactor solvers). Any combo popping >10% more nodes than the seed
+fails the run; wall times are reported (not gated — CI machines vary).
+
+Usage::
+
+    python benchmarks/bench_engine_refactor.py            # gate + report
+    python benchmarks/bench_engine_refactor.py --record   # (re)write baseline
+
+Emits ``BENCH_engine_refactor.json`` next to the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import analyze  # noqa: E402
+from repro.bench.codegen import default_suite  # noqa: E402
+from repro.bench.codegen import generate_source  # noqa: E402
+
+#: allowed pop-count growth over the seed baseline
+POP_TOLERANCE = 0.10
+
+COMBOS = [
+    ("interval", "vanilla"),
+    ("interval", "base"),
+    ("interval", "sparse"),
+    ("octagon", "vanilla"),
+    ("octagon", "base"),
+    ("octagon", "sparse"),
+]
+
+
+def workloads():
+    """Finite-call-structure versions of the quick Table-2 workloads (same
+    reshaping as bench_scheduling.py: table identity and pop counts are
+    only schedule-comparable without recursion cycles)."""
+    suite = {s.name: s for s in default_suite()}
+    names = ["gzip-mini", "bc-mini"]
+    return [
+        dataclasses.replace(
+            suite[n], recursion_cycle=0, unique_callees=True
+        )
+        for n in names
+    ]
+
+
+def measure() -> dict:
+    out: dict[str, dict] = {}
+    for spec in workloads():
+        source = generate_source(spec)
+        for domain, mode in COMBOS:
+            key = f"{spec.name}/{domain}/{mode}"
+            t0 = time.perf_counter()
+            run = analyze(source, domain=domain, mode=mode)
+            elapsed = time.perf_counter() - t0
+            sched = run.scheduler_stats
+            out[key] = {
+                "pops": sched.pops,
+                "revisits": sched.revisits,
+                "time_s": round(elapsed, 4),
+            }
+            print(f"  {key}: pops={sched.pops} time={elapsed:.3f}s",
+                  file=sys.stderr, flush=True)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--record", action="store_true",
+        help="rewrite the seed baseline from this run",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = ROOT / "benchmarks" / "baseline_engine_seed.json"
+    current = measure()
+
+    if args.record:
+        baseline_path.write_text(
+            json.dumps(current, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"recorded seed baseline to {baseline_path}")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())
+    failures: list[str] = []
+    report: dict[str, dict] = {}
+    for key, cur in current.items():
+        base = baseline.get(key)
+        entry = dict(cur)
+        if base is not None:
+            entry["seed_pops"] = base["pops"]
+            entry["seed_time_s"] = base["time_s"]
+            entry["pop_ratio"] = (
+                round(cur["pops"] / base["pops"], 4) if base["pops"] else None
+            )
+            if cur["pops"] > base["pops"] * (1 + POP_TOLERANCE):
+                failures.append(
+                    f"{key}: pops {cur['pops']} vs seed {base['pops']} "
+                    f"(>{POP_TOLERANCE:.0%} regression)"
+                )
+        report[key] = entry
+
+    out_path = ROOT / "BENCH_engine_refactor.json"
+    out_path.write_text(json.dumps(
+        {"tolerance": POP_TOLERANCE, "results": report, "failures": failures},
+        indent=1, sort_keys=True,
+    ) + "\n")
+    print(f"wrote {out_path}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("engine-core overhead gate: OK (all pop counts within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,14 +71,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         program = run.program
         print(f"procedures      : {program.num_functions()}")
         print(f"control points  : {program.num_statements()}")
-        if hasattr(run.result, "stats"):
-            stats = run.result.stats
+        stats = run.result.stats
+        print(f"iterations      : {stats.iterations}")
+        if run.result.deps is not None:
             print(f"dependencies    : {stats.dep_count} "
                   f"(raw {stats.raw_dep_count})")
-            print(f"iterations      : {stats.iterations}")
-            if run.result.defuse is not None:
-                d, u = run.result.defuse.average_sizes()
-                print(f"avg |D̂|/|Û|    : {d:.2f} / {u:.2f}")
+        if run.result.defuse is not None:
+            d, u = run.result.defuse.average_sizes()
+            print(f"avg |D̂|/|Û|    : {d:.2f} / {u:.2f}")
         sched = run.scheduler_stats
         if sched is not None:
             print(f"scheduler       : {sched.scheduler}")

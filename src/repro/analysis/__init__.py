@@ -1,8 +1,20 @@
-"""Analyses: pre-analysis, dense (vanilla/base), and sparse engines."""
+"""Analyses: the generic fixpoint engine and its configurations —
+pre-analysis, dense (vanilla/base), sparse, and relational."""
 
 from repro.analysis.defuse import DefUseInfo, compute_defuse
 from repro.analysis.dense import DenseResult, run_dense
+from repro.analysis.engine import (
+    CfgSpace,
+    DepGraphSpace,
+    FixpointEngine,
+    FixpointResult,
+    FixpointStats,
+    OnePointSpace,
+    PropagationSpace,
+    StateLattice,
+)
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
+from repro.analysis.schedule import GraphView, widening_points_for
 from repro.analysis.sparse import SparseResult, run_sparse
 
 __all__ = [
@@ -10,6 +22,16 @@ __all__ = [
     "compute_defuse",
     "DenseResult",
     "run_dense",
+    "CfgSpace",
+    "DepGraphSpace",
+    "FixpointEngine",
+    "FixpointResult",
+    "FixpointStats",
+    "OnePointSpace",
+    "PropagationSpace",
+    "StateLattice",
+    "GraphView",
+    "widening_points_for",
     "PreAnalysis",
     "run_preanalysis",
     "SparseResult",

@@ -15,10 +15,10 @@ import time
 from dataclasses import dataclass, field
 
 from repro.analysis.defuse import DefUseInfo, compute_defuse, localization_set
+from repro.analysis.engine import CfgSpace, FixpointEngine, FixpointResult
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
-from repro.analysis.schedule import SchedulerStats, compute_wto
+from repro.analysis.schedule import widening_points_for
 from repro.analysis.semantics import AnalysisContext, transfer
-from repro.analysis.worklist import FixpointStats, WorklistSolver
 from repro.domains.absloc import AbsLoc
 from repro.domains.state import AbsState
 from repro.ir.commands import CCall, CRetBind
@@ -117,24 +117,8 @@ def _resolve_thresholds(program, spec):
     return spec
 
 
-@dataclass
-class DenseResult:
-    """Fixpoint table plus run statistics."""
-
-    table: dict[int, AbsState]
-    stats: FixpointStats
-    pre: PreAnalysis
-    defuse: DefUseInfo | None
-    graph: InterprocGraph
-    elapsed: float = 0.0
-    diagnostics: Diagnostics | None = None
-    scheduler_stats: SchedulerStats | None = None
-
-    def state_at(self, nid: int) -> AbsState:
-        return self.table.get(nid, AbsState())
-
-    def value_at(self, nid: int, loc: AbsLoc):
-        return self.state_at(nid).get(loc)
+#: The dense engines return the unified result type (legacy alias).
+DenseResult = FixpointResult
 
 
 def run_dense(
@@ -226,44 +210,46 @@ def run_dense(
         return transfer(node_map[nid], state, ctx)
 
     entry = program.entry_node()
-    # One WTO serves both purposes: its component heads are the widening
-    # points (they cut every cycle) and its linear order drives the
-    # priority worklist.
-    wto = compute_wto([entry.nid], graph.succs)
-    widening_points = set(wto.heads) if widen else set()
-    solver = WorklistSolver(
-        graph.succs,
-        graph.preds,
-        node_transfer,
-        widening_points,
-        edge_transform=edge_transform,
-        narrowing_passes=narrowing_passes,
-        budget=resolved_budget,
-        widening_thresholds=_resolve_thresholds(program, widening_thresholds),
-        faults=FaultInjector.coerce(faults),
-        degrade=degrade,
-        priority=wto.priority,
-        scheduler=scheduler,
-        widening_delay=widening_delay,
-    )
     if strict:
         entries = {entry.nid: AbsState()}
     else:
         # Non-strict: every control point runs at least once on ⊥.
         entries = {node.nid: AbsState() for node in program.nodes()}
-    table = solver.solve(entries)
+    space = CfgSpace(
+        graph.succs,
+        graph.preds,
+        entries,
+        edge_transform=edge_transform,
+        roots=[entry.nid],
+    )
+    wto, widening_points = widening_points_for(space, widen)
+    engine = FixpointEngine(
+        space,
+        node_transfer,
+        widening_points,
+        widening_thresholds=_resolve_thresholds(program, widening_thresholds),
+        widening_delay=widening_delay,
+        narrowing_passes=narrowing_passes,
+        budget=resolved_budget,
+        faults=FaultInjector.coerce(faults),
+        degrade=degrade,
+        priority=wto.priority,
+        scheduler=scheduler,
+    )
+    table = engine.solve()
     elapsed = time.perf_counter() - start
-    diagnostics.iterations = solver.stats.iterations
+    engine.stats.time_fix = elapsed
+    diagnostics.iterations = engine.stats.iterations
     diagnostics.timings["fix"] = elapsed
-    if solver.scheduler_stats is not None:
-        diagnostics.scheduler = solver.scheduler_stats.as_dict()
-    return DenseResult(
+    if engine.scheduler_stats is not None:
+        diagnostics.scheduler = engine.scheduler_stats.as_dict()
+    return FixpointResult(
         table,
-        solver.stats,
-        pre,
-        defuse,
-        graph,
-        elapsed,
-        diagnostics,
-        solver.scheduler_stats,
+        engine.stats,
+        pre=pre,
+        defuse=defuse,
+        graph=graph,
+        elapsed=elapsed,
+        diagnostics=diagnostics,
+        scheduler_stats=engine.scheduler_stats,
     )

@@ -1,0 +1,756 @@
+"""The generic fixpoint engine core.
+
+The paper's central observation (Section 3) is that the sparse analysis is
+the *same* abstract interpreter as the dense one, run over a different
+propagation structure: equation (3) propagates whole states along
+control-flow edges, Definition 3 propagates individual abstract locations
+along data dependencies. This module makes that structure a first-class
+parameter. One :class:`FixpointEngine` owns the worklist loop — WTO
+scheduling, widening delay, budget metering, per-procedure degradation,
+narrowing passes, and stats collection exactly once — and is instantiated
+with:
+
+* a **state lattice** (:class:`StateLattice`): ``AbsState`` (bottom-default
+  interval/pointer maps) or ``PackState`` (⊤-default pack→octagon maps),
+  via the changed-set join/widen protocol;
+* a **propagation space** (:class:`PropagationSpace`): :class:`CfgSpace`
+  pulls inputs by joining predecessor states over control edges (with an
+  optional access-based-localization edge transform), while
+  :class:`DepGraphSpace` pushes changed locations along data dependencies
+  into per-consumer input caches, with control reachability riding along
+  as one bit per node. :class:`OnePointSpace` is the degenerate space with
+  a single self-looping control point — running the engine over it *is*
+  the flow-insensitive pre-analysis;
+* a **transfer adapter**: a plain ``(nid, state) -> state | None`` callable
+  closing over the program's node map and analysis context.
+
+``dense.py``, ``sparse.py``, ``relational.py``, and ``preanalysis.py`` are
+thin configurations of this core; their former result types are all the one
+:class:`FixpointResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Protocol, Sequence
+
+from repro.analysis.schedule import SchedulerStats, make_worklist
+from repro.domains.interval import Interval
+from repro.domains.state import AbsState
+from repro.domains.value import cache_stats
+from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
+
+if TYPE_CHECKING:
+    from repro.analysis.datadep import DataDeps
+    from repro.analysis.dense import InterprocGraph
+    from repro.analysis.preanalysis import PreAnalysis
+
+
+class StateLattice(Protocol):
+    """What the engine needs from an abstract state.
+
+    ``AbsState`` (bottom-default: a missing location is ⊥) and ``PackState``
+    (⊤-default: a missing pack is ⊤) both implement it. Truthiness must NOT
+    encode emptiness — an empty ⊤-default map is a real state — so the
+    engine never branches on ``bool(state)``; ``len`` feeds the budget
+    meter's state-size probe only. Bottom is a zero-argument constructor on
+    the implementing class, used by the propagation spaces for seeds and by
+    :meth:`FixpointResult.state_at`.
+    """
+
+    def copy(self) -> "StateLattice": ...
+
+    def leq(self, other: "StateLattice") -> bool: ...
+
+    def join_changed(self, other: "StateLattice") -> set:
+        """In-place join, returning exactly the keys whose value changed."""
+        ...
+
+    def widen_changed(
+        self, other: "StateLattice", thresholds: tuple[int, ...] | None = None
+    ) -> set:
+        """In-place widen (thresholds are an interval-domain refinement;
+        other domains ignore them), returning the changed keys."""
+        ...
+
+    def __len__(self) -> int: ...
+
+
+#: transfer adapter: ``f♯_c`` as a plain callable (None = no state produced)
+Transfer = Callable[[int, "StateLattice"], "StateLattice | None"]
+EdgeTransform = Callable[[int, int, "StateLattice"], "StateLattice | None"]
+
+
+@dataclass
+class FixpointStats:
+    """Counters describing one fixpoint run — a single surface for every
+    engine×domain combination (dense runs simply leave the dependency and
+    reachability fields at their defaults)."""
+
+    iterations: int = 0
+    max_worklist: int = 0
+    visited: set[int] = field(default_factory=set)
+    #: sparse engines: dependency edges after/before bypass compression
+    dep_count: int = 0
+    raw_dep_count: int = 0
+    #: sparse engines: control points the reachability bit turned on
+    reachable_nodes: int = 0
+    #: wall-clock split matching the paper's Pre / Dep / Fix columns
+    time_pre: float = 0.0
+    time_dep: float = 0.0
+    time_fix: float = 0.0
+
+    @property
+    def time_total(self) -> float:
+        return self.time_pre + self.time_dep + self.time_fix
+
+
+@dataclass
+class FixpointResult:
+    """A fixpoint table plus its supporting artifacts — the one results API
+    shared by all engines (formerly ``DenseResult``/``SparseResult``/
+    ``RelResult``). Fields not produced by a given engine stay None."""
+
+    table: dict[int, "StateLattice"]
+    stats: FixpointStats = field(default_factory=FixpointStats)
+    pre: "PreAnalysis | None" = None
+    #: dense localization / sparse dependency artifacts (engine-dependent)
+    defuse: object = None
+    deps: "DataDeps | None" = None
+    graph: "InterprocGraph | None" = None
+    #: relational runs: the variable packing in effect
+    packs: object = None
+    elapsed: float = 0.0
+    diagnostics: object = None
+    scheduler_stats: SchedulerStats | None = None
+    #: zero-argument bottom-state constructor for out-of-table queries
+    bottom: Callable[[], "StateLattice"] = AbsState
+
+    # -- legacy accessors (pre-unification field names) ------------------------
+
+    @property
+    def iterations(self) -> int:
+        return self.stats.iterations
+
+    @property
+    def time_dep(self) -> float:
+        return self.stats.time_dep
+
+    @property
+    def time_fix(self) -> float:
+        return self.stats.time_fix
+
+    # -- queries ---------------------------------------------------------------
+
+    def state_at(self, nid: int):
+        return self.table.get(nid, self.bottom())
+
+    def value_at(self, nid: int, loc):
+        return self.state_at(nid).get(loc)
+
+    def interval_of(self, nid: int, var, ctx) -> Interval:
+        """Relational query: the best interval for ``var`` at ``nid`` — the
+        meet of the projections of every pack containing it (relational
+        packs may hold tighter bounds than the singleton)."""
+        state = self.state_at(nid)
+        out = Interval.top()
+        for pack in ctx.packs.packs_of(var):
+            out = out.meet(state.get(pack).project(pack.index(var)))
+        return out
+
+
+# --------------------------------------------------------------------------
+# Propagation spaces
+# --------------------------------------------------------------------------
+
+
+class PropagationSpace:
+    """How abstract facts travel between control points.
+
+    The engine owns the loop; the space owns the structure: where iteration
+    starts (:meth:`seeds`), how a node's input is built (:meth:`input_for`
+    in the main loop, :meth:`assemble_input` for narrowing's from-scratch
+    recomputation), and what an observed change reaches (:meth:`propagate`).
+    ``schedule_roots``/``schedule_succs`` expose the graph the WTO is
+    computed over (see :func:`repro.analysis.schedule.widening_points_for`).
+    """
+
+    engine: "FixpointEngine"
+
+    def bind(self, engine: "FixpointEngine") -> None:
+        self.engine = engine
+
+    def seeds(self) -> Sequence[int]:
+        raise NotImplementedError
+
+    def runnable(self, nid: int) -> bool:
+        """Gate a popped node (sparse reachability); True by default."""
+        return True
+
+    def schedule_roots(self) -> Sequence[int]:
+        raise NotImplementedError
+
+    def schedule_succs(self) -> Mapping[int, Sequence[int]]:
+        raise NotImplementedError
+
+    def input_for(self, nid: int):
+        """The node's input state, or None when it cannot run yet."""
+        raise NotImplementedError
+
+    def assemble_input(self, nid: int):
+        """From-scratch input assembly for narrowing passes (the main loop
+        may use incremental caches instead)."""
+        return self.input_for(nid)
+
+    def install(self, out):
+        """Prepare a transfer output for first installation into the table
+        (spaces whose inputs may alias live caches defensively copy here)."""
+        return out
+
+    def after_transfer(self, nid: int, work) -> None:
+        """Hook run after a successful transfer, before the table update
+        (sparse control-reachability propagation)."""
+
+    def propagate(self, nid: int, out, changed, work) -> None:
+        """React to ``nid``'s table state having changed. ``changed`` is the
+        set of changed keys, or None on first installation (= everything)."""
+        raise NotImplementedError
+
+    def absorb_degraded(self, newly: set[int], work) -> None:
+        """Splice freshly degraded nodes' fallback states back into the
+        propagation (their table entries were already written)."""
+
+    def record_stats(self, stats: FixpointStats) -> None:
+        """Fill space-specific counters at the end of the ascending phase."""
+
+
+class CfgSpace(PropagationSpace):
+    """Equation (3): whole states flow along control edges, and a node's
+    input is the join of its predecessors' states — optionally filtered by
+    an edge transform (access-based localization restricts states entering
+    a callee and strips the passed portion from bypass edges)."""
+
+    def __init__(
+        self,
+        succs: Mapping[int, Sequence[int]],
+        preds: Mapping[int, Sequence[int]],
+        entries: Mapping[int, "StateLattice"],
+        edge_transform: EdgeTransform | None = None,
+        roots: Sequence[int] | None = None,
+    ) -> None:
+        self._succs = succs
+        self._preds = preds
+        self._entries = dict(entries)
+        self._edge_transform = edge_transform
+        self._roots = list(roots) if roots is not None else list(self._entries)
+
+    def seeds(self) -> Sequence[int]:
+        return list(self._entries)
+
+    def schedule_roots(self) -> Sequence[int]:
+        return self._roots
+
+    def schedule_succs(self) -> Mapping[int, Sequence[int]]:
+        return self._succs
+
+    def input_for(self, nid: int):
+        table = self.engine.table
+        acc = None
+        for p in self._preds.get(nid, ()):
+            ps = table.get(p)
+            if ps is None:
+                continue
+            if self._edge_transform is not None:
+                ps = self._edge_transform(p, nid, ps)
+                if ps is None:
+                    continue
+            if acc is None:
+                acc = ps.copy()
+            else:
+                acc.join_changed(ps)
+        # The seed only matters while no predecessor has produced a state:
+        # it makes the node runnable (entry nodes, non-strict seeding). It
+        # must NOT be joined once real states flow — for ⊤-defaulted state
+        # types (pack maps) joining the empty seed would erase everything.
+        if acc is None:
+            initial = self._entries.get(nid)
+            if initial is not None:
+                acc = initial.copy()
+        return acc
+
+    def propagate(self, nid: int, out, changed, work) -> None:
+        for s in self._succs.get(nid, ()):
+            work.add(s)
+
+    def absorb_degraded(self, newly: set[int], work) -> None:
+        # Re-enqueue live successors of freshly degraded nodes so they
+        # consume the fallback states (e.g. a return site reading a
+        # degraded callee's exit).
+        degrade = self.engine._degrade
+        for dn in newly:
+            for s in self._succs.get(dn, ()):
+                if not degrade.is_degraded_node(s):
+                    work.add(s)
+
+
+class CellOps:
+    """Domain plug for :class:`DepGraphSpace`: how individual cells (abstract
+    locations or packs) are cached, pushed, and assembled. The asymmetry
+    between the two implementations is exactly the lattice-default
+    asymmetry: interval caches absorb upward from ⊥ and skip bottom values,
+    pack caches pin cells at ⊤ (None) once any source is unconstrained."""
+
+    #: zero-argument bottom-state constructor of the underlying lattice
+    state_factory: Callable[[], "StateLattice"]
+
+    def new_cache(self):
+        raise NotImplementedError
+
+    def input_state(self, cache):
+        """Materialize a node's input state from its (possibly absent)
+        push cache."""
+        raise NotImplementedError
+
+    def install(self, out):
+        """Table-installation policy for first visits (see the aliasing
+        notes on the implementations)."""
+        return out
+
+    def push(self, cache, touched, out) -> bool:
+        """Join ``out``'s values for the ``touched`` cells into ``cache``;
+        True if the cache grew (the consumer must re-run)."""
+        raise NotImplementedError
+
+    def assemble(self, in_edges: Iterable[tuple[int, frozenset]], table):
+        """From-scratch input assembly over incoming dependency edges
+        (narrowing's replacement for the push caches)."""
+        raise NotImplementedError
+
+
+class IntervalCells(CellOps):
+    """Cell operations for bottom-default ``AbsState`` caches."""
+
+    state_factory = AbsState
+
+    def new_cache(self) -> AbsState:
+        return AbsState()
+
+    def input_state(self, cache):
+        return cache if cache is not None else AbsState()
+
+    def install(self, out):
+        # The transfer may return its input unchanged (skip nodes), which
+        # aliases the long-lived push cache — the copy is NOT redundant,
+        # unlike the CFG space's (whose inputs are built fresh every visit).
+        return out.copy()
+
+    def push(self, cache, touched, out) -> bool:
+        grew = False
+        for loc in touched:
+            value = out.get(loc)
+            if value.is_bottom():
+                continue
+            old = cache.get(loc)
+            if old is value:
+                continue  # interning: pointer-equal means nothing new
+            new = old.join(value)
+            if new is not old and new != old:
+                cache.set(loc, new)
+                grew = True
+        return grew
+
+    def assemble(self, in_edges, table) -> AbsState:
+        state = AbsState()
+        for src, locs in in_edges:
+            src_state = table.get(src)
+            if src_state is None:
+                continue
+            for loc in locs:
+                value = src_state.get(loc)
+                if not value.is_bottom():
+                    state.weak_set(loc, value)
+        return state
+
+
+class DepGraphSpace(PropagationSpace):
+    """Definition 3: individual cells flow along data dependencies.
+    Producers push changed values into consumers' input caches — O(#changed)
+    per edge instead of re-joining the whole fan-in at every consumer visit
+    — while control reachability rides the interprocedural control graph at
+    one bit per node, keeping strict mode as precise as the strict dense
+    engine on dead branches. The WTO (and hence the widening points) is
+    still computed over the *control* graph, so sparse and dense engines
+    widen on identical per-location streams (dependency generation cuts
+    chains at those points — see ``repro.analysis.datadep``)."""
+
+    def __init__(
+        self,
+        deps: "DataDeps",
+        graph: "InterprocGraph",
+        cells: CellOps,
+        node_ids: Iterable[int],
+        entry: int,
+        strict: bool = True,
+    ) -> None:
+        self._deps = deps
+        self._graph = graph
+        self._cells = cells
+        self._node_ids = list(node_ids)
+        self._entry = entry
+        self._strict = strict
+        #: push-based input accumulator per consumer node
+        self.in_cache: dict[int, object] = {}
+        self.reached: set[int] = set()
+
+    def seeds(self) -> Sequence[int]:
+        if self._strict:
+            self.reached.add(self._entry)
+            return [self._entry]
+        # Non-strict (paper) mode: every control point runs.
+        self.reached.update(self._node_ids)
+        return sorted(self._node_ids)
+
+    def runnable(self, nid: int) -> bool:
+        return nid in self.reached
+
+    def schedule_roots(self) -> Sequence[int]:
+        return [self._entry]
+
+    def schedule_succs(self) -> Mapping[int, Sequence[int]]:
+        return self._graph.succs
+
+    def input_for(self, nid: int):
+        return self._cells.input_state(self.in_cache.get(nid))
+
+    def assemble_input(self, nid: int):
+        return self._cells.assemble(self._deps.in_edges(nid), self.engine.table)
+
+    def install(self, out):
+        return self._cells.install(out)
+
+    def after_transfer(self, nid: int, work) -> None:
+        # Reachability propagates along control flow (cheap bit). A node
+        # reached late may already have pending cached input from dep
+        # pushes; it is enqueued here and will consume it.
+        for succ in self._graph.succs.get(nid, ()):
+            if succ not in self.reached:
+                self.reached.add(succ)
+                work.add(succ)
+
+    def propagate(self, nid: int, out, changed, work) -> None:
+        faults = self.engine._faults
+        cells = self._cells
+        for dst, locs in self._deps.out_edges(nid):
+            if faults is not None and not faults.keep_dep_push(nid, dst):
+                continue
+            touched = locs if changed is None else (locs & changed)
+            if not touched:
+                continue
+            cache = self.in_cache.get(dst)
+            if cache is None:
+                cache = cells.new_cache()
+                self.in_cache[dst] = cache
+            if cells.push(cache, touched, out) and dst in self.reached:
+                work.add(dst)
+
+    def absorb_degraded(self, newly: set[int], work) -> None:
+        # Push the (pre-analysis / ⊤) fallback values along outgoing data
+        # dependencies and re-establish control reachability across the
+        # degraded region — the degraded procedure conservatively 'executes
+        # everything', so its control successors must run.
+        degrade = self.engine._degrade
+        succs_to_run: set[int] = set()
+        for dn in newly:
+            self.reached.add(dn)
+            for s in self._graph.succs.get(dn, ()):
+                self.reached.add(s)
+                if not degrade.is_degraded_node(s):
+                    succs_to_run.add(s)
+        for dn in newly:
+            state = self.engine.table.get(dn)
+            if state is not None:
+                self.propagate(dn, state, None, work)
+        for s in succs_to_run:
+            work.add(s)
+
+    def record_stats(self, stats: FixpointStats) -> None:
+        stats.reachable_nodes = len(self.reached)
+
+
+class OnePointSpace(PropagationSpace):
+    """The degenerate propagation space: a single control point whose only
+    successor is itself. An engine run over it iterates its transfer —
+    typically a whole-program fold ``λŝ. ⊔_c f♯_c(ŝ)`` — until the global
+    state stops changing: the flow-insensitive pre-analysis is literally the
+    same abstract interpreter over the one-point space. ``max_rounds``
+    bounds the visits (the caller keeps the possibly-unconverged state, as
+    the paper's pre-analysis does)."""
+
+    NODE = 0
+
+    def __init__(
+        self,
+        state_factory: Callable[[], "StateLattice"],
+        max_rounds: int | None = None,
+    ) -> None:
+        self._state_factory = state_factory
+        self._max_rounds = max_rounds
+        #: visits so far == global rounds executed
+        self.rounds = 0
+
+    def seeds(self) -> Sequence[int]:
+        return [self.NODE]
+
+    def schedule_roots(self) -> Sequence[int]:
+        return [self.NODE]
+
+    def schedule_succs(self) -> Mapping[int, Sequence[int]]:
+        return {self.NODE: (self.NODE,)}
+
+    def input_for(self, nid: int):
+        self.rounds += 1
+        state = self.engine.table.get(self.NODE)
+        return state.copy() if state is not None else self._state_factory()
+
+    def propagate(self, nid: int, out, changed, work) -> None:
+        if self._max_rounds is None or self.rounds < self._max_rounds:
+            work.add(self.NODE)
+
+
+# --------------------------------------------------------------------------
+# The engine
+# --------------------------------------------------------------------------
+
+
+class FixpointEngine:
+    """Chaotic iteration with widening at the supplied points, generic over
+    the propagation space and state lattice.
+
+    ``table[c]`` holds the state *at* ``c`` — the result of applying
+    ``f♯_c`` to the space-assembled input (matching the paper's formulation
+    where the transfer happens on entry to ``c``).
+
+    Scheduling: with a WTO ``priority`` map the engine iterates nodes in
+    weak topological order (inner loops stabilize before outer code
+    resumes); with ``scheduler="fifo"`` it falls back to the classic FIFO
+    deque. Either way a :class:`~repro.analysis.schedule.SchedulerStats`
+    record is left on ``scheduler_stats``.
+
+    Resilience (see :mod:`repro.runtime`): every iteration — including
+    narrowing passes — is metered against a unified
+    :class:`repro.runtime.Budget`; an optional
+    :class:`~repro.runtime.faults.FaultInjector` hook runs before each
+    transfer; and with a :class:`~repro.runtime.degrade.DegradeController`
+    attached, budget exhaustion and transfer crashes become per-procedure
+    degradation to the pre-analysis state instead of aborting the run.
+    """
+
+    def __init__(
+        self,
+        space: PropagationSpace,
+        transfer: Transfer,
+        widening_points: set[int],
+        *,
+        widening_thresholds: tuple[int, ...] | None = None,
+        widening_delay: int = 0,
+        narrowing_passes: int = 0,
+        budget: Budget | None = None,
+        max_iterations: int | None = None,
+        meter: BudgetMeter | None = None,
+        stage: str = "fixpoint",
+        faults=None,
+        degrade=None,
+        priority: Mapping[int, int] | None = None,
+        scheduler: str = "wto",
+    ) -> None:
+        self.space = space
+        self._transfer = transfer
+        self._widening_points = widening_points
+        self._thresholds = widening_thresholds
+        #: join (don't widen) the first N growth observations per head —
+        #: transient ascents shorter than the delay converge exactly, which
+        #: also makes the result independent of the visit order for them
+        self._widening_delay = widening_delay
+        self._growth: dict[int, int] = {}
+        self._narrowing_passes = narrowing_passes
+        if meter is None:
+            meter = BudgetMeter(
+                Budget.coerce(budget, max_iterations=max_iterations),
+                stage=stage,
+            )
+        self._meter = meter
+        self._faults = faults
+        self._degrade = degrade
+        #: WTO positions driving the priority worklist (None = plain FIFO)
+        self._priority = priority
+        self._scheduler = scheduler if priority is not None else "fifo"
+        self.table: dict[int, "StateLattice"] = {}
+        self.stats = FixpointStats()
+        self.scheduler_stats: SchedulerStats | None = None
+        self._work = None
+        #: running total of state entries across the table — the budget
+        #: meter's state-size probe reads this instead of re-summing
+        self._entries = 0
+        space.bind(self)
+
+    # -- resilience hooks ------------------------------------------------------
+
+    def _table_entries(self) -> int:
+        return self._entries
+
+    def _tick(self) -> None:
+        if self._faults is not None:
+            self._faults.on_iteration(self.stats.iterations)
+        self._meter.tick(self._table_entries)
+
+    def _apply_transfer(self, nid: int, in_state):
+        """Run faults hook + transfer; a crash degrades the node's procedure
+        when a degrade controller is attached, otherwise surfaces as a
+        structured :class:`AnalysisError`."""
+        try:
+            if self._faults is not None:
+                self._faults.before_transfer(nid)
+            return self._transfer(nid, in_state)
+        except BudgetExceeded:
+            raise
+        except Exception as exc:
+            if self._degrade is None:
+                if isinstance(exc, ReproError):
+                    raise
+                raise AnalysisError(
+                    f"transfer function crashed at node {nid}: {exc}", node=nid
+                ) from exc
+            newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
+            self._absorb_degraded(newly)
+            return None
+
+    def _absorb_degraded(self, newly: set[int]) -> None:
+        if not newly:
+            return
+        # Degradation wrote whole-procedure fallback states behind the
+        # incremental counter's back — resync it (rare event).
+        self._entries = sum(len(s) for s in self.table.values())
+        if self._work is None:
+            return
+        self.space.absorb_degraded(newly, self._work)
+
+    # -- the loop --------------------------------------------------------------
+
+    def solve(self) -> dict[int, "StateLattice"]:
+        """Run to fixpoint from the space's seeds, then (optionally) narrow."""
+        space = self.space
+        wps = self._widening_points
+        cache_before = cache_stats()
+        work = make_worklist(self._scheduler, self._priority, space.seeds())
+        self._work = work
+        while work:
+            nid = work.pop()
+            if not space.runnable(nid):
+                continue
+            if self._degrade is not None and self._degrade.is_degraded_node(nid):
+                continue
+            self.stats.iterations += 1
+            try:
+                self._tick()
+            except BudgetExceeded as exc:
+                if self._degrade is None:
+                    raise
+                # Degrade the procedure whose node could not afford its next
+                # visit; pending work in other procedures degrades the same
+                # way as it is popped (every further tick re-raises), so the
+                # loop still terminates and every unconverged procedure ends
+                # at the pre-analysis bound.
+                newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
+                self._absorb_degraded(newly)
+                continue
+            self.stats.visited.add(nid)
+            in_state = space.input_for(nid)
+            if in_state is None:
+                continue
+            out = self._apply_transfer(nid, in_state)
+            if out is None:
+                continue
+            space.after_transfer(nid, work)
+            old = self.table.get(nid)
+            if old is None:
+                out = space.install(out)
+                self.table[nid] = out
+                self._entries += len(out)
+                changed = None  # everything is new
+            elif nid in wps:
+                before = len(old)
+                seen = self._growth.get(nid, 0)
+                if seen < self._widening_delay:
+                    changed = old.join_changed(out)
+                    if changed:
+                        self._growth[nid] = seen + 1
+                else:
+                    changed = old.widen_changed(out, self._thresholds)
+                self._entries += len(old) - before
+                out = old
+            else:
+                before = len(old)
+                changed = old.join_changed(out)
+                self._entries += len(old) - before
+                out = old
+            if changed is None or changed:
+                space.propagate(nid, out, changed, work)
+        self._work = None
+        self.stats.max_worklist = work.max_size
+        cache_after = cache_stats()
+        self.scheduler_stats = SchedulerStats.from_worklist(
+            work,
+            widening_points=len(wps),
+            cache_delta=(
+                cache_after[0] - cache_before[0],
+                cache_after[1] - cache_before[1],
+            ),
+        )
+        space.record_stats(self.stats)
+        if self._narrowing_passes:
+            self.narrow(self._narrowing_passes)
+        return self.table
+
+    def narrow(self, passes: int) -> None:
+        """Decreasing iteration: recompute states without widening for a
+        bounded number of passes, keeping only sound refinements. Inputs are
+        assembled from scratch (:meth:`PropagationSpace.assemble_input`), so
+        the kept outputs never alias caches. Narrowing work counts against
+        the same budget as the ascending phase; when the budget runs out
+        mid-narrowing the widened table — already sound — is kept as-is
+        (degrade mode) or the exhaustion is surfaced (fail mode)."""
+        order = sorted(self.table.keys())
+        for _ in range(passes):
+            refined = False
+            for nid in order:
+                if self._degrade is not None and self._degrade.is_degraded_node(
+                    nid
+                ):
+                    continue
+                self.stats.iterations += 1
+                try:
+                    self._tick()
+                except BudgetExceeded as exc:
+                    if self._degrade is None:
+                        raise
+                    self._degrade.diagnostics.events.append(
+                        f"narrowing stopped early: {exc}"
+                    )
+                    return
+                in_state = self.space.assemble_input(nid)
+                if in_state is None:
+                    continue
+                out = self._apply_transfer(nid, in_state)
+                if out is None:
+                    continue
+                old = self.table.get(nid)
+                if old is None:
+                    continue
+                if out.leq(old) and not old.leq(out):
+                    self.table[nid] = out
+                    self._entries += len(out) - len(old)
+                    refined = True
+            if not refined:
+                break

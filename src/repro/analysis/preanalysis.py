@@ -17,12 +17,21 @@ The pre-analysis serves three purposes, exactly as in the paper:
 
 Termination: values are joined for a few rounds, then widened — the global
 state forms one big ascending chain.
+
+Implementation-wise the pre-analysis is the generic
+:class:`~repro.analysis.engine.FixpointEngine` run over the degenerate
+:class:`~repro.analysis.engine.OnePointSpace` (a single self-looping
+control point): the transfer is the whole-program fold ``F♯_pre``, and each
+engine visit is one global round — making literal the paper's framing that
+the flow-insensitive analysis is the same abstract interpreter with the
+propagation structure collapsed to a point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.engine import FixpointEngine, OnePointSpace
 from repro.domains.state import AbsState
 from repro.ir.cfg import Node
 from repro.ir.commands import CAssume, CCall
@@ -67,14 +76,16 @@ def run_preanalysis(
     if meter is None:
         meter = BudgetMeter(budget, stage="pre-analysis")
     ctx = AnalysisContext(program, site_callees=None)
-    state = AbsState()
     nodes = program.nodes()
-    rounds = 0
-    while rounds < _MAX_ROUNDS:
-        rounds += 1
+    space = OnePointSpace(AbsState, max_rounds=_MAX_ROUNDS)
+
+    def global_round(_nid: int, state: AbsState) -> AbsState:
+        """One application of ``F♯_pre``: fold every node's transfer over
+        the current global state. The caller's meter is charged per node
+        visit (the engine's own per-round metering stays unlimited — the
+        pre-analysis is the degradation safety net, see above)."""
         acc = state.copy()
-        changed = False
-        widening = rounds > _JOIN_ROUNDS
+        widening = space.rounds > _JOIN_ROUNDS
         for node in nodes:
             meter.tick()
             if isinstance(node.cmd, CAssume):
@@ -92,12 +103,16 @@ def run_preanalysis(
                 new = old.widen(value) if widening else old.join(value)
                 if new != old:
                     acc.set(loc, new)
-                    changed = True
-        state = acc
-        if not changed:
-            break
+        # The fold only moves entries upward, so the engine's table join
+        # installs ``acc`` verbatim; its changed-set is exactly the set of
+        # entries a round moved (empty → the self-loop is not re-enqueued).
+        return acc
 
-    result = PreAnalysis(program, state, rounds=rounds)
+    engine = FixpointEngine(space, global_round, widening_points=set())
+    engine.solve()
+    state = engine.table.get(OnePointSpace.NODE, AbsState())
+
+    result = PreAnalysis(program, state, rounds=space.rounds)
     resolving_ctx = AnalysisContext(program, site_callees=None)
     for node in nodes:
         if isinstance(node.cmd, CCall):

@@ -23,13 +23,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.analysis.datadep import DataDeps, generate_datadeps
+from repro.analysis.datadep import generate_datadeps
 from repro.analysis.defuse import DefUseInfo
-from repro.analysis.dense import InterprocGraph, build_interproc_graph
+from repro.analysis.dense import build_interproc_graph
+from repro.analysis.engine import (
+    CellOps,
+    CfgSpace,
+    DepGraphSpace,
+    FixpointEngine,
+    FixpointResult,
+)
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
-from repro.analysis.schedule import SchedulerStats, compute_wto, make_worklist
+from repro.analysis.schedule import GraphView, widening_points_for
 from repro.analysis.semantics import AnalysisContext, Evaluator
-from repro.analysis.worklist import WorklistSolver
 from repro.domains.absloc import AbsLoc, RetLoc, VarLoc
 from repro.domains.interval import BOT as ITV_BOT, Interval, TOP as ITV_TOP
 from repro.domains.octagon import Octagon
@@ -54,9 +60,8 @@ from repro.ir.commands import (
     VarLv,
 )
 from repro.ir.program import Program
-from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.budget import Budget
 from repro.runtime.degrade import DegradeController, Diagnostics, make_watchdog
-from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
 from repro.runtime.faults import FaultInjector
 
 _NEGATED = {"<": ">=", ">": "<=", "<=": ">", ">=": "<", "==": "!=", "!=": "=="}
@@ -135,47 +140,40 @@ class PackState:
                 return False
         return True
 
-    def join_with(self, other: "PackState") -> bool:
-        changed = False
+    def join_changed(self, other: "PackState") -> set[Pack]:
+        """In-place join returning exactly the packs whose value changed —
+        the ``StateLattice`` protocol's changed-set form, which lets the
+        sparse engine propagate per location instead of per node. Packs
+        missing from self are ⊤ and ⊤ ⊔ anything = ⊤: nothing to do."""
+        changed: set[Pack] = set()
         for pack in list(self._map.keys()):
             joined = self._map[pack].join(other.get(pack))
             if joined != self._map[pack]:
-                changed = True
+                changed.add(pack)
                 self.set(pack, joined)
-        # Packs missing from self are ⊤ and ⊤ ⊔ anything = ⊤: nothing to do.
         return changed
+
+    def widen_changed(
+        self, other: "PackState", thresholds: tuple[int, ...] | None = None
+    ) -> set[Pack]:
+        # thresholds are an interval-domain refinement; octagons ignore them
+        changed: set[Pack] = set()
+        for pack in list(self._map.keys()):
+            widened = self._map[pack].widen(other.get(pack))
+            if widened != self._map[pack]:
+                changed.add(pack)
+                self.set(pack, widened)
+        return changed
+
+    def join_with(self, other: "PackState") -> bool:
+        """Boolean-changed join (legacy surface over :meth:`join_changed`)."""
+        return bool(self.join_changed(other))
 
     def widen_with(
         self, other: "PackState", thresholds: tuple[int, ...] | None = None
     ) -> bool:
-        # thresholds are an interval-domain refinement; octagons ignore them
-        changed = False
-        for pack in list(self._map.keys()):
-            widened = self._map[pack].widen(other.get(pack))
-            if widened != self._map[pack]:
-                changed = True
-                self.set(pack, widened)
-        return changed
-
-    def join_changed(self, other: "PackState") -> set[Pack]:
-        """In-place join returning exactly the packs whose value changed —
-        lets the sparse engine propagate per location instead of per node."""
-        changed: set[Pack] = set()
-        for pack in list(self._map.keys()):
-            joined = self._map[pack].join(other.get(pack))
-            if joined != self._map[pack]:
-                changed.add(pack)
-                self.set(pack, joined)
-        return changed
-
-    def widen_changed(self, other: "PackState") -> set[Pack]:
-        changed: set[Pack] = set()
-        for pack in list(self._map.keys()):
-            widened = self._map[pack].widen(other.get(pack))
-            if widened != self._map[pack]:
-                changed.add(pack)
-                self.set(pack, widened)
-        return changed
+        """Boolean-changed widen (legacy surface over :meth:`widen_changed`)."""
+        return bool(self.widen_changed(other, thresholds))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, PackState) and self._map == other._map
@@ -657,35 +655,9 @@ def compute_rel_defuse(
     return info
 
 
-@dataclass
-class RelResult:
-    """Result of a relational analysis run."""
-
-    table: dict[int, PackState]
-    packs: PackSet
-    pre: PreAnalysis
-    defuse: DefUseInfo | None = None
-    deps: DataDeps | None = None
-    graph: InterprocGraph | None = None
-    elapsed: float = 0.0
-    iterations: int = 0
-    time_dep: float = 0.0
-    time_fix: float = 0.0
-    diagnostics: Diagnostics | None = None
-    scheduler_stats: SchedulerStats | None = None
-
-    def state_at(self, nid: int) -> PackState:
-        return self.table.get(nid, PackState())
-
-    def interval_of(self, nid: int, var: AbsLoc, ctx: RelContext) -> Interval:
-        """The best interval for ``var`` at ``nid``: the meet of the
-        projections of every pack containing it (relational packs may hold
-        tighter bounds than the singleton)."""
-        state = self.state_at(nid)
-        out = ITV_TOP
-        for pack in ctx.packs.packs_of(var):
-            out = out.meet(state.get(pack).project(pack.index(var)))
-        return out
+#: The relational engines return the unified result type (legacy alias);
+#: ``bottom=PackState`` makes out-of-table queries answer ⊤ pack maps.
+RelResult = FixpointResult
 
 
 def run_rel_dense(
@@ -751,148 +723,98 @@ def run_rel_dense(
         return rel_transfer(node_map[nid], state, ctx)
 
     entry = program.entry_node()
-    wto = compute_wto([entry.nid], graph.succs)
-    wps = set(wto.heads) if widen else set()
-    solver = WorklistSolver(
-        graph.succs,
-        graph.preds,
-        node_transfer,
-        wps,
-        edge_transform=edge_transform,
-        budget=resolved_budget,
-        narrowing_passes=narrowing_passes,
-        faults=FaultInjector.coerce(faults),
-        degrade=degrade,
-        priority=wto.priority,
-        scheduler=scheduler,
-        widening_delay=widening_delay,
-    )
     if strict:
         entries = {entry.nid: PackState()}
     else:
         entries = {n.nid: PackState() for n in program.nodes()}
-    table = solver.solve(entries)
-    diagnostics.iterations = solver.stats.iterations
-    if solver.scheduler_stats is not None:
-        diagnostics.scheduler = solver.scheduler_stats.as_dict()
-    return RelResult(
+    space = CfgSpace(
+        graph.succs,
+        graph.preds,
+        entries,
+        edge_transform=edge_transform,
+        roots=[entry.nid],
+    )
+    wto, wps = widening_points_for(space, widen)
+    engine = FixpointEngine(
+        space,
+        node_transfer,
+        wps,
+        widening_delay=widening_delay,
+        narrowing_passes=narrowing_passes,
+        budget=resolved_budget,
+        faults=FaultInjector.coerce(faults),
+        degrade=degrade,
+        priority=wto.priority,
+        scheduler=scheduler,
+    )
+    table = engine.solve()
+    diagnostics.iterations = engine.stats.iterations
+    if engine.scheduler_stats is not None:
+        diagnostics.scheduler = engine.scheduler_stats.as_dict()
+    return FixpointResult(
         table,
-        packs,
-        pre,
+        engine.stats,
+        pre=pre,
         defuse=defuse,
         graph=graph,
+        packs=packs,
         elapsed=time.perf_counter() - start,
-        iterations=solver.stats.iterations,
         diagnostics=diagnostics,
-        scheduler_stats=solver.scheduler_stats,
+        scheduler_stats=engine.scheduler_stats,
+        bottom=PackState,
     )
 
 
-class RelSparseSolver:
-    """Sparse worklist over pack-level data dependencies."""
+class PackCells(CellOps):
+    """Cell operations for ⊤-default pack caches (the
+    :class:`~repro.analysis.engine.DepGraphSpace` plug for the octagon
+    domain). A cache is a plain ``dict[Pack, Octagon | None]``: a missing
+    pack has not been pushed yet (``_UNSET``), a pack mapped to None is
+    pinned at ⊤ — some source was unconstrained, and ⊤ absorbs every
+    further join."""
 
-    def __init__(
-        self,
-        program: Program,
-        ctx: RelContext,
-        deps: DataDeps,
-        graph: InterprocGraph,
-        widening_points: set[int],
-        max_iterations: int | None = None,
-        budget: Budget | None = None,
-        meter: BudgetMeter | None = None,
-        faults=None,
-        degrade=None,
-        priority=None,
-        scheduler: str = "wto",
-        widening_delay: int = 0,
-    ) -> None:
-        self.program = program
-        self.ctx = ctx
-        self.deps = deps
-        self.graph = graph
-        self.widening_points = widening_points
-        #: join (don't widen) the first N growth observations per head —
-        #: see :class:`repro.analysis.worklist.WorklistSolver`
-        self._widening_delay = widening_delay
-        self._growth: dict[int, int] = {}
-        if meter is None:
-            meter = BudgetMeter(
-                Budget.coerce(budget, max_iterations=max_iterations),
-                stage="sparse relational fixpoint",
-            )
-        self._meter = meter
-        self._faults = faults
-        self._degrade = degrade
-        self.table: dict[int, PackState] = {}
-        #: push-based input accumulator per consumer node; a pack mapped to
-        #: None is pinned at ⊤ (some source was unconstrained)
-        self.in_cache: dict[int, dict[Pack, Octagon | None]] = {}
-        self.reached: set[int] = set()
-        self.iterations = 0
-        #: WTO positions driving the priority worklist (None = plain FIFO)
-        self._priority = priority
-        self._scheduler = scheduler if priority is not None else "fifo"
-        self.scheduler_stats: SchedulerStats | None = None
-        #: running total of state entries across the table (budget probe)
-        self._entries = 0
+    state_factory = PackState
 
-    # -- resilience hooks ------------------------------------------------------
+    def new_cache(self) -> dict:
+        return {}
 
-    def _table_entries(self) -> int:
-        return self._entries
+    def input_state(self, cache) -> PackState:
+        if cache:
+            return PackState({p: o for p, o in cache.items() if o is not None})
+        return PackState()
 
-    def _tick(self) -> None:
-        if self._faults is not None:
-            self._faults.on_iteration(self.iterations)
-        self._meter.tick(self._table_entries)
+    def install(self, out):
+        # The input state is rebuilt fresh from the cache every visit, so
+        # ``out`` never aliases a long-lived structure — no copy needed.
+        return out
 
-    def _apply_transfer(self, nid: int, in_state: PackState, work):
-        node_map = self.program.factory.nodes
-        try:
-            if self._faults is not None:
-                self._faults.before_transfer(nid)
-            return rel_transfer(node_map[nid], in_state, self.ctx)
-        except BudgetExceeded:
-            raise
-        except Exception as exc:
-            if self._degrade is None:
-                if isinstance(exc, ReproError):
-                    raise
-                raise AnalysisError(
-                    f"transfer function crashed at node {nid}: {exc}", node=nid
-                ) from exc
-            newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
-            self._absorb_degraded(newly, work)
-            return None
+    def push(self, cache, touched, out) -> bool:
+        grew = False
+        for pack in touched:
+            prev = cache.get(pack, _UNSET)
+            if prev is None:
+                continue  # already pinned at ⊤
+            if pack not in out:
+                # the producer is unconstrained here: the join is ⊤
+                cache[pack] = None
+                grew = True
+                continue
+            value = out.get(pack)
+            if prev is _UNSET:
+                cache[pack] = value
+                grew = True
+                continue
+            joined = prev.join(value)
+            if joined != prev:
+                cache[pack] = None if joined.is_top() else joined
+                grew = True
+        return grew
 
-    def _absorb_degraded(self, newly: set[int], work) -> None:
-        """Mirror of :meth:`SparseSolver._absorb_degraded` for pack states:
-        push the (⊤) fallback along data dependencies and re-establish
-        control reachability across the degraded region."""
-        if not newly:
-            return
-        # Degradation wrote table states behind the counter's back — resync.
-        self._entries = sum(len(s) for s in self.table.values())
-        succs_to_run: set[int] = set()
-        for dn in newly:
-            self.reached.add(dn)
-            for s in self.graph.succs.get(dn, ()):
-                self.reached.add(s)
-                if not self._degrade.is_degraded_node(s):
-                    succs_to_run.add(s)
-        for dn in newly:
-            state = self.table.get(dn)
-            if state is not None:
-                self._push(dn, state, None, work)
-        for s in succs_to_run:
-            work.add(s)
-
-    def _assemble_input(self, nid: int) -> PackState:
+    def assemble(self, in_edges, table) -> PackState:
         state = PackState()
         acc: dict[Pack, Octagon | None] = {}  # None = already ⊤
-        for src, packs in self.deps.in_edges(nid):
-            src_state = self.table.get(src)
+        for src, packs in in_edges:
+            src_state = table.get(src)
             if src_state is None:
                 continue
             for pack in packs:
@@ -912,167 +834,6 @@ class RelSparseSolver:
             if oct_ is not None:
                 state.set(pack, oct_)
         return state
-
-    def solve(self, strict: bool = True) -> dict[int, PackState]:
-        node_map = self.program.factory.nodes
-        entry = self.program.entry_node()
-        if strict:
-            initial = [entry.nid]
-            self.reached.add(entry.nid)
-        else:
-            initial = sorted(node_map.keys())
-            self.reached.update(node_map.keys())
-        work = make_worklist(self._scheduler, self._priority, initial)
-        while work:
-            nid = work.pop()
-            if self._degrade is not None and self._degrade.is_degraded_node(nid):
-                continue
-            self.iterations += 1
-            try:
-                self._tick()
-            except BudgetExceeded as exc:
-                if self._degrade is None:
-                    raise
-                newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
-                self._absorb_degraded(newly, work)
-                continue
-            cache = self.in_cache.get(nid)
-            if cache:
-                in_state = PackState(
-                    {p: o for p, o in cache.items() if o is not None}
-                )
-            else:
-                in_state = PackState()
-            out = self._apply_transfer(nid, in_state, work)
-            if out is None:
-                continue
-
-            for succ in self.graph.succs.get(nid, ()):
-                if succ not in self.reached:
-                    self.reached.add(succ)
-                    work.add(succ)
-            old = self.table.get(nid)
-            if old is None:
-                # ``in_state`` is rebuilt fresh from the cache every visit,
-                # so ``out`` never aliases a long-lived structure — no copy.
-                self.table[nid] = out
-                self._entries += len(out)
-                changed: set[Pack] | None = None  # everything is new
-            elif nid in self.widening_points:
-                before = len(old)
-                seen = self._growth.get(nid, 0)
-                if seen < self._widening_delay:
-                    changed = old.join_changed(out)
-                    if changed:
-                        self._growth[nid] = seen + 1
-                else:
-                    changed = old.widen_changed(out)
-                self._entries += len(old) - before
-                out = old
-            else:
-                before = len(old)
-                changed = old.join_changed(out)
-                self._entries += len(old) - before
-                out = old
-            if changed is None or changed:
-                self._push(nid, out, changed, work)
-        self.scheduler_stats = SchedulerStats.from_worklist(
-            work, widening_points=len(self.widening_points)
-        )
-        return self.table
-
-    def _push(
-        self,
-        nid: int,
-        out: PackState,
-        changed: "set[Pack] | None",
-        work,
-    ) -> None:
-        """Push changed pack values into consumers' input caches."""
-        for dst, packs in self.deps.out_edges(nid):
-            if self._faults is not None and not self._faults.keep_dep_push(nid, dst):
-                continue
-            touched = packs if changed is None else (packs & changed)
-            if not touched:
-                continue
-            cache = self.in_cache.get(dst)
-            if cache is None:
-                cache = {}
-                self.in_cache[dst] = cache
-            grew = False
-            for pack in touched:
-                prev = cache.get(pack, _UNSET)
-                if prev is None:
-                    continue  # already pinned at ⊤
-                if pack not in out:
-                    # the producer is unconstrained here: the join is ⊤
-                    cache[pack] = None
-                    grew = True
-                    continue
-                value = out.get(pack)
-                if prev is _UNSET:
-                    cache[pack] = value
-                    grew = True
-                    continue
-                joined = prev.join(value)
-                if joined != prev:
-                    cache[pack] = None if joined.is_top() else joined
-                    grew = True
-            if grew and dst in self.reached:
-                work.add(dst)
-
-    def narrow(self, passes: int) -> None:
-        """Decreasing iteration: re-run transfers without widening, keeping
-        only sound refinements (mirrors the interval engines). Counts against
-        the same budget as the ascending phase."""
-        node_map = self.program.factory.nodes
-        order = sorted(self.table.keys())
-        for _ in range(passes):
-            changed = False
-            for nid in order:
-                if self._degrade is not None and self._degrade.is_degraded_node(
-                    nid
-                ):
-                    continue
-                self.iterations += 1
-                try:
-                    self._tick()
-                except BudgetExceeded as exc:
-                    if self._degrade is None:
-                        raise
-                    self._degrade.diagnostics.events.append(
-                        f"narrowing stopped early: {exc}"
-                    )
-                    return
-                in_state = self._assemble_input(nid)
-                try:
-                    if self._faults is not None:
-                        self._faults.before_transfer(nid)
-                    out = rel_transfer(node_map[nid], in_state, self.ctx)
-                except BudgetExceeded:
-                    raise
-                except Exception as exc:
-                    if self._degrade is None:
-                        if isinstance(exc, ReproError):
-                            raise
-                        raise AnalysisError(
-                            f"transfer function crashed at node {nid}: {exc}",
-                            node=nid,
-                        ) from exc
-                    self._degrade.degrade_node(nid, self.table, cause=str(exc))
-                    continue
-                if out is None:
-                    continue
-                old = self.table.get(nid)
-                if old is None:
-                    continue
-                if out.leq(old) and not old.leq(out):
-                    # narrowing input is assembled from scratch — no aliasing
-                    self.table[nid] = out
-                    self._entries += len(out) - len(old)
-                    changed = True
-            if not changed:
-                break
 
 
 def run_rel_sparse(
@@ -1111,8 +872,9 @@ def run_rel_sparse(
 
     t_dep = time.perf_counter()
     graph = build_interproc_graph(program, pre.site_callees, localized=False)
-    wto = compute_wto([program.entry_node().nid], graph.succs)
-    wps = set(wto.heads) if widen else set()
+    wto, wps = widening_points_for(
+        GraphView((program.entry_node().nid,), graph.succs), widen
+    )
     defuse = compute_rel_defuse(program, pre, ctx)
     dep_result = generate_datadeps(
         program, pre, defuse, method=method, bypass=bypass, widening_points=wps
@@ -1120,39 +882,54 @@ def run_rel_sparse(
     time_dep = time.perf_counter() - t_dep
 
     t_fix = time.perf_counter()
-    solver = RelSparseSolver(
-        program,
-        ctx,
+    node_map = program.factory.nodes
+
+    def node_transfer(nid: int, state: PackState) -> PackState | None:
+        return rel_transfer(node_map[nid], state, ctx)
+
+    space = DepGraphSpace(
         dep_result.deps,
         graph,
+        PackCells(),
+        node_ids=node_map.keys(),
+        entry=program.entry_node().nid,
+        strict=strict,
+    )
+    engine = FixpointEngine(
+        space,
+        node_transfer,
         wps,
+        widening_delay=widening_delay,
+        narrowing_passes=narrowing_passes,
         budget=resolved_budget,
+        stage="sparse relational fixpoint",
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
         priority=wto.priority,
         scheduler=scheduler,
-        widening_delay=widening_delay,
     )
-    table = solver.solve(strict=strict)
-    if narrowing_passes:
-        solver.narrow(narrowing_passes)
+    table = engine.solve()
     time_fix = time.perf_counter() - t_fix
 
-    diagnostics.iterations = solver.iterations
+    stats = engine.stats
+    stats.time_dep = time_dep
+    stats.time_fix = time_fix
+    stats.dep_count = len(dep_result.deps)
+    stats.raw_dep_count = dep_result.raw_dep_count
+    diagnostics.iterations = stats.iterations
     diagnostics.timings.update(dep=time_dep, fix=time_fix)
-    if solver.scheduler_stats is not None:
-        diagnostics.scheduler = solver.scheduler_stats.as_dict()
-    return RelResult(
+    if engine.scheduler_stats is not None:
+        diagnostics.scheduler = engine.scheduler_stats.as_dict()
+    return FixpointResult(
         table,
-        packs,
-        pre,
+        stats,
+        pre=pre,
         defuse=defuse,
         deps=dep_result.deps,
         graph=graph,
+        packs=packs,
         elapsed=time.perf_counter() - start,
-        iterations=solver.iterations,
-        time_dep=time_dep,
-        time_fix=time_fix,
         diagnostics=diagnostics,
-        scheduler_stats=solver.scheduler_stats,
+        scheduler_stats=engine.scheduler_stats,
+        bottom=PackState,
     )

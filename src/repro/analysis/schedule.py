@@ -38,6 +38,8 @@ from typing import Iterable, Mapping, Sequence
 __all__ = [
     "WTO",
     "compute_wto",
+    "GraphView",
+    "widening_points_for",
     "FifoWorklist",
     "PriorityWorklist",
     "make_worklist",
@@ -272,6 +274,38 @@ def _linearize(
         if not suspended and head is not None:
             priority[head] = counter
             counter += 1
+
+
+@dataclass(frozen=True)
+class GraphView:
+    """Minimal scheduling view of a raw graph — duck-types the
+    ``schedule_roots``/``schedule_succs`` slice of a propagation space so
+    :func:`widening_points_for` also serves callers that need the WTO
+    *before* the space exists (the sparse drivers compute widening points
+    first because dependency generation cuts chains at them)."""
+
+    roots: tuple[int, ...]
+    succs: Mapping[int, Sequence[int]]
+
+    def schedule_roots(self) -> Sequence[int]:
+        return self.roots
+
+    def schedule_succs(self) -> Mapping[int, Sequence[int]]:
+        return self.succs
+
+
+def widening_points_for(space, widen: bool = True) -> tuple[WTO, set[int]]:
+    """The single widening-point selection shared by every engine: one WTO
+    over the space's scheduling graph serves both purposes — its component
+    heads are the widening points (they cut every cycle) and its linear
+    order drives the priority worklist. ``space`` is anything exposing
+    ``schedule_roots()``/``schedule_succs()`` (a
+    :class:`~repro.analysis.engine.PropagationSpace` or a
+    :class:`GraphView`); ``widen=False`` keeps the WTO for scheduling but
+    selects no widening points (exact ``lfp F♯`` on finite-chain programs).
+    """
+    wto = compute_wto(space.schedule_roots(), space.schedule_succs())
+    return wto, (set(wto.heads) if widen else set())
 
 
 # --------------------------------------------------------------------------

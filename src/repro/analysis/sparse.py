@@ -1,4 +1,4 @@
-"""Sparse fixpoint engine (Section 2.7).
+"""Sparse interval analysis (Section 2.7) — a configuration of the engine.
 
 Computes ``lfp F♯_s`` where::
 
@@ -9,382 +9,43 @@ node's input state is assembled from exactly the locations its dependencies
 carry, and whenever the output value of a carried location changes, only the
 dependent nodes re-run.
 
-Implementation notes:
-
-* **Push-based inputs**: producers push changed values into consumers'
-  input caches, so a visit costs O(|changed locations|) instead of
-  re-joining the whole fan-in; per-location change sets mean a node's
-  dependents only re-run when a location they carry actually moved.
-* **Reachability** rides along the interprocedural *control* graph at one
-  bit per node: a node's transfer runs only once some control-flow
-  predecessor produced a state, keeping strict mode as precise as the
-  strict dense engine on dead branches.
-* **Widening** happens at the control graph's widening points — the same
-  set the dense engine uses; dependency generation cuts chains there (see
-  ``repro.analysis.datadep``) so both engines widen on identical
-  per-location streams.
+The propagation mechanics — push-based input caches, the control-graph
+reachability bit, bypass-aware dependency edges — live in
+:class:`repro.analysis.engine.DepGraphSpace` (with
+:class:`~repro.analysis.engine.IntervalCells` as the bottom-default cell
+strategy); this module wires it to the interval transfer functions and the
+dependency generator. Widening happens at the control graph's WTO heads —
+the same :func:`~repro.analysis.schedule.widening_points_for` selection the
+dense engine uses; dependency generation cuts chains there (see
+``repro.analysis.datadep``) so both engines widen on identical per-location
+streams.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
-from repro.analysis.datadep import DataDepResult, DataDeps, generate_datadeps
+from repro.analysis.datadep import DataDepResult, generate_datadeps
 from repro.analysis.defuse import DefUseInfo, compute_defuse
-from repro.analysis.dense import InterprocGraph, build_interproc_graph
+from repro.analysis.dense import _resolve_thresholds, build_interproc_graph
+from repro.analysis.engine import (
+    DepGraphSpace,
+    FixpointEngine,
+    FixpointResult,
+    FixpointStats,
+    IntervalCells,
+)
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
-from repro.analysis.schedule import SchedulerStats, compute_wto, make_worklist
+from repro.analysis.schedule import GraphView, widening_points_for
 from repro.analysis.semantics import AnalysisContext, transfer
-from repro.domains.absloc import AbsLoc
-from repro.domains.state import AbsState
 from repro.ir.program import Program
-from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.budget import Budget
 from repro.runtime.degrade import DegradeController, Diagnostics, make_watchdog
-from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
 from repro.runtime.faults import FaultInjector
 
-
-@dataclass
-class SparseStats:
-    iterations: int = 0
-    dep_count: int = 0
-    raw_dep_count: int = 0
-    reachable_nodes: int = 0
-    #: wall-clock split matching the paper's Dep / Fix columns
-    time_pre: float = 0.0
-    time_dep: float = 0.0
-    time_fix: float = 0.0
-
-    @property
-    def time_total(self) -> float:
-        return self.time_pre + self.time_dep + self.time_fix
-
-
-@dataclass
-class SparseResult:
-    """Sparse fixpoint table plus supporting artifacts."""
-
-    table: dict[int, AbsState]
-    deps: DataDeps
-    defuse: DefUseInfo
-    pre: PreAnalysis
-    stats: SparseStats
-    graph: InterprocGraph
-    diagnostics: Diagnostics | None = None
-    scheduler_stats: SchedulerStats | None = None
-
-    def state_at(self, nid: int) -> AbsState:
-        return self.table.get(nid, AbsState())
-
-    def value_at(self, nid: int, loc: AbsLoc):
-        return self.state_at(nid).get(loc)
-
-
-class SparseSolver:
-    """Worklist solver over the dependency relation."""
-
-    def __init__(
-        self,
-        program: Program,
-        ctx: AnalysisContext,
-        deps: DataDeps,
-        graph: InterprocGraph,
-        widening_points: set[int] | None = None,
-        max_iterations: int | None = None,
-        widening_thresholds: tuple[int, ...] | None = None,
-        budget: Budget | None = None,
-        meter: BudgetMeter | None = None,
-        faults=None,
-        degrade=None,
-        priority=None,
-        scheduler: str = "wto",
-        widening_delay: int = 0,
-    ) -> None:
-        if meter is None:
-            meter = BudgetMeter(
-                Budget.coerce(budget, max_iterations=max_iterations),
-                stage="sparse fixpoint",
-            )
-        #: join (don't widen) the first N growth observations per head —
-        #: see :class:`repro.analysis.worklist.WorklistSolver`
-        self._widening_delay = widening_delay
-        self._growth: dict[int, int] = {}
-        self._meter = meter
-        self._faults = faults
-        self._degrade = degrade
-        self.thresholds = widening_thresholds
-        self.program = program
-        self.ctx = ctx
-        self.deps = deps
-        self.graph = graph
-        self.table: dict[int, AbsState] = {}
-        #: push-based input accumulator per consumer node
-        self.in_cache: dict[int, AbsState] = {}
-        self.reached: set[int] = set()
-        self.iterations = 0
-        if widening_points is None:
-            # Fallback: a WTO of the dependency graph itself — its heads cut
-            # every dep cycle (always terminates, but may widen at different
-            # points than the dense engine).
-            dep_succs = deps.node_succs()
-            dep_wto = compute_wto(sorted(dep_succs.keys()), dep_succs)
-            widening_points = set(dep_wto.heads)
-            if priority is None:
-                priority = dep_wto.priority
-        self.widening_points = widening_points
-        #: WTO positions driving the priority worklist (None = plain FIFO)
-        self._priority = priority
-        self._scheduler = scheduler if priority is not None else "fifo"
-        self.scheduler_stats: SchedulerStats | None = None
-        #: running total of state entries across the table — the budget
-        #: meter's state-size probe reads this instead of re-summing
-        self._entries = 0
-
-    # -- resilience hooks ------------------------------------------------------
-
-    def _table_entries(self) -> int:
-        return self._entries
-
-    def _tick(self) -> None:
-        if self._faults is not None:
-            self._faults.on_iteration(self.iterations)
-        self._meter.tick(self._table_entries)
-
-    def _apply_transfer(self, nid: int, in_state: AbsState, work):
-        """Faults hook + transfer; a crash degrades the node's procedure when
-        a degrade controller is attached."""
-        node_map = self.program.factory.nodes
-        try:
-            if self._faults is not None:
-                self._faults.before_transfer(nid)
-            return transfer(node_map[nid], in_state, self.ctx)
-        except BudgetExceeded:
-            raise
-        except Exception as exc:
-            if self._degrade is None:
-                if isinstance(exc, ReproError):
-                    raise
-                raise AnalysisError(
-                    f"transfer function crashed at node {nid}: {exc}", node=nid
-                ) from exc
-            newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
-            self._absorb_degraded(newly, work)
-            return None
-
-    def _absorb_degraded(self, newly: set[int], work) -> None:
-        """Splice freshly degraded nodes back into the sparse propagation:
-        their (pre-analysis) fallback values are pushed along outgoing data
-        dependencies, and control reachability is re-established across the
-        degraded region — the degraded procedure conservatively 'executes
-        everything', so its control successors must run."""
-        if not newly:
-            return
-        # Degradation wrote whole-procedure fallback states behind the
-        # incremental counter's back — resync it (rare event).
-        self._entries = sum(len(s) for s in self.table.values())
-        succs_to_run: set[int] = set()
-        for dn in newly:
-            self.reached.add(dn)
-            for s in self.graph.succs.get(dn, ()):
-                self.reached.add(s)
-                if not self._degrade.is_degraded_node(s):
-                    succs_to_run.add(s)
-        for dn in newly:
-            state = self.table.get(dn)
-            if state is not None:
-                self._push(dn, state, None, work)
-        for s in succs_to_run:
-            work.add(s)
-
-    def _assemble_input(self, nid: int) -> AbsState:
-        """From-scratch input assembly (used by narrowing; the main loop
-        uses the push-based input cache instead)."""
-        state = AbsState()
-        for src, locs in self.deps.in_edges(nid):
-            src_state = self.table.get(src)
-            if src_state is None:
-                continue
-            for loc in locs:
-                value = src_state.get(loc)
-                if not value.is_bottom():
-                    state.weak_set(loc, value)
-        return state
-
-    def _push(
-        self,
-        nid: int,
-        out: AbsState,
-        changed: "set[AbsLoc] | None",
-        work,
-    ) -> None:
-        """Push changed values along outgoing dependencies into the
-        consumers' input caches — O(#changed) per edge instead of
-        re-assembling O(fan-in) inputs at every consumer visit."""
-        for dst, locs in self.deps.out_edges(nid):
-            if self._faults is not None and not self._faults.keep_dep_push(nid, dst):
-                continue
-            touched = locs if changed is None else (locs & changed)
-            if not touched:
-                continue
-            cache = self.in_cache.get(dst)
-            if cache is None:
-                cache = AbsState()
-                self.in_cache[dst] = cache
-            grew = False
-            for loc in touched:
-                value = out.get(loc)
-                if value.is_bottom():
-                    continue
-                old = cache.get(loc)
-                if old is value:
-                    continue  # interning: pointer-equal means nothing new
-                new = old.join(value)
-                if new is not old and new != old:
-                    cache.set(loc, new)
-                    grew = True
-            if grew and dst in self.reached:
-                work.add(dst)
-
-    def solve(self, strict: bool = True) -> dict[int, AbsState]:
-        from repro.domains.value import cache_stats
-
-        entry = self.program.entry_node()
-        node_map = self.program.factory.nodes
-        if strict:
-            initial = [entry.nid]
-            self.reached.add(entry.nid)
-        else:
-            # Non-strict (paper) mode: every control point runs.
-            initial = sorted(node_map.keys())
-            self.reached.update(node_map.keys())
-        cache_before = cache_stats()
-        work = make_worklist(self._scheduler, self._priority, initial)
-
-        while work:
-            nid = work.pop()
-            if nid not in self.reached:
-                continue
-            if self._degrade is not None and self._degrade.is_degraded_node(nid):
-                continue
-            self.iterations += 1
-            try:
-                self._tick()
-            except BudgetExceeded as exc:
-                if self._degrade is None:
-                    raise
-                # Every later tick re-raises, so all still-pending
-                # procedures fall back to the pre-analysis one by one and
-                # the loop drains without further fixpoint work.
-                newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
-                self._absorb_degraded(newly, work)
-                continue
-            in_state = self.in_cache.get(nid)
-            in_state = in_state if in_state is not None else AbsState()
-            out = self._apply_transfer(nid, in_state, work)
-            if out is None:
-                continue
-
-            # Reachability propagates along control flow (cheap bit).
-            for succ in self.graph.succs.get(nid, ()):
-                if succ not in self.reached:
-                    self.reached.add(succ)
-                    work.add(succ)
-            # A node reached late may already have pending cached input
-            # from dep pushes; it is enqueued above and will consume it.
-
-            old = self.table.get(nid)
-            if old is None:
-                # The transfer may return ``in_state`` unchanged (skip
-                # nodes), which aliases the long-lived input cache — the
-                # copy here is NOT redundant, unlike the dense solver's.
-                self.table[nid] = out.copy()
-                out = self.table[nid]
-                self._entries += len(out)
-                changed: set[AbsLoc] | None = None  # everything is new
-            elif nid in self.widening_points:
-                before = len(old)
-                seen = self._growth.get(nid, 0)
-                if seen < self._widening_delay:
-                    changed = old.join_changed(out)
-                    if changed:
-                        self._growth[nid] = seen + 1
-                else:
-                    changed = old.widen_changed(out, self.thresholds)
-                self._entries += len(old) - before
-                out = old
-            else:
-                before = len(old)
-                changed = old.join_changed(out)
-                self._entries += len(old) - before
-                out = old
-            if changed is None or changed:
-                self._push(nid, out, changed, work)
-        cache_after = cache_stats()
-        self.scheduler_stats = SchedulerStats.from_worklist(
-            work,
-            widening_points=len(self.widening_points),
-            cache_delta=(
-                cache_after[0] - cache_before[0],
-                cache_after[1] - cache_before[1],
-            ),
-        )
-        return self.table
-
-    def narrow(self, passes: int) -> None:
-        """Decreasing iteration over the dependency graph: re-run transfers
-        without widening, keeping only sound refinements. Counts against the
-        same budget as the ascending phase; in degrade mode an exhausted
-        budget simply stops the (optional) refinement."""
-        node_map = self.program.factory.nodes
-        order = sorted(self.table.keys())
-        for _ in range(passes):
-            changed = False
-            for nid in order:
-                if self._degrade is not None and self._degrade.is_degraded_node(
-                    nid
-                ):
-                    continue
-                self.iterations += 1
-                try:
-                    self._tick()
-                except BudgetExceeded as exc:
-                    if self._degrade is None:
-                        raise
-                    self._degrade.diagnostics.events.append(
-                        f"narrowing stopped early: {exc}"
-                    )
-                    return
-                in_state = self._assemble_input(nid)
-                try:
-                    if self._faults is not None:
-                        self._faults.before_transfer(nid)
-                    out = transfer(node_map[nid], in_state, self.ctx)
-                except BudgetExceeded:
-                    raise
-                except Exception as exc:
-                    if self._degrade is None:
-                        if isinstance(exc, ReproError):
-                            raise
-                        raise AnalysisError(
-                            f"transfer function crashed at node {nid}: {exc}",
-                            node=nid,
-                        ) from exc
-                    self._degrade.degrade_node(nid, self.table, cause=str(exc))
-                    continue
-                if out is None:
-                    continue
-                old = self.table.get(nid)
-                if old is None:
-                    continue
-                if out.leq(old) and not old.leq(out):
-                    # narrowing assembles its input from scratch, so ``out``
-                    # never aliases the table or the input cache — no copy
-                    self.table[nid] = out
-                    self._entries += len(out) - len(old)
-                    changed = True
-            if not changed:
-                break
+#: Legacy aliases — the sparse engine shares the unified result surface.
+SparseStats = FixpointStats
+SparseResult = FixpointResult
 
 
 def run_sparse(
@@ -405,7 +66,7 @@ def run_sparse(
     watchdog: bool = True,
     scheduler: str = "wto",
     widening_delay: int = 0,
-) -> SparseResult:
+) -> FixpointResult:
     """Run the sparse interval analysis end to end: pre-analysis → D̂/Û →
     data dependencies → sparse fixpoint (the three phases whose times the
     paper reports as Dep and Fix).
@@ -418,20 +79,20 @@ def run_sparse(
     """
     if on_budget not in ("fail", "degrade"):
         raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
-    stats = SparseStats()
 
     t0 = time.perf_counter()
     if pre is None:
         pre = run_preanalysis(program)
-    stats.time_pre = time.perf_counter() - t0
+    time_pre = time.perf_counter() - t0
 
     t1 = time.perf_counter()
     graph = build_interproc_graph(program, pre.site_callees, localized=False)
-    # WTO of the control graph: heads are the widening points (shared with
-    # the dense engine so both widen identical per-location streams) and
-    # its linear order drives the priority worklist.
-    wto = compute_wto([program.entry_node().nid], graph.succs)
-    widening_points = set(wto.heads) if widen else set()
+    # Widening points come from the *control* graph's WTO (shared with the
+    # dense engine) and must exist before dependency generation, which cuts
+    # dependency chains at them.
+    wto, widening_points = widening_points_for(
+        GraphView((program.entry_node().nid,), graph.succs), widen
+    )
     if defuse is None:
         defuse = compute_defuse(program, pre)
     if dep_result is None:
@@ -443,14 +104,10 @@ def run_sparse(
             bypass=bypass,
             widening_points=widening_points,
         )
-    stats.time_dep = time.perf_counter() - t1
-    stats.dep_count = len(dep_result.deps)
-    stats.raw_dep_count = dep_result.raw_dep_count
+    time_dep = time.perf_counter() - t1
 
     t2 = time.perf_counter()
     ctx = AnalysisContext(program, pre.site_callees, strict=strict)
-    from repro.analysis.dense import _resolve_thresholds
-
     resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
     diagnostics = Diagnostics(budget=resolved_budget)
     degrade = None
@@ -462,40 +119,56 @@ def run_sparse(
             diagnostics=diagnostics,
             watchdog=make_watchdog(pre_state) if watchdog else None,
         )
-    solver = SparseSolver(
-        program,
-        ctx,
+
+    node_map = program.factory.nodes
+
+    def node_transfer(nid, state):
+        return transfer(node_map[nid], state, ctx)
+
+    space = DepGraphSpace(
         dep_result.deps,
         graph,
+        IntervalCells(),
+        node_ids=node_map.keys(),
+        entry=program.entry_node().nid,
+        strict=strict,
+    )
+    engine = FixpointEngine(
+        space,
+        node_transfer,
         widening_points,
-        budget=resolved_budget,
         widening_thresholds=_resolve_thresholds(program, widening_thresholds),
+        widening_delay=widening_delay,
+        narrowing_passes=narrowing_passes,
+        budget=resolved_budget,
+        stage="sparse fixpoint",
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
         priority=wto.priority,
         scheduler=scheduler,
-        widening_delay=widening_delay,
     )
-    table = solver.solve(strict=strict)
-    if narrowing_passes:
-        solver.narrow(narrowing_passes)
+    table = engine.solve()
+    stats = engine.stats
+    stats.time_pre = time_pre
+    stats.time_dep = time_dep
     stats.time_fix = time.perf_counter() - t2
-    stats.iterations = solver.iterations
-    stats.reachable_nodes = len(solver.reached)
-    diagnostics.iterations = solver.iterations
+    stats.dep_count = len(dep_result.deps)
+    stats.raw_dep_count = dep_result.raw_dep_count
+    diagnostics.iterations = stats.iterations
     diagnostics.timings.update(
         pre=stats.time_pre, dep=stats.time_dep, fix=stats.time_fix
     )
-    if solver.scheduler_stats is not None:
-        diagnostics.scheduler = solver.scheduler_stats.as_dict()
+    if engine.scheduler_stats is not None:
+        diagnostics.scheduler = engine.scheduler_stats.as_dict()
 
-    return SparseResult(
+    return FixpointResult(
         table,
-        dep_result.deps,
-        defuse,
-        pre,
         stats,
-        graph,
-        diagnostics,
-        solver.scheduler_stats,
+        pre=pre,
+        defuse=defuse,
+        deps=dep_result.deps,
+        graph=graph,
+        elapsed=stats.time_total,
+        diagnostics=diagnostics,
+        scheduler_stats=engine.scheduler_stats,
     )

@@ -1,49 +1,49 @@
-"""Generic worklist fixpoint engine.
+"""Compatibility shim over the generic fixpoint engine.
 
-Computes ``lfp F♯`` where ``F♯(X)(c) = f♯_c(⊔_{c'↪c} X(c'))`` (equation (3)
-of the paper) over an arbitrary directed graph of control points. Widening
-is applied at a supplied set of widening points (by default the component
-heads of a weak topological order — see :mod:`repro.analysis.schedule` —
-which cut every cycle), guaranteeing termination for infinite-height
-domains.
+The worklist loop that used to live here — and its three siblings in
+``sparse.py`` and ``relational.py`` — moved into
+:mod:`repro.analysis.engine`: one :class:`~repro.analysis.engine.FixpointEngine`
+parameterized by a propagation space and a state lattice.
+:class:`WorklistSolver` survives as a thin adapter that configures the
+engine with a :class:`~repro.analysis.engine.CfgSpace` (equation (3):
+whole states joined over control edges), preserving the historical
+constructor/`solve(entries)` surface for existing callers and tests.
 
-Scheduling: with a WTO ``priority`` map the solver iterates nodes in weak
-topological order (inner loops stabilize before outer code resumes); with
-``scheduler="fifo"`` it falls back to the classic FIFO deque — the baseline
-``benchmarks/bench_scheduling.py`` measures against. Either way a
-:class:`~repro.analysis.schedule.SchedulerStats` record of re-visits,
-priority inversions and join-cache hits is left on ``scheduler_stats``.
-
-The engine is shared by the vanilla and localized dense analyses (the
-sparse engine in :mod:`repro.analysis.sparse` propagates along data
-dependencies instead and has its own loop).
-
-Resilience (see :mod:`repro.runtime`): the solver meters every iteration —
-including narrowing passes — against a unified :class:`repro.runtime.Budget`,
-optionally runs a :class:`~repro.runtime.faults.FaultInjector` hook before
-each transfer application, and, when a
-:class:`~repro.runtime.degrade.DegradeController` is attached, converts
-budget exhaustion and transfer-function crashes into per-procedure
-degradation to the pre-analysis state instead of aborting the run.
+:func:`find_widening_points` (DFS back-edge targets) also remains — the
+engines themselves select widening points via
+:func:`repro.analysis.schedule.widening_points_for`, but the classic
+selection is kept for comparison and tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
-from repro.analysis.schedule import SchedulerStats, make_worklist
+from repro.analysis.engine import (
+    CfgSpace,
+    EdgeTransform,
+    FixpointEngine,
+    FixpointStats,
+    Transfer,
+)
+from repro.analysis.schedule import SchedulerStats
 from repro.domains.state import AbsState
 from repro.runtime.budget import Budget, BudgetMeter
-from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
+from repro.runtime.errors import BudgetExceeded
 
 #: Backwards-compatible alias — the reproduction analog of the paper's
 #: 24-hour timeout (the ∞ entries of Tables 2/3) now lives in the unified
 #: :mod:`repro.runtime.errors` hierarchy.
 AnalysisBudgetExceeded = BudgetExceeded
 
-Transfer = Callable[[int, AbsState], AbsState | None]
-EdgeTransform = Callable[[int, int, AbsState], AbsState | None]
+__all__ = [
+    "AnalysisBudgetExceeded",
+    "FixpointStats",
+    "Transfer",
+    "EdgeTransform",
+    "WorklistSolver",
+    "find_widening_points",
+]
 
 
 def find_widening_points(
@@ -76,21 +76,11 @@ def find_widening_points(
     return heads
 
 
-@dataclass
-class FixpointStats:
-    """Counters describing one fixpoint run."""
-
-    iterations: int = 0
-    max_worklist: int = 0
-    visited: set[int] = field(default_factory=set)
-
-
 class WorklistSolver:
-    """Chaotic iteration with widening at loop heads.
+    """CFG-space configuration of the generic engine (legacy surface).
 
     ``table[c]`` holds the state *at* ``c`` — the result of applying ``f♯_c``
-    to the join of its predecessors' states (matching the paper's
-    formulation where the transfer happens on entry to ``c``).
+    to the join of its predecessors' states.
     """
 
     def __init__(
@@ -118,11 +108,7 @@ class WorklistSolver:
         self._edge_transform = edge_transform
         self._narrowing_passes = narrowing_passes
         self._thresholds = widening_thresholds
-        #: join (don't widen) the first N growth observations per head —
-        #: transient ascents shorter than the delay converge exactly, which
-        #: also makes the result independent of the visit order for them
         self._widening_delay = widening_delay
-        self._growth: dict[int, int] = {}
         if meter is None:
             meter = BudgetMeter(
                 Budget.coerce(budget, max_iterations=max_iterations),
@@ -131,194 +117,34 @@ class WorklistSolver:
         self._meter = meter
         self._faults = faults
         self._degrade = degrade
-        #: WTO positions driving the priority worklist (None = plain FIFO)
         self._priority = priority
-        self._scheduler = scheduler if priority is not None else "fifo"
+        self._scheduler = scheduler
         self.table: dict[int, AbsState] = {}
         self.stats = FixpointStats()
         self.scheduler_stats: SchedulerStats | None = None
-        self._work = None
-        #: running total of state entries across the table — the budget
-        #: meter's state-size probe reads this instead of re-summing
-        self._entries = 0
-
-    # -- resilience hooks ------------------------------------------------------
-
-    def _table_entries(self) -> int:
-        return self._entries
-
-    def _tick(self) -> None:
-        if self._faults is not None:
-            self._faults.on_iteration(self.stats.iterations)
-        self._meter.tick(self._table_entries)
-
-    def _apply_transfer(self, node: int, in_state: AbsState) -> AbsState | None:
-        """Run faults hook + transfer; a crash degrades the node's procedure
-        when a degrade controller is attached, otherwise surfaces as a
-        structured :class:`AnalysisError`."""
-        try:
-            if self._faults is not None:
-                self._faults.before_transfer(node)
-            return self._transfer(node, in_state)
-        except BudgetExceeded:
-            raise
-        except Exception as exc:
-            if self._degrade is None:
-                if isinstance(exc, ReproError):
-                    raise
-                raise AnalysisError(
-                    f"transfer function crashed at node {node}: {exc}", node=node
-                ) from exc
-            newly = self._degrade.degrade_node(node, self.table, cause=str(exc))
-            self._absorb_degraded(newly)
-            return None
-
-    def _absorb_degraded(self, newly: set[int]) -> None:
-        """Re-enqueue live successors of freshly degraded nodes so they
-        consume the fallback states (e.g. a return site reading a degraded
-        callee's exit)."""
-        if not newly:
-            return
-        # Degradation wrote whole-procedure fallback states behind the
-        # incremental counter's back — resync it (rare event).
-        self._entries = sum(len(s) for s in self.table.values())
-        if self._work is None:
-            return
-        for dn in newly:
-            for s in self._succs.get(dn, ()):
-                if not self._degrade.is_degraded_node(s):
-                    self._work.add(s)
-
-    def _in_state(self, node: int, initial: AbsState | None) -> AbsState | None:
-        acc: AbsState | None = None
-        for p in self._preds.get(node, ()):
-            ps = self.table.get(p)
-            if ps is None:
-                continue
-            if self._edge_transform is not None:
-                ps = self._edge_transform(p, node, ps)
-                if ps is None:
-                    continue
-            if acc is None:
-                acc = ps.copy()
-            else:
-                acc.join_with(ps)
-        # The seed only matters while no predecessor has produced a state:
-        # it makes the node runnable (entry nodes, non-strict seeding). It
-        # must NOT be joined once real states flow — for ⊤-defaulted state
-        # types (pack maps) joining the empty seed would erase everything.
-        if acc is None and initial is not None:
-            acc = initial.copy()
-        return acc
 
     def solve(self, entries: dict[int, AbsState]) -> dict[int, AbsState]:
         """Run to fixpoint from the given entry states (node -> initial)."""
-        from repro.domains.value import cache_stats
-
-        cache_before = cache_stats()
-        work = make_worklist(self._scheduler, self._priority, entries.keys())
-        self._work = work
-        while work:
-            node = work.pop()
-            if self._degrade is not None and self._degrade.is_degraded_node(node):
-                continue
-            self.stats.iterations += 1
-            try:
-                self._tick()
-            except BudgetExceeded as exc:
-                if self._degrade is None:
-                    raise
-                # Degrade the procedure whose node could not afford its next
-                # visit; pending work in other procedures degrades the same
-                # way as it is popped (every further tick re-raises), so the
-                # loop still terminates and every unconverged procedure ends
-                # at the pre-analysis bound.
-                newly = self._degrade.degrade_node(node, self.table, cause=str(exc))
-                self._absorb_degraded(newly)
-                continue
-            self.stats.visited.add(node)
-            in_state = self._in_state(node, entries.get(node))
-            if in_state is None:
-                continue
-            out = self._apply_transfer(node, in_state)
-            if out is None:
-                continue
-            old = self.table.get(node)
-            if old is None:
-                # ``out`` is freshly built (the transfer never aliases the
-                # table), so it can be installed without a defensive copy.
-                self.table[node] = out
-                self._entries += len(out)
-                changed = True
-            elif node in self._widening_points:
-                before = len(old)
-                seen = self._growth.get(node, 0)
-                if seen < self._widening_delay:
-                    changed = old.join_with(out)
-                    if changed:
-                        self._growth[node] = seen + 1
-                else:
-                    changed = old.widen_with(out, self._thresholds)
-                self._entries += len(old) - before
-            else:
-                before = len(old)
-                changed = old.join_with(out)
-                self._entries += len(old) - before
-            if changed:
-                for s in self._succs.get(node, ()):
-                    work.add(s)
-        self._work = None
-        self.stats.max_worklist = work.max_size
-        cache_after = cache_stats()
-        self.scheduler_stats = SchedulerStats.from_worklist(
-            work,
-            widening_points=len(self._widening_points),
-            cache_delta=(
-                cache_after[0] - cache_before[0],
-                cache_after[1] - cache_before[1],
-            ),
+        space = CfgSpace(
+            self._succs,
+            self._preds,
+            entries,
+            edge_transform=self._edge_transform,
         )
-        if self._narrowing_passes:
-            self._narrow(entries)
+        engine = FixpointEngine(
+            space,
+            self._transfer,
+            self._widening_points,
+            widening_thresholds=self._thresholds,
+            widening_delay=self._widening_delay,
+            narrowing_passes=self._narrowing_passes,
+            meter=self._meter,
+            faults=self._faults,
+            degrade=self._degrade,
+            priority=self._priority,
+            scheduler=self._scheduler,
+        )
+        self.table = engine.solve()
+        self.stats = engine.stats
+        self.scheduler_stats = engine.scheduler_stats
         return self.table
-
-    def _narrow(self, entries: dict[int, AbsState]) -> None:
-        """Decreasing iteration: recompute states without widening for a
-        bounded number of passes, keeping only sound refinements. Narrowing
-        work counts against the same budget as the ascending phase; when the
-        budget runs out mid-narrowing the widened table — already sound — is
-        kept as-is (degrade mode) or the exhaustion is surfaced (fail mode)."""
-        order = sorted(self.table.keys())
-        for _ in range(self._narrowing_passes):
-            changed = False
-            for node in order:
-                if self._degrade is not None and self._degrade.is_degraded_node(
-                    node
-                ):
-                    continue
-                self.stats.iterations += 1
-                try:
-                    self._tick()
-                except BudgetExceeded as exc:
-                    if self._degrade is None:
-                        raise
-                    self._degrade.diagnostics.events.append(
-                        f"narrowing stopped early: {exc}"
-                    )
-                    return
-                in_state = self._in_state(node, entries.get(node))
-                if in_state is None:
-                    continue
-                out = self._apply_transfer(node, in_state)
-                if out is None:
-                    continue
-                old = self.table.get(node)
-                if old is None:
-                    continue
-                if out.leq(old) and not old.leq(out):
-                    # fresh transfer output, never aliased — no copy needed
-                    self.table[node] = out
-                    self._entries += len(out) - len(old)
-                    changed = True
-            if not changed:
-                break

@@ -26,20 +26,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.analysis.dense import (
-    DenseResult,
-    build_interproc_graph,
-    run_dense,
-)
+from repro.analysis.dense import build_interproc_graph, run_dense
+from repro.analysis.engine import FixpointResult, FixpointStats
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
 from repro.analysis.relational import (
+    PackState,
     RelContext,
-    RelResult,
     run_rel_dense,
     run_rel_sparse,
 )
-from repro.analysis.sparse import SparseResult, run_sparse
-from repro.analysis.worklist import FixpointStats
+from repro.analysis.sparse import run_sparse
 from repro.checkers.overrun import AccessReport, check_overruns
 from repro.domains.absloc import AbsLoc, VarLoc
 from repro.domains.interval import Interval
@@ -75,7 +71,7 @@ class AnalysisRun:
     pre: PreAnalysis
     domain: str
     mode: str
-    result: DenseResult | SparseResult | RelResult
+    result: FixpointResult
     diagnostics: Diagnostics = field(default_factory=Diagnostics)
     #: memo for :meth:`_reaching_lookup` — repeated checker queries walk the
     #: same predecessor chains over and over; one entry per (node, key)
@@ -173,7 +169,7 @@ def _run_engine(
     domain: str,
     mode: str,
     options: dict,
-) -> DenseResult | SparseResult | RelResult:
+) -> FixpointResult:
     """Dispatch one engine×domain combination (one rung of the ladder)."""
     if mode == "pre":
         # Terminal fallback: answer everything from the pre-analysis state.
@@ -184,17 +180,23 @@ def _run_engine(
             events=["whole run answered from the pre-analysis state"],
         )
         if domain == "interval":
-            return DenseResult(
-                table, FixpointStats(), pre, None, graph, 0.0, diagnostics
+            return FixpointResult(
+                table,
+                FixpointStats(),
+                pre=pre,
+                graph=graph,
+                diagnostics=diagnostics,
             )
         from repro.domains.packs import build_packs
 
-        return RelResult(
+        return FixpointResult(
             table,
-            build_packs(program),
-            pre,
+            FixpointStats(),
+            pre=pre,
             graph=graph,
+            packs=build_packs(program),
             diagnostics=diagnostics,
+            bottom=PackState,
         )
     if domain == "interval":
         if mode == "sparse":

@@ -272,8 +272,8 @@ def table3(
         if not sparse.timed_out:
             res = sparse.extra["result"]
             d, u = res.defuse.average_sizes()
-            row["dep_s"] = res.time_dep
-            row["fix_s"] = res.time_fix
+            row["dep_s"] = res.stats.time_dep
+            row["fix_s"] = res.stats.time_fix
             row["avg_d"] = d
             row["avg_u"] = u
             row["avg_pack"] = res.packs.average_size()

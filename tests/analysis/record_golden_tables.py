@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Record golden fixpoint tables for the engine-core differential suite.
+
+Run this with the *reference* implementation (it was run with the
+pre-refactor solvers when ISSUE 3 landed) to produce
+``tests/analysis/golden/engine_tables.json``::
+
+    PYTHONPATH=src python tests/analysis/record_golden_tables.py
+
+``test_golden_differential.py`` then asserts that every engine×domain
+combo reproduces the recorded tables byte-identically on the example
+programs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parents[1] / "src"))
+sys.path.insert(0, str(HERE))
+
+from golden_tables import COMBOS, canonical_table, table_digest  # noqa: E402
+
+from repro.api import analyze  # noqa: E402
+
+
+def example_sources() -> dict[str, str]:
+    """The C programs embedded in ``examples/*.py`` (their ``SOURCE``
+    constants), keyed by example name."""
+    import importlib.util
+
+    examples_dir = HERE.parents[1] / "examples"
+    out: dict[str, str] = {}
+    for path in sorted(examples_dir.glob("*.py")):
+        spec = importlib.util.spec_from_file_location(path.stem, path)
+        module = importlib.util.module_from_spec(spec)
+        try:
+            spec.loader.exec_module(module)
+        except Exception:
+            continue
+        source = getattr(module, "SOURCE", None)
+        if isinstance(source, str):
+            out[path.stem] = source
+    return out
+
+
+#: analysis option sets locked down per combo (narrowing rides along on the
+#: interval sparse engine so the decreasing iteration is covered too)
+OPTION_SETS: list[tuple[str, dict]] = [
+    ("plain", {}),
+    ("narrow2", {"narrowing_passes": 2}),
+]
+
+
+def record() -> dict:
+    goldens: dict[str, dict] = {}
+    for name, source in example_sources().items():
+        for domain, mode in COMBOS:
+            for opt_name, options in OPTION_SETS:
+                if opt_name != "plain" and (domain, mode) != ("interval", "sparse"):
+                    continue
+                key = f"{name}/{domain}/{mode}/{opt_name}"
+                run = analyze(source, domain=domain, mode=mode, **options)
+                text = canonical_table(run.result.table)
+                goldens[key] = {
+                    "digest": table_digest(run.result.table),
+                    "nodes": len(run.result.table),
+                    "lines": len(text.splitlines()),
+                }
+                print(f"  recorded {key}: {goldens[key]['digest'][:16]}…")
+    return goldens
+
+
+def main() -> int:
+    golden_dir = HERE / "golden"
+    golden_dir.mkdir(exist_ok=True)
+    goldens = record()
+    out_path = golden_dir / "engine_tables.json"
+    out_path.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(goldens)} golden tables to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Golden differential suite for the unified fixpoint engine (ISSUE 3).
+
+``tests/analysis/golden/engine_tables.json`` was recorded with the four
+pre-refactor hand-rolled solvers (``python tests/analysis/record_golden_tables.py``
+at the seed revision). Every engine×domain combination must reproduce those
+fixpoint tables byte-identically on the example programs — the refactor to
+the generic :class:`~repro.analysis.engine.FixpointEngine` is not allowed to
+move a single bound, points-to target, or octagon entry.
+
+The canonical serialization (see ``golden_tables.py``) is stable across
+``PYTHONHASHSEED`` values, so a digest mismatch means a real semantic
+divergence; the test then recomputes the full canonical text to point at
+the first differing table line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import analyze
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+from golden_tables import canonical_table, table_digest  # noqa: E402
+from record_golden_tables import OPTION_SETS, example_sources  # noqa: E402
+
+GOLDEN_PATH = HERE / "golden" / "engine_tables.json"
+GOLDENS: dict[str, dict] = json.loads(GOLDEN_PATH.read_text())
+
+SOURCES = example_sources()
+
+
+def _combo_params():
+    for key in sorted(GOLDENS):
+        name, domain, mode, opt_name = key.split("/")
+        options = dict(OPTION_SETS)[opt_name]
+        yield pytest.param(name, domain, mode, options, key, id=key)
+
+
+@pytest.mark.parametrize("name,domain,mode,options,key", _combo_params())
+def test_tables_match_pre_refactor_golden(name, domain, mode, options, key):
+    source = SOURCES.get(name)
+    assert source is not None, f"example {name!r} lost its SOURCE constant"
+    run = analyze(source, domain=domain, mode=mode, **options)
+    golden = GOLDENS[key]
+    assert len(run.result.table) == golden["nodes"], (
+        f"{key}: table covers {len(run.result.table)} nodes, "
+        f"golden recorded {golden['nodes']}"
+    )
+    digest = table_digest(run.result.table)
+    if digest != golden["digest"]:
+        # Recompute the text to give an actionable first-diff message.
+        lines = canonical_table(run.result.table).splitlines()
+        pytest.fail(
+            f"{key}: fixpoint table diverged from the pre-refactor golden "
+            f"(digest {digest[:16]}… != {golden['digest'][:16]}…, "
+            f"{len(lines)} lines vs {golden['lines']} recorded)"
+        )
+
+
+def test_golden_recording_is_complete():
+    """Every example×combo the recorder covers is present — guards against
+    a silently truncated golden file."""
+    expected = 0
+    for _name in SOURCES:
+        for domain, mode in [
+            ("interval", "vanilla"), ("interval", "base"), ("interval", "sparse"),
+            ("octagon", "vanilla"), ("octagon", "base"), ("octagon", "sparse"),
+        ]:
+            for opt_name, _ in OPTION_SETS:
+                if opt_name != "plain" and (domain, mode) != ("interval", "sparse"):
+                    continue
+                expected += 1
+    assert len(GOLDENS) == expected
