@@ -40,6 +40,7 @@ from repro.runtime import (
     FaultPlan,
     ReproError,
 )
+from repro.telemetry import Telemetry, chrome_trace, phase_report
 
 __version__ = "1.1.0"
 
@@ -62,5 +63,8 @@ __all__ = [
     "ReproError",
     "AnalysisError",
     "BudgetExceeded",
+    "Telemetry",
+    "chrome_trace",
+    "phase_report",
     "__version__",
 ]

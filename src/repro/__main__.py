@@ -3,10 +3,13 @@
 Analyze a C file and report analysis facts or checker findings::
 
     python -m repro analyze file.c                      # overrun check
+    python -m repro file.c                              # same (shorthand)
     python -m repro analyze file.c --check divzero
     python -m repro analyze file.c --check nullderef
     python -m repro analyze file.c --domain octagon
     python -m repro analyze file.c --mode vanilla --stats
+    python -m repro file.c --metrics                    # per-phase report
+    python -m repro file.c --trace out.json             # chrome://tracing
     python -m repro tables table2 --quick               # paper tables
 """
 
@@ -16,11 +19,11 @@ import argparse
 import sys
 
 from repro.api import analyze
-from repro.checkers.divzero import check_divisions
-from repro.checkers.nullderef import check_null_derefs
+from repro.checkers import run_checker
 from repro.frontend.errors import FrontendError
 from repro.runtime.budget import Budget
 from repro.runtime.errors import ReproError
+from repro.telemetry import Telemetry, chrome_trace, phase_report
 
 
 def _one_line_diagnostic(exc: ReproError) -> str:
@@ -51,12 +54,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             max_seconds=args.budget_seconds,
             max_iterations=args.max_iterations,
         )
+    # One registry serves both reporting flags; memory tracking only for
+    # --metrics (tracemalloc slows the analysis severalfold).
+    tel = None
+    if args.metrics or args.trace:
+        tel = Telemetry(enabled=True, track_memory=args.metrics)
     run = analyze(
         source,
         domain=args.domain,
         mode=args.mode,
         filename=args.file,
         on_budget=args.on_budget,
+        telemetry=tel,
         **options,
     )
 
@@ -96,13 +105,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     exit_code = 0
     if args.domain == "interval":
-        checkers = {
-            "overrun": lambda: run.overrun_reports(),
-            "divzero": lambda: check_divisions(run.program, run.result),
-            "nullderef": lambda: check_null_derefs(run.program, run.result),
-        }
         for name in args.check:
-            reports = checkers[name]()
+            reports = run_checker(name, run.program, run.result, telemetry=tel)
             printed = set()
             print(f"\n== {name} ({len(reports)} checks) ==")
             for r in reports:
@@ -135,6 +139,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 print(f"{proc}:{var} at exit ∈ {itv}")
             except KeyError as exc:
                 print(f"query {q!r}: {exc}", file=sys.stderr)
+
+    if tel is not None:
+        if args.metrics:
+            print()
+            print(f"== per-phase metrics ({args.file}) ==")
+            print(phase_report(tel).text())
+        if args.trace:
+            import json
+
+            with open(args.trace, "w") as f:
+                json.dump(chrome_trace(tel), f)
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        tel.close()
     return exit_code
 
 
@@ -178,6 +195,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_analyze.add_argument("--stats", action="store_true")
     p_analyze.add_argument(
+        "--metrics", action="store_true",
+        help="print a Table-2-style per-phase report (frontend, "
+        "pre-analysis, dep-gen, fixpoint, narrowing, checkers) with "
+        "tracemalloc peak memory",
+    )
+    p_analyze.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace JSON (chrome://tracing) of the run",
+    )
+    p_analyze.add_argument(
         "--scheduler", choices=["wto", "fifo"], default="wto",
         help="fixpoint visit order: weak topological order (default) or "
         "the FIFO baseline",
@@ -219,6 +246,12 @@ def main(argv: list[str] | None = None) -> int:
     p_tables.add_argument("--quick", action="store_true")
     p_tables.set_defaults(fn=_cmd_tables)
 
+    if argv is None:
+        argv = sys.argv[1:]
+    # Shorthand: ``python -m repro file.c …`` == ``python -m repro analyze
+    # file.c …`` — anything that is not a subcommand or a flag is a file.
+    if argv and not argv[0].startswith("-") and argv[0] not in ("analyze", "tables"):
+        argv = ["analyze", *argv]
     args = parser.parse_args(argv)
     if getattr(args, "check", None) is None and args.command == "analyze":
         args.check = ["overrun"]

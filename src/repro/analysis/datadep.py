@@ -108,6 +108,13 @@ class AugmentedDefUse:
 
     defs: dict[int, set[AbsLoc]] = field(default_factory=dict)
     uses: dict[int, set[AbsLoc]] = field(default_factory=dict)
+    #: per-node uses satisfied *only* by interprocedural edges (callee
+    #: exit → retbind); the intraprocedural chain generators must not
+    #: connect a caller-side reaching definition to them, or the sparse
+    #: engine would join the stale pre-call value with the callee's
+    #: result — the dense engines route the whole state through the
+    #: callee, never around it
+    routed: dict[int, set[AbsLoc]] = field(default_factory=dict)
 
 
 def augment_defuse(
@@ -155,6 +162,31 @@ def augment_defuse(
                     )
                 }
                 aug.uses.setdefault(node.nid, set()).update(bypass_needed)
+                # The complementary case: every callee routes the location
+                # through its body (kills it on all paths, or reads it so
+                # its value travels the callee's own chains to the exit).
+                # The callee-exit edge then carries everything the return
+                # site needs; chaining the caller-side definition here too
+                # would re-introduce the stale pre-call value. This matters
+                # for pack-granular (octagon) dependencies, where the call
+                # node's parameter binding *defines* a pack the callee then
+                # refines — joining both versions loses the refinement.
+                routed = {
+                    loc
+                    for loc in all_defs
+                    if callees
+                    and all(
+                        loc in defuse.proc_defs_trans.get(k, frozenset())
+                        and (
+                            loc in defuse.proc_must_defs.get(k, frozenset())
+                            or loc
+                            in defuse.proc_uses_trans.get(k, frozenset())
+                        )
+                        for k in callees
+                    )
+                }
+                if routed:
+                    aug.routed.setdefault(node.nid, set()).update(routed)
     return aug
 
 
@@ -199,9 +231,12 @@ def _ssa_chains(
                 stacks[loc].pop()
             continue
         node_phis = phis.get(nid, set())
+        node_routed = aug.routed.get(nid, ())
         for loc in aug.uses.get(nid, ()):  # ordinary uses
             if loc in node_phis:
                 continue  # satisfied by the phi (incoming dep edges)
+            if loc in node_routed:
+                continue  # satisfied by the callee-exit edge alone
             stack = stacks.get(loc)
             if stack:
                 deps.add(stack[-1], nid, loc)
@@ -267,7 +302,9 @@ def _reaching_one(
                     queued.add(succ)
                     work.append(succ)
     for nid in cfg.succs:
-        if loc in aug.uses.get(nid, ()):
+        if loc in aug.uses.get(nid, ()) and loc not in aug.routed.get(
+            nid, ()
+        ):
             for d in in_sets[nid]:
                 deps.add(d, nid, loc)
 
@@ -406,6 +443,7 @@ def generate_datadeps(
     method: str = "ssa",
     bypass: bool = True,
     widening_points: set[int] | None = None,
+    telemetry=None,
 ) -> DataDepResult:
     """Generate the full interprocedural data-dependency relation.
 
@@ -439,4 +477,9 @@ def generate_datadeps(
     raw = len(deps)
     if bypass:
         deps = bypass_optimization(deps, defuse, keep=wps)
+    if telemetry is not None and telemetry.enabled:
+        telemetry.count("dep.generated", raw)
+        telemetry.count("dep.bypassed", raw - len(deps))
+        telemetry.gauge("dep.final", len(deps))
+        telemetry.gauge("dep.widening_barriers", len(wps))
     return DataDepResult(deps, aug, raw_dep_count=raw)

@@ -26,6 +26,7 @@ from repro.ir.program import Program
 from repro.runtime.budget import Budget
 from repro.runtime.degrade import DegradeController, Diagnostics, make_watchdog
 from repro.runtime.faults import FaultInjector
+from repro.telemetry.core import Telemetry
 
 
 @dataclass
@@ -136,6 +137,7 @@ def run_dense(
     watchdog: bool = True,
     scheduler: str = "wto",
     widening_delay: int = 0,
+    telemetry=None,
 ) -> DenseResult:
     """Run the dense interval analysis (``vanilla`` or, with ``localize``,
     ``base``).
@@ -161,9 +163,10 @@ def run_dense(
     """
     if on_budget not in ("fail", "degrade"):
         raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
+    tel = Telemetry.coerce(telemetry)
     start = time.perf_counter()
     if pre is None:
-        pre = run_preanalysis(program)
+        pre = run_preanalysis(program, telemetry=tel)
     resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
     diagnostics = Diagnostics(budget=resolved_budget)
     degrade = None
@@ -235,6 +238,7 @@ def run_dense(
         degrade=degrade,
         priority=wto.priority,
         scheduler=scheduler,
+        telemetry=tel,
     )
     table = engine.solve()
     elapsed = time.perf_counter() - start

@@ -41,6 +41,7 @@ from repro.domains.state import AbsState
 from repro.domains.value import cache_stats
 from repro.runtime.budget import Budget, BudgetMeter
 from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
+from repro.telemetry.core import Telemetry
 
 if TYPE_CHECKING:
     from repro.analysis.datadep import DataDeps
@@ -564,6 +565,7 @@ class FixpointEngine:
         degrade=None,
         priority: Mapping[int, int] | None = None,
         scheduler: str = "wto",
+        telemetry=None,
     ) -> None:
         self.space = space
         self._transfer = transfer
@@ -586,6 +588,10 @@ class FixpointEngine:
         #: WTO positions driving the priority worklist (None = plain FIFO)
         self._priority = priority
         self._scheduler = scheduler if priority is not None else "fifo"
+        #: telemetry registry the run's stats are merged into on completion
+        #: (the no-op singleton by default — zero per-iteration cost either
+        #: way, the engine only reports at phase boundaries)
+        self._telemetry = Telemetry.coerce(telemetry)
         self.table: dict[int, "StateLattice"] = {}
         self.stats = FixpointStats()
         self.scheduler_stats: SchedulerStats | None = None
@@ -639,7 +645,29 @@ class FixpointEngine:
     # -- the loop --------------------------------------------------------------
 
     def solve(self) -> dict[int, "StateLattice"]:
-        """Run to fixpoint from the space's seeds, then (optionally) narrow."""
+        """Run to fixpoint from the space's seeds, then (optionally) narrow.
+
+        The ascending phase is traced as a ``fixpoint`` span and narrowing
+        as a sibling ``narrowing`` span (phase walls stay additive); both
+        close even when the run aborts mid-phase (budget exhaustion in
+        fail mode), so traces of failed runs remain balanced.
+        """
+        with self._telemetry.span("fixpoint", stage=self._meter.stage) as sp:
+            table = self._solve_ascending()
+            sp.set(iterations=self.stats.iterations)
+        if self._narrowing_passes:
+            before = self.stats.iterations
+            with self._telemetry.span(
+                "narrowing", passes=self._narrowing_passes
+            ) as sp:
+                self.narrow(self._narrowing_passes)
+                sp.set(iterations=self.stats.iterations - before)
+            self._telemetry.count(
+                "narrowing.iterations", self.stats.iterations - before
+            )
+        return table
+
+    def _solve_ascending(self) -> dict[int, "StateLattice"]:
         space = self.space
         wps = self._widening_points
         cache_before = cache_stats()
@@ -709,8 +737,7 @@ class FixpointEngine:
             ),
         )
         space.record_stats(self.stats)
-        if self._narrowing_passes:
-            self.narrow(self._narrowing_passes)
+        self._telemetry.merge_fixpoint_stats(self.stats, self.scheduler_stats)
         return self.table
 
     def narrow(self, passes: int) -> None:

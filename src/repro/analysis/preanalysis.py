@@ -38,6 +38,7 @@ from repro.ir.commands import CAssume, CCall
 from repro.ir.program import Program
 from repro.analysis.semantics import AnalysisContext, transfer
 from repro.runtime.budget import Budget, BudgetMeter
+from repro.telemetry.core import Telemetry
 
 #: Join-only rounds before switching to widening.
 _JOIN_ROUNDS = 3
@@ -61,6 +62,7 @@ def run_preanalysis(
     program: Program,
     budget: Budget | None = None,
     meter: BudgetMeter | None = None,
+    telemetry=None,
 ) -> PreAnalysis:
     """Iterate ``F♯_pre`` to a post-fixpoint.
 
@@ -73,6 +75,7 @@ def run_preanalysis(
     nothing sound to fall back to when *it* runs out: exhaustion always
     raises :class:`repro.runtime.errors.BudgetExceeded`.
     """
+    tel = Telemetry.coerce(telemetry)
     if meter is None:
         meter = BudgetMeter(budget, stage="pre-analysis")
     ctx = AnalysisContext(program, site_callees=None)
@@ -108,15 +111,19 @@ def run_preanalysis(
         # entries a round moved (empty → the self-loop is not re-enqueued).
         return acc
 
-    engine = FixpointEngine(space, global_round, widening_points=set())
-    engine.solve()
-    state = engine.table.get(OnePointSpace.NODE, AbsState())
+    with tel.span("pre-analysis") as sp:
+        engine = FixpointEngine(space, global_round, widening_points=set())
+        engine.solve()
+        state = engine.table.get(OnePointSpace.NODE, AbsState())
 
-    result = PreAnalysis(program, state, rounds=space.rounds)
-    resolving_ctx = AnalysisContext(program, site_callees=None)
-    for node in nodes:
-        if isinstance(node.cmd, CCall):
-            result.site_callees[node.nid] = resolving_ctx.resolve_callees(
-                node, state
-            )
+        result = PreAnalysis(program, state, rounds=space.rounds)
+        resolving_ctx = AnalysisContext(program, site_callees=None)
+        for node in nodes:
+            if isinstance(node.cmd, CCall):
+                result.site_callees[node.nid] = resolving_ctx.resolve_callees(
+                    node, state
+                )
+        sp.set(rounds=space.rounds, state_size=len(state))
+    tel.count("pre.rounds", space.rounds)
+    tel.gauge("pre.state_size", len(state))
     return result

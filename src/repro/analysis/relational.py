@@ -63,6 +63,7 @@ from repro.ir.program import Program
 from repro.runtime.budget import Budget
 from repro.runtime.degrade import DegradeController, Diagnostics, make_watchdog
 from repro.runtime.faults import FaultInjector
+from repro.telemetry.core import Telemetry
 
 _NEGATED = {"<": ">=", ">": "<=", "<=": ">", ">=": "<", "==": "!=", "!=": "=="}
 
@@ -675,13 +676,15 @@ def run_rel_dense(
     watchdog: bool = True,
     scheduler: str = "wto",
     widening_delay: int = 0,
+    telemetry=None,
 ) -> RelResult:
     """Dense octagon analysis (``Octagon_vanilla`` / ``Octagon_base``)."""
     if on_budget not in ("fail", "degrade"):
         raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
+    tel = Telemetry.coerce(telemetry)
     start = time.perf_counter()
     if pre is None:
-        pre = run_preanalysis(program)
+        pre = run_preanalysis(program, telemetry=tel)
     if packs is None:
         packs = build_packs(program)
     resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
@@ -704,17 +707,62 @@ def run_rel_dense(
         }
         call_edges = graph.call_edges
         bypass = graph.bypass_edges
+        exit_of = {
+            proc: cfg.exit.nid
+            for proc, cfg in program.cfgs.items()
+            if cfg.exit is not None
+        }
+        # exit→retbind edges are folded into the bypass edge's overlay:
+        # with a ⊤-default lattice, joining the two partial states (caller
+        # remainder vs. callee slice) erases both halves — ⊤ ⊔ v = ⊤ — so
+        # the return-site state must be assembled in one place instead.
+        folded_returns = {
+            (exit_of[c], rb)
+            for (call, rb) in bypass
+            for c in pre.site_callees.get(call, ())
+            if c in exit_of
+        }
 
-        def edge_transform(src: int, dst: int, state: PackState) -> PackState:
+        def _overlay_return(call: int, state: PackState) -> PackState | None:
+            """The localized return-site input: per pack, each callee
+            contributes its exit value when it accesses the pack and the
+            caller's pre-call value when it does not (the value survives
+            around that callee); contributions join across callees.
+            Callees whose exit is still unreachable contribute nothing —
+            matching the vanilla engine's reachability timing."""
+            table = space.engine.table
+            contributions = []
+            for c in pre.site_callees.get(call, ()):
+                es = table.get(exit_of[c]) if c in exit_of else None
+                if es is not None:
+                    contributions.append((passed[c], es))
+            if not contributions:
+                return None
+            cand = {p for p, _ in state.items()}
+            for acc_packs, es in contributions:
+                for p, _ in es.items():
+                    if p in acc_packs:
+                        cand.add(p)
+            out: dict = {}
+            for p in cand:
+                joined = None
+                for acc_packs, es in contributions:
+                    v = es.get(p) if p in acc_packs else state.get(p)
+                    joined = v if joined is None else joined.join(v)
+                if not joined.is_top():
+                    out[p] = joined
+            return PackState(out)
+
+        def edge_transform(
+            src: int, dst: int, state: PackState
+        ) -> PackState | None:
             callee = call_edges.get((src, dst))
             if callee is not None:
                 return state.restrict(passed[callee])
             if (src, dst) in bypass:
-                touched: set[Pack] = set()
-                for (s, _e), c in call_edges.items():
-                    if s == src:
-                        touched |= passed[c]
-                return state.remove(touched)
+                return _overlay_return(src, state)
+            if (src, dst) in folded_returns:
+                return None
             return state
 
     node_map = program.factory.nodes
@@ -746,6 +794,7 @@ def run_rel_dense(
         degrade=degrade,
         priority=wto.priority,
         scheduler=scheduler,
+        telemetry=tel,
     )
     table = engine.solve()
     diagnostics.iterations = engine.stats.iterations
@@ -852,13 +901,15 @@ def run_rel_sparse(
     watchdog: bool = True,
     scheduler: str = "wto",
     widening_delay: int = 0,
+    telemetry=None,
 ) -> RelResult:
     """Sparse octagon analysis (``Octagon_sparse``)."""
     if on_budget not in ("fail", "degrade"):
         raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
+    tel = Telemetry.coerce(telemetry)
     start = time.perf_counter()
     if pre is None:
-        pre = run_preanalysis(program)
+        pre = run_preanalysis(program, telemetry=tel)
     if packs is None:
         packs = build_packs(program)
     ctx = RelContext(program, pre, packs, strict=strict)
@@ -871,14 +922,21 @@ def run_rel_sparse(
     )
 
     t_dep = time.perf_counter()
-    graph = build_interproc_graph(program, pre.site_callees, localized=False)
-    wto, wps = widening_points_for(
-        GraphView((program.entry_node().nid,), graph.succs), widen
-    )
-    defuse = compute_rel_defuse(program, pre, ctx)
-    dep_result = generate_datadeps(
-        program, pre, defuse, method=method, bypass=bypass, widening_points=wps
-    )
+    with tel.span("dep-gen", method=method, bypass=bypass, domain="octagon"):
+        graph = build_interproc_graph(program, pre.site_callees, localized=False)
+        wto, wps = widening_points_for(
+            GraphView((program.entry_node().nid,), graph.succs), widen
+        )
+        defuse = compute_rel_defuse(program, pre, ctx)
+        dep_result = generate_datadeps(
+            program,
+            pre,
+            defuse,
+            method=method,
+            bypass=bypass,
+            widening_points=wps,
+            telemetry=tel,
+        )
     time_dep = time.perf_counter() - t_dep
 
     t_fix = time.perf_counter()
@@ -907,6 +965,7 @@ def run_rel_sparse(
         degrade=degrade,
         priority=wto.priority,
         scheduler=scheduler,
+        telemetry=tel,
     )
     table = engine.solve()
     time_fix = time.perf_counter() - t_fix

@@ -42,6 +42,7 @@ from repro.ir.program import Program
 from repro.runtime.budget import Budget
 from repro.runtime.degrade import DegradeController, Diagnostics, make_watchdog
 from repro.runtime.faults import FaultInjector
+from repro.telemetry.core import Telemetry
 
 #: Legacy aliases — the sparse engine shares the unified result surface.
 SparseStats = FixpointStats
@@ -66,6 +67,7 @@ def run_sparse(
     watchdog: bool = True,
     scheduler: str = "wto",
     widening_delay: int = 0,
+    telemetry=None,
 ) -> FixpointResult:
     """Run the sparse interval analysis end to end: pre-analysis → D̂/Û →
     data dependencies → sparse fixpoint (the three phases whose times the
@@ -79,31 +81,34 @@ def run_sparse(
     """
     if on_budget not in ("fail", "degrade"):
         raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
+    tel = Telemetry.coerce(telemetry)
 
     t0 = time.perf_counter()
     if pre is None:
-        pre = run_preanalysis(program)
+        pre = run_preanalysis(program, telemetry=tel)
     time_pre = time.perf_counter() - t0
 
     t1 = time.perf_counter()
-    graph = build_interproc_graph(program, pre.site_callees, localized=False)
-    # Widening points come from the *control* graph's WTO (shared with the
-    # dense engine) and must exist before dependency generation, which cuts
-    # dependency chains at them.
-    wto, widening_points = widening_points_for(
-        GraphView((program.entry_node().nid,), graph.succs), widen
-    )
-    if defuse is None:
-        defuse = compute_defuse(program, pre)
-    if dep_result is None:
-        dep_result = generate_datadeps(
-            program,
-            pre,
-            defuse,
-            method=method,
-            bypass=bypass,
-            widening_points=widening_points,
+    with tel.span("dep-gen", method=method, bypass=bypass):
+        graph = build_interproc_graph(program, pre.site_callees, localized=False)
+        # Widening points come from the *control* graph's WTO (shared with
+        # the dense engine) and must exist before dependency generation,
+        # which cuts dependency chains at them.
+        wto, widening_points = widening_points_for(
+            GraphView((program.entry_node().nid,), graph.succs), widen
         )
+        if defuse is None:
+            defuse = compute_defuse(program, pre)
+        if dep_result is None:
+            dep_result = generate_datadeps(
+                program,
+                pre,
+                defuse,
+                method=method,
+                bypass=bypass,
+                widening_points=widening_points,
+                telemetry=tel,
+            )
     time_dep = time.perf_counter() - t1
 
     t2 = time.perf_counter()
@@ -146,6 +151,7 @@ def run_sparse(
         degrade=degrade,
         priority=wto.priority,
         scheduler=scheduler,
+        telemetry=tel,
     )
     table = engine.solve()
     stats = engine.stats

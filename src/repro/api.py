@@ -45,6 +45,7 @@ from repro.runtime.budget import Budget
 from repro.runtime.degrade import Diagnostics, preanalysis_table
 from repro.runtime.errors import AnalysisError, BudgetExceeded
 from repro.runtime.faults import FaultInjector
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 
 #: cache sentinel — ``None`` is a legitimate lookup result
 _MISS = object()
@@ -73,6 +74,9 @@ class AnalysisRun:
     mode: str
     result: FixpointResult
     diagnostics: Diagnostics = field(default_factory=Diagnostics)
+    #: the telemetry registry the run reported into (the shared no-op
+    #: singleton unless ``analyze(..., telemetry=...)`` was given one)
+    telemetry: Telemetry = field(default=NULL_TELEMETRY, repr=False)
     #: memo for :meth:`_reaching_lookup` — repeated checker queries walk the
     #: same predecessor chains over and over; one entry per (node, key)
     _lookup_cache: dict = field(
@@ -160,7 +164,11 @@ class AnalysisRun:
         """Run the buffer-overrun checker over this result."""
         if self.domain != "interval":
             raise ValueError("the overrun checker needs the interval domain")
-        return check_overruns(self.program, self.result)
+        from repro.checkers import run_checker
+
+        return run_checker(
+            "overrun", self.program, self.result, telemetry=self.telemetry
+        )
 
 
 def _run_engine(
@@ -236,6 +244,7 @@ def analyze(
     fallback: tuple[str, ...] | None = None,
     faults=None,
     watchdog: bool = True,
+    telemetry=None,
     **options,
 ) -> AnalysisRun:
     """Parse, lower, and analyze C-subset ``source``.
@@ -262,23 +271,34 @@ def analyze(
       deterministic failure injection (testing);
     * ``watchdog`` — verify every degraded state stays ⊑ the pre-analysis
       bound.
+
+    ``telemetry`` attaches a :class:`repro.telemetry.Telemetry` registry
+    (or ``True`` for a fresh one, reachable as ``run.telemetry``): every
+    phase — frontend, pre-analysis, dep-gen, fixpoint, narrowing — reports
+    spans and counters into it, at no cost when omitted.
     """
     if on_budget not in ("fail", "degrade"):
         raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
-    if preprocess_source:
-        from repro.frontend.preprocessor import preprocess
+    tel = Telemetry.coerce(telemetry)
+    with tel.span("frontend", file=filename) as front_span:
+        if preprocess_source:
+            from repro.frontend.preprocessor import preprocess
 
-        source = preprocess(source, filename)
-    if inline:
-        from repro.frontend import parse
-        from repro.frontend.inliner import inline_unit
-        from repro.ir.program import ProgramBuilder
+            source = preprocess(source, filename)
+        if inline:
+            from repro.frontend import parse
+            from repro.frontend.inliner import inline_unit
+            from repro.ir.program import ProgramBuilder
 
-        unit, _count = inline_unit(parse(source, filename))
-        program = ProgramBuilder(unit).build()
-    else:
-        program = build_program(source, filename)
-    pre = run_preanalysis(program)
+            unit, _count = inline_unit(parse(source, filename))
+            program = ProgramBuilder(unit).build()
+        else:
+            program = build_program(source, filename, telemetry=tel)
+        front_span.set(
+            procedures=program.num_functions(),
+            control_points=program.num_statements(),
+        )
+    pre = run_preanalysis(program, telemetry=tel)
 
     resolved_budget = Budget.coerce(
         budget,
@@ -296,6 +316,8 @@ def analyze(
         engine_options["budget"] = stage_budget
     engine_options["on_budget"] = on_budget
     engine_options["watchdog"] = watchdog
+    if tel.enabled:
+        engine_options["telemetry"] = tel
     if injector is not None:
         engine_options["faults"] = injector
 
@@ -323,6 +345,8 @@ def analyze(
         )
         if stage != stages[0]:
             diagnostics.fallback_used = stage
-        return AnalysisRun(program, pre, domain, mode, result, diagnostics)
+        return AnalysisRun(
+            program, pre, domain, mode, result, diagnostics, telemetry=tel
+        )
     assert last_exc is not None
     raise last_exc

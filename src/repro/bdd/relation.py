@@ -101,6 +101,16 @@ class BDDDependencyRelation:
         """All interned nodes including intermediates (no GC)."""
         return self._bdd.node_count()
 
+    def record_telemetry(self, telemetry) -> None:
+        """Publish the store's size gauges (``bdd.nodes`` — the paper's
+        Section-5 memory proxy — plus arena size and triple count) into a
+        :class:`repro.telemetry.Telemetry` registry."""
+        if telemetry is None or not telemetry.enabled:
+            return
+        telemetry.gauge("bdd.nodes", self.node_count())
+        telemetry.gauge("bdd.arena_nodes", self.arena_size())
+        telemetry.gauge("bdd.triples", len(self))
+
     def triples(self) -> Iterator[tuple[int, int, AbsLoc]]:
         nb, lb = self._node_bits, self._loc_bits
         for bits in self._bdd.sat_iter(self._fn, nb * 2 + lb):

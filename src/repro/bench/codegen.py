@@ -66,6 +66,7 @@ class WorkloadSpec:
             global_touch_prob=self.global_touch_prob,
             use_structs=self.use_structs,
             funcptr_sites=self.funcptr_sites,
+            unique_callees=self.unique_callees,
             seed=self.seed,
         )
 

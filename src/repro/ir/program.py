@@ -241,7 +241,23 @@ def build_program(
     filename: str = "<input>",
     main: str = "main",
     call_orphans: bool = False,
+    telemetry=None,
 ) -> Program:
-    """Parse and lower C-subset ``source`` into a whole-program IR."""
-    unit = parse(source, filename)
-    return ProgramBuilder(unit, main).build(call_orphans=call_orphans)
+    """Parse and lower C-subset ``source`` into a whole-program IR.
+
+    With a :class:`repro.telemetry.Telemetry` registry attached, the two
+    frontend stages are traced as ``parse``/``lower`` spans (nested under
+    the caller's ``frontend`` phase span) with size counters.
+    """
+    from repro.telemetry.core import Telemetry
+
+    tel = Telemetry.coerce(telemetry)
+    with tel.span("parse", category="frontend", file=filename) as sp:
+        unit = parse(source, filename)
+        sp.set(functions=len(unit.functions))
+    with tel.span("lower", category="frontend"):
+        program = ProgramBuilder(unit, main).build(call_orphans=call_orphans)
+    tel.count("frontend.source_lines", source.count("\n") + 1)
+    tel.count("frontend.procedures", program.num_functions())
+    tel.count("frontend.control_points", program.num_statements())
+    return program

@@ -1,0 +1,30 @@
+"""Zero-dependency tracing/metrics for the analysis pipeline.
+
+Quick use::
+
+    from repro.telemetry import Telemetry, chrome_trace, phase_report
+
+    tel = Telemetry(track_memory=True)
+    run = analyze(source, telemetry=tel)
+    print(phase_report(tel).text())          # Table-2-style breakdown
+    json.dump(chrome_trace(tel), open("out.json", "w"))   # chrome://tracing
+"""
+
+from repro.telemetry.core import NULL_TELEMETRY, PHASES, Span, Telemetry
+from repro.telemetry.export import (
+    PhaseReport,
+    PhaseRow,
+    chrome_trace,
+    phase_report,
+)
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "NULL_TELEMETRY",
+    "PHASES",
+    "PhaseReport",
+    "PhaseRow",
+    "chrome_trace",
+    "phase_report",
+]

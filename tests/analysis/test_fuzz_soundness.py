@@ -1,0 +1,109 @@
+"""Randomized soundness testing against the concrete interpreter.
+
+Each seed generates a loop-bounded program (loops, calls, pointers,
+arrays — the full generator feature set minus function pointers), runs it
+under :class:`repro.ir.interp.Interpreter` with bounded fuel, and then
+demands that every concrete observation is subsumed (⊑) by the abstract
+state the dense *and* the sparse analyses computed at that control point.
+
+Unlike the differential suite this uses the production configuration
+(strict transfer functions, widening on), because soundness — unlike
+exact Lemma-mode equality — must survive widening, narrowing, and
+localization. Failures report the seed and the path of the saved program.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.dense import run_dense
+from repro.analysis.preanalysis import run_preanalysis
+from repro.analysis.sparse import run_sparse
+from repro.bench.codegen import WorkloadSpec, generate_source
+from repro.ir.interp import Interpreter, OutOfFuel
+from repro.ir.program import build_program
+from tests.analysis.test_soundness import check_soundness
+
+#: CI's fuzz-smoke step lowers this via the environment (see ci.yml).
+N_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "25"))
+
+SEEDS = [13 * i + 5 for i in range(N_SEEDS)]
+
+FUEL = 2_000_000
+
+
+def exec_spec(seed: int) -> WorkloadSpec:
+    """A workload rich enough to exercise widening/narrowing (loops and a
+    small recursion cycle) but still bounded, so the concrete interpreter
+    terminates within fuel."""
+    return WorkloadSpec(
+        name=f"sound{seed}",
+        n_functions=5,
+        n_globals=4,
+        n_arrays=1,
+        array_len=8,
+        stmts_per_function=6,
+        loops_per_function=1,
+        calls_per_function=2,
+        pointer_ops_per_function=1,
+        recursion_cycle=2,
+        seed=seed,
+    )
+
+
+def _run_concrete(program, tmp_path, seed, src):
+    interp = Interpreter(program, fuel=FUEL)
+    try:
+        interp.run()
+    except OutOfFuel:
+        path = tmp_path / f"sound-seed{seed}.c"
+        path.write_text(src)
+        pytest.fail(
+            f"seed {seed}: generated program not fuel-bounded "
+            f"(> {FUEL} steps) — generator regression; saved to {path}"
+        )
+    return interp
+
+
+def _assert_subsumed(tmp_path, seed, src, combo, failures):
+    if not failures:
+        return
+    path = tmp_path / f"sound-seed{seed}.c"
+    path.write_text(src)
+    pytest.fail(
+        f"seed {seed} [{combo}]: {len(failures)} concrete observation(s) "
+        f"escape the abstract state; program saved to {path}\n"
+        f"first escapes (nid, loc, concrete, abstract): {failures[:5]}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_concrete_runs_subsumed_by_dense_and_sparse(seed, tmp_path):
+    src = generate_source(exec_spec(seed))
+    program = build_program(src)
+    interp = _run_concrete(program, tmp_path, seed, src)
+    assert interp.observations, "interpreter produced no observations"
+
+    pre = run_preanalysis(program)
+    dense = run_dense(program, pre)
+    failures = check_soundness(program, dense, interp, restrict_to_defs=False)
+    _assert_subsumed(tmp_path, seed, src, "itv/vanilla", failures)
+
+    sparse = run_sparse(program, pre)
+    failures = check_soundness(program, sparse, interp, restrict_to_defs=True)
+    _assert_subsumed(tmp_path, seed, src, "itv/sparse", failures)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_narrowed_sparse_still_subsumes(seed, tmp_path):
+    """Narrowing refines the widened fixpoint but must stay above every
+    concrete execution (a classic over-narrowing bug detector)."""
+    src = generate_source(exec_spec(seed))
+    program = build_program(src)
+    interp = _run_concrete(program, tmp_path, seed, src)
+    pre = run_preanalysis(program)
+    sparse = run_sparse(program, pre, narrowing_passes=2)
+    failures = check_soundness(program, sparse, interp, restrict_to_defs=True)
+    _assert_subsumed(tmp_path, seed, src, "itv/sparse+narrow", failures)

@@ -7,6 +7,14 @@ fixpoint tables byte-identically on the example programs — the refactor to
 the generic :class:`~repro.analysis.engine.FixpointEngine` is not allowed to
 move a single bound, points-to target, or octagon entry.
 
+The octagon ``base``/``sparse`` entries were re-recorded once after the
+randomized differential suite (test_fuzz_differential.py) exposed two
+precision bugs in those pipelines — the localized return-site merge erased
+the callee's contribution, and retbind uses pulled stale caller-side pack
+definitions. The fixes make both pipelines agree with ``octagon/vanilla``
+(whose goldens are unchanged from the seed recording), so the re-recorded
+tables are strictly tighter, never looser.
+
 The canonical serialization (see ``golden_tables.py``) is stable across
 ``PYTHONHASHSEED`` values, so a digest mismatch means a real semantic
 divergence; the test then recomputes the full canonical text to point at

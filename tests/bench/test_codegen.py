@@ -24,6 +24,49 @@ class TestDeterminism:
         b = generate_source(WorkloadSpec("d", seed=2))
         assert a != b
 
+    def test_same_seed_byte_identical_across_specs(self):
+        """Two independently constructed same-seed specs generate
+        byte-identical sources — the regression the fuzz suites depend on
+        for reproducing a failing seed from its assertion message."""
+        kw = dict(
+            n_functions=5,
+            n_arrays=1,
+            loops_per_function=0,
+            recursion_cycle=0,
+            unique_callees=True,
+            seed=41,
+        )
+        a = generate_source(WorkloadSpec("r", **kw))
+        b = generate_source(WorkloadSpec("r", **kw))
+        assert a.encode() == b.encode()
+
+    def test_scaled_preserves_all_structural_knobs(self):
+        """``scaled()`` must copy every structural field; dropping one
+        (historically ``unique_callees``) silently changes the call-graph
+        shape of scaled workloads and breaks Lemma-mode comparability."""
+        base = WorkloadSpec(
+            "s",
+            recursion_cycle=3,
+            funcptr_sites=2,
+            unique_callees=True,
+            global_touch_prob=0.7,
+            use_structs=False,
+            seed=17,
+        )
+        scaled = base.scaled(2.0)
+        for field in (
+            "n_arrays", "array_len", "stmts_per_function",
+            "loops_per_function", "calls_per_function",
+            "pointer_ops_per_function", "recursion_cycle",
+            "global_touch_prob", "use_structs", "funcptr_sites",
+            "unique_callees", "seed",
+        ):
+            assert getattr(scaled, field) == getattr(base, field), field
+        # same-factor scaling twice is itself deterministic
+        assert generate_source(base.scaled(1.5)) == generate_source(
+            base.scaled(1.5)
+        )
+
 
 class TestValidity:
     @pytest.mark.parametrize("spec", default_suite()[:4], ids=lambda s: s.name)
