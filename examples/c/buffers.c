@@ -1,0 +1,10 @@
+/* Array writes with a guarded index: the overrun checker stays silent. */
+int buf[16];
+int main(void) {
+  int i; int s = 0;
+  for (i = 0; i < 16; i++) {
+    buf[i] = i + 1;
+    s = s + buf[i];
+  }
+  return s;
+}

@@ -1,0 +1,20 @@
+/* A small call chain: interprocedural dependency edges and return-site
+ * rebinding keep every engine mode busy. */
+int depth;
+int step(int x) {
+  int r = x + 1;
+  depth = r;
+  return r;
+}
+int twice(int x) {
+  int a = step(x);
+  int b = step(a);
+  return b;
+}
+int main(void) {
+  int i; int v = 0;
+  for (i = 0; i < 30; i++) {
+    v = twice(v);
+  }
+  return v;
+}

@@ -1,0 +1,13 @@
+/* Nested counting loops: enough widening/narrowing traffic to exercise
+ * periodic checkpoints in the batch driver. */
+int total;
+int main(void) {
+  int i; int j; int acc = 0;
+  for (i = 0; i < 50; i++) {
+    for (j = 0; j < 20; j++) {
+      acc = acc + j;
+    }
+    total = acc;
+  }
+  return acc;
+}

@@ -1,0 +1,9 @@
+/* Two sequential loop phases over shared globals. */
+int lo;
+int hi;
+int main(void) {
+  int i; int k = 0;
+  for (i = 0; i < 40; i++) { k = k + 2; lo = k; }
+  for (i = 0; i < 40; i++) { k = k - 1; hi = k; }
+  return k;
+}

@@ -10,20 +10,42 @@ Analyze a C file and report analysis facts or checker findings::
     python -m repro analyze file.c --mode vanilla --stats
     python -m repro file.c --metrics                    # per-phase report
     python -m repro file.c --trace out.json             # chrome://tracing
+    python -m repro file.c --checkpoint run.ckpt        # crash-safe snapshots
+    python -m repro file.c --checkpoint run.ckpt --resume
+    python -m repro batch a.c b.c --checkpoint-dir ckpt # multi-process driver
     python -m repro tables table2 --quick               # paper tables
+
+Exit codes are a stable contract::
+
+    0    analysis completed, no checker alarms
+    1    analysis completed, checker alarms reported
+    2    anticipated failure (parse error, budget exhaustion, bad
+         checkpoint, missing file) — one-line diagnostic on stderr
+    3    unexpected internal crash — traceback on stderr
+    130  interrupted by SIGINT  (128 + signal number)
+    143  interrupted by SIGTERM (128 + signal number); with --checkpoint
+         the final snapshot is flushed before exiting
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.api import analyze
 from repro.checkers import run_checker
 from repro.frontend.errors import FrontendError
 from repro.runtime.budget import Budget
-from repro.runtime.errors import ReproError
-from repro.telemetry import Telemetry, chrome_trace, phase_report
+from repro.runtime.errors import AnalysisInterrupted, ReproError
+from repro.runtime.interrupt import raising_signal_handlers
+from repro.telemetry import Telemetry, phase_report, write_chrome_trace
+
+#: exit-code contract (documented in README.md and DESIGN.md §11)
+EXIT_OK = 0
+EXIT_ALARMS = 1
+EXIT_ERROR = 2
+EXIT_INTERNAL = 3
 
 
 def _one_line_diagnostic(exc: ReproError) -> str:
@@ -40,7 +62,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             source = f.read()
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
     options = {
         "preprocess_source": args.cpp,
@@ -54,20 +76,36 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             max_seconds=args.budget_seconds,
             max_iterations=args.max_iterations,
         )
+    if args.checkpoint is not None:
+        options["checkpoint_path"] = args.checkpoint
+        options["checkpoint_every"] = args.checkpoint_every
+        options["resume"] = args.resume
+    elif args.resume:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return EXIT_ERROR
     # One registry serves both reporting flags; memory tracking only for
     # --metrics (tracemalloc slows the analysis severalfold).
     tel = None
     if args.metrics or args.trace:
         tel = Telemetry(enabled=True, track_memory=args.metrics)
-    run = analyze(
-        source,
-        domain=args.domain,
-        mode=args.mode,
-        filename=args.file,
-        on_budget=args.on_budget,
-        telemetry=tel,
-        **options,
-    )
+    try:
+        # SIGINT/SIGTERM become AnalysisInterrupted inside the engine, so
+        # the abort path flushes a final checkpoint before we exit 128+n.
+        with raising_signal_handlers():
+            run = analyze(
+                source,
+                domain=args.domain,
+                mode=args.mode,
+                filename=args.file,
+                on_budget=args.on_budget,
+                telemetry=tel,
+                **options,
+            )
+    except AnalysisInterrupted:
+        if tel is not None and args.trace:
+            write_chrome_trace(tel, args.trace)
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        raise
 
     if run.diagnostics.degraded_procs:
         print(
@@ -75,6 +113,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             + ", ".join(run.diagnostics.degraded_procs),
             file=sys.stderr,
         )
+    for event in run.diagnostics.events:
+        if event.startswith("resumed from checkpoint"):
+            print(f"note: {event}", file=sys.stderr)
 
     if args.stats:
         program = run.program
@@ -103,7 +144,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 print(f"join cache      : {sched.join_cache_hits}/{total} "
                       f"hits ({100 * sched.join_cache_hit_rate:.0f}%)")
 
-    exit_code = 0
+    exit_code = EXIT_OK
     if args.domain == "interval":
         for name in args.check:
             reports = run_checker(name, run.program, run.result, telemetry=tel)
@@ -116,7 +157,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 printed.add(key)
                 print(f"  {r}")
                 if "alarm" in str(r).lower() or "null" in str(r).lower():
-                    exit_code = max(exit_code, 2)
+                    exit_code = max(exit_code, EXIT_ALARMS)
             if name == "overrun" and args.cluster:
                 from repro.checkers.cluster import (
                     cluster_alarms,
@@ -129,7 +170,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     print(triage_summary(clusters))
     elif args.check and args.check != ["overrun"]:
         print("checkers need --domain interval", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
     if args.query:
         for q in args.query:
@@ -146,13 +187,44 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print(f"== per-phase metrics ({args.file}) ==")
             print(phase_report(tel).text())
         if args.trace:
-            import json
-
-            with open(args.trace, "w") as f:
-                json.dump(chrome_trace(tel), f)
+            write_chrome_trace(tel, args.trace)
             print(f"trace written to {args.trace}", file=sys.stderr)
         tel.close()
     return exit_code
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.runtime.atomicio import atomic_write_json
+    from repro.runtime.faults import FaultPlan
+    from repro.runtime.pool import BatchJob, run_batch
+
+    faults = None
+    if args.fault_kill_at is not None or args.fault_corrupt_checkpoint:
+        faults = FaultPlan(
+            kill_worker_at=args.fault_kill_at,
+            corrupt_checkpoint=args.fault_corrupt_checkpoint,
+        )
+    jobs = [
+        BatchJob(path=path, domain=args.domain, mode=args.mode, faults=faults)
+        for path in args.files
+    ]
+    with raising_signal_handlers():
+        report = run_batch(
+            jobs,
+            args.checkpoint_dir,
+            max_workers=args.jobs,
+            job_timeout=args.timeout,
+            max_retries=args.retries,
+            heartbeat_timeout=args.heartbeat_timeout,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            seed=args.seed,
+        )
+    print(report.text())
+    if args.report is not None:
+        atomic_write_json(args.report, report.as_dict(), indent=2)
+        print(f"report written to {args.report}", file=sys.stderr)
+    return report.exit_code
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -161,6 +233,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     argv = [args.table]
     if args.quick:
         argv.append("--quick")
+    if args.json:
+        argv.extend(["--json", args.json])
     return harness.main(argv)
 
 
@@ -239,29 +313,127 @@ def main(argv: list[str] | None = None) -> int:
         help="on budget exhaustion: fail (exit non-zero) or degrade "
         "affected procedures to the sound pre-analysis result",
     )
+    p_analyze.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="write crash-safe snapshots of the fixpoint state to FILE "
+        "(periodic, plus a final flush on interrupt/budget abort)",
+    )
+    p_analyze.add_argument(
+        "--checkpoint-every", type=int, default=200, metavar="N",
+        help="snapshot every N fixpoint iterations (default 200)",
+    )
+    p_analyze.add_argument(
+        "--resume", action="store_true",
+        help="resume from the --checkpoint file instead of starting fresh; "
+        "converges to the same fixpoint as an uninterrupted run",
+    )
     p_analyze.set_defaults(fn=_cmd_analyze)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="analyze many files with the fault-tolerant multi-process "
+        "driver (timeouts, retry with backoff, resume-from-checkpoint)",
+    )
+    p_batch.add_argument("files", nargs="+")
+    p_batch.add_argument(
+        "--domain", choices=["interval", "octagon"], default="interval"
+    )
+    p_batch.add_argument(
+        "--mode", choices=["sparse", "base", "vanilla"], default="sparse"
+    )
+    p_batch.add_argument(
+        "--checkpoint-dir", default=".repro-checkpoints", metavar="DIR",
+        help="where per-job checkpoints and results live "
+        "(default .repro-checkpoints)",
+    )
+    p_batch.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="max concurrent workers (default min(4, cpu count))",
+    )
+    p_batch.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job wall-clock timeout; timed-out jobs are retried from "
+        "their last checkpoint",
+    )
+    p_batch.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="max retries per job after a crash/timeout (default 2)",
+    )
+    p_batch.add_argument(
+        "--checkpoint-every", type=int, default=5, metavar="N",
+        help="worker snapshot period in fixpoint iterations (default 5)",
+    )
+    p_batch.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="S",
+        help="treat a worker as hung when its heartbeat file goes stale "
+        "for S seconds",
+    )
+    p_batch.add_argument(
+        "--resume", action="store_true",
+        help="let first attempts resume from checkpoints left by a "
+        "previous batch run",
+    )
+    p_batch.add_argument(
+        "--seed", type=int, default=0,
+        help="PRNG seed for retry backoff jitter (default 0)",
+    )
+    p_batch.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the per-job outcome report as JSON (atomic write)",
+    )
+    p_batch.add_argument(
+        "--fault-kill-at", type=int, default=None, metavar="N",
+        help="testing: SIGKILL each worker at fixpoint iteration N "
+        "(first attempt only)",
+    )
+    p_batch.add_argument(
+        "--fault-corrupt-checkpoint", action="store_true",
+        help="testing: corrupt each job's checkpoint before its first "
+        "retry to exercise the fail-closed restore path",
+    )
+    p_batch.set_defaults(fn=_cmd_batch)
 
     p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
     p_tables.add_argument("table", choices=["table1", "table2", "table3", "all"])
     p_tables.add_argument("--quick", action="store_true")
+    p_tables.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the table rows as JSON (atomic write)",
+    )
     p_tables.set_defaults(fn=_cmd_tables)
 
     if argv is None:
         argv = sys.argv[1:]
     # Shorthand: ``python -m repro file.c …`` == ``python -m repro analyze
     # file.c …`` — anything that is not a subcommand or a flag is a file.
-    if argv and not argv[0].startswith("-") and argv[0] not in ("analyze", "tables"):
+    if argv and not argv[0].startswith("-") and argv[0] not in (
+        "analyze", "batch", "tables"
+    ):
         argv = ["analyze", *argv]
     args = parser.parse_args(argv)
     if getattr(args, "check", None) is None and args.command == "analyze":
         args.check = ["overrun"]
     try:
+        if os.environ.get("REPRO_INTERNAL_CRASH"):
+            raise RuntimeError("injected internal crash (REPRO_INTERNAL_CRASH)")
         return args.fn(args)
+    except AnalysisInterrupted as exc:
+        # Graceful shutdown: the engine's abort path already flushed a final
+        # checkpoint (when --checkpoint is active). Conventional 128+signum.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 128 + exc.signum
     except ReproError as exc:
         # One-line diagnostic instead of a traceback: parse errors point at
         # file:line:col, budget exhaustion and engine failures are labelled.
         print(_one_line_diagnostic(exc), file=sys.stderr)
-        return 1
+        return EXIT_ERROR
+    except Exception:
+        import traceback
+
+        traceback.print_exc()
+        print("internal error: this is a bug, please report it",
+              file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

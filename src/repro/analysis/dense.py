@@ -138,6 +138,8 @@ def run_dense(
     scheduler: str = "wto",
     widening_delay: int = 0,
     telemetry=None,
+    checkpoint=None,
+    resume_from=None,
 ) -> DenseResult:
     """Run the dense interval analysis (``vanilla`` or, with ``localize``,
     ``base``).
@@ -239,7 +241,10 @@ def run_dense(
         priority=wto.priority,
         scheduler=scheduler,
         telemetry=tel,
+        checkpointer=checkpoint,
     )
+    if resume_from is not None:
+        engine.restore(resume_from)
     table = engine.solve()
     elapsed = time.perf_counter() - start
     engine.stats.time_fix = elapsed

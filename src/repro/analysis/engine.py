@@ -40,7 +40,12 @@ from repro.domains.interval import Interval
 from repro.domains.state import AbsState
 from repro.domains.value import cache_stats
 from repro.runtime.budget import Budget, BudgetMeter
-from repro.runtime.errors import AnalysisError, BudgetExceeded, ReproError
+from repro.runtime.errors import (
+    AnalysisError,
+    AnalysisInterrupted,
+    BudgetExceeded,
+    ReproError,
+)
 from repro.telemetry.core import Telemetry
 
 if TYPE_CHECKING:
@@ -226,6 +231,15 @@ class PropagationSpace:
     def record_stats(self, stats: FixpointStats) -> None:
         """Fill space-specific counters at the end of the ascending phase."""
 
+    def snapshot_extra(self) -> dict:
+        """Space-private state a checkpoint must carry (push caches,
+        reachability bits, round counters). The CFG space has none — its
+        inputs are rebuilt from the table on every visit."""
+        return {}
+
+    def restore_extra(self, extra: dict) -> None:
+        """Reinstall :meth:`snapshot_extra`'s payload on resume."""
+
 
 class CfgSpace(PropagationSpace):
     """Equation (3): whole states flow along control edges, and a node's
@@ -329,6 +343,14 @@ class CellOps:
         (narrowing's replacement for the push caches)."""
         raise NotImplementedError
 
+    def cache_to_wire(self, cache):
+        """Checkpoint codec for one push cache (see
+        :mod:`repro.runtime.checkpoint`)."""
+        raise NotImplementedError
+
+    def cache_from_wire(self, wire):
+        raise NotImplementedError
+
 
 class IntervalCells(CellOps):
     """Cell operations for bottom-default ``AbsState`` caches."""
@@ -373,6 +395,16 @@ class IntervalCells(CellOps):
                 if not value.is_bottom():
                     state.weak_set(loc, value)
         return state
+
+    def cache_to_wire(self, cache):
+        from repro.runtime.checkpoint import state_to_wire
+
+        return state_to_wire(cache)
+
+    def cache_from_wire(self, wire):
+        from repro.runtime.checkpoint import state_from_wire
+
+        return state_from_wire(wire)
 
 
 class DepGraphSpace(PropagationSpace):
@@ -479,6 +511,24 @@ class DepGraphSpace(PropagationSpace):
     def record_stats(self, stats: FixpointStats) -> None:
         stats.reachable_nodes = len(self.reached)
 
+    def snapshot_extra(self) -> dict:
+        cells = self._cells
+        return {
+            "reached": sorted(self.reached),
+            "in_cache": [
+                [nid, cells.cache_to_wire(cache)]
+                for nid, cache in sorted(self.in_cache.items())
+            ],
+        }
+
+    def restore_extra(self, extra: dict) -> None:
+        cells = self._cells
+        self.reached = set(extra["reached"])
+        self.in_cache = {
+            int(nid): cells.cache_from_wire(wire)
+            for nid, wire in extra["in_cache"]
+        }
+
 
 class OnePointSpace(PropagationSpace):
     """The degenerate propagation space: a single control point whose only
@@ -518,6 +568,12 @@ class OnePointSpace(PropagationSpace):
     def propagate(self, nid: int, out, changed, work) -> None:
         if self._max_rounds is None or self.rounds < self._max_rounds:
             work.add(self.NODE)
+
+    def snapshot_extra(self) -> dict:
+        return {"rounds": self.rounds}
+
+    def restore_extra(self, extra: dict) -> None:
+        self.rounds = int(extra["rounds"])
 
 
 # --------------------------------------------------------------------------
@@ -566,6 +622,7 @@ class FixpointEngine:
         priority: Mapping[int, int] | None = None,
         scheduler: str = "wto",
         telemetry=None,
+        checkpointer=None,
     ) -> None:
         self.space = space
         self._transfer = transfer
@@ -599,6 +656,17 @@ class FixpointEngine:
         #: running total of state entries across the table — the budget
         #: meter's state-size probe reads this instead of re-summing
         self._entries = 0
+        #: optional repro.runtime.checkpoint.Checkpointer writing periodic
+        #: and final-abort snapshots of this engine
+        self._checkpointer = checkpointer
+        #: worklist contents to seed from instead of space.seeds() (resume)
+        self._resume_pending: list[int] | None = None
+        #: node popped but not yet fully processed — an abort snapshot must
+        #: re-include it so the resumed run redoes its visit
+        self._inflight: int | None = None
+        self._phase = "idle"
+        #: iteration count the run was resumed at (None = fresh run)
+        self.resumed_from_iteration: int | None = None
         space.bind(self)
 
     # -- resilience hooks ------------------------------------------------------
@@ -619,7 +687,10 @@ class FixpointEngine:
             if self._faults is not None:
                 self._faults.before_transfer(nid)
             return self._transfer(nid, in_state)
-        except BudgetExceeded:
+        except (BudgetExceeded, AnalysisInterrupted):
+            # neither is a transfer *failure*: budget exhaustion keeps its
+            # own semantics, and an external interrupt must unwind to the
+            # abort-checkpoint path, never degrade a procedure
             raise
         except Exception as exc:
             if self._degrade is None:
@@ -651,10 +722,27 @@ class FixpointEngine:
         as a sibling ``narrowing`` span (phase walls stay additive); both
         close even when the run aborts mid-phase (budget exhaustion in
         fail mode), so traces of failed runs remain balanced.
+
+        With a checkpointer attached, an abort during the *ascending* phase
+        — budget exhaustion in fail mode, an injected crash, SIGINT/SIGTERM
+        raised as :class:`AnalysisInterrupted` — flushes one final
+        checkpoint before re-raising. Narrowing aborts deliberately do not:
+        the last ascending checkpoint on disk is still a valid resume point
+        (resuming replays the ascending tail and then narrows in full).
         """
-        with self._telemetry.span("fixpoint", stage=self._meter.stage) as sp:
-            table = self._solve_ascending()
-            sp.set(iterations=self.stats.iterations)
+        try:
+            with self._telemetry.span("fixpoint", stage=self._meter.stage) as sp:
+                self._phase = "ascending"
+                table = self._solve_ascending()
+                self._phase = "idle"
+                sp.set(iterations=self.stats.iterations)
+        except BaseException:
+            if self._checkpointer is not None and self._phase == "ascending":
+                try:
+                    self._checkpointer.write(self, reason="abort")
+                except Exception:
+                    pass  # never mask the original failure
+            raise
         if self._narrowing_passes:
             before = self.stats.iterations
             with self._telemetry.span(
@@ -671,60 +759,32 @@ class FixpointEngine:
         space = self.space
         wps = self._widening_points
         cache_before = cache_stats()
-        work = make_worklist(self._scheduler, self._priority, space.seeds())
+        if self._resume_pending is not None:
+            # Resume: the checkpointed worklist replaces space.seeds() —
+            # re-seeding would redo already-absorbed seed side effects.
+            initial = self._resume_pending
+            self._resume_pending = None
+        else:
+            initial = space.seeds()
+        work = make_worklist(self._scheduler, self._priority, initial)
         self._work = work
+        cp = self._checkpointer
         while work:
             nid = work.pop()
             if not space.runnable(nid):
                 continue
             if self._degrade is not None and self._degrade.is_degraded_node(nid):
                 continue
-            self.stats.iterations += 1
-            try:
-                self._tick()
-            except BudgetExceeded as exc:
-                if self._degrade is None:
-                    raise
-                # Degrade the procedure whose node could not afford its next
-                # visit; pending work in other procedures degrades the same
-                # way as it is popped (every further tick re-raises), so the
-                # loop still terminates and every unconverged procedure ends
-                # at the pre-analysis bound.
-                newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
-                self._absorb_degraded(newly)
-                continue
-            self.stats.visited.add(nid)
-            in_state = space.input_for(nid)
-            if in_state is None:
-                continue
-            out = self._apply_transfer(nid, in_state)
-            if out is None:
-                continue
-            space.after_transfer(nid, work)
-            old = self.table.get(nid)
-            if old is None:
-                out = space.install(out)
-                self.table[nid] = out
-                self._entries += len(out)
-                changed = None  # everything is new
-            elif nid in wps:
-                before = len(old)
-                seen = self._growth.get(nid, 0)
-                if seen < self._widening_delay:
-                    changed = old.join_changed(out)
-                    if changed:
-                        self._growth[nid] = seen + 1
-                else:
-                    changed = old.widen_changed(out, self._thresholds)
-                self._entries += len(old) - before
-                out = old
-            else:
-                before = len(old)
-                changed = old.join_changed(out)
-                self._entries += len(old) - before
-                out = old
-            if changed is None or changed:
-                space.propagate(nid, out, changed, work)
+            # Inflight tracking: between pop and the end of the visit this
+            # node is in neither the worklist nor (necessarily) the table —
+            # an abort snapshot taken while it is set re-includes it at the
+            # front of the pending list. It is deliberately NOT cleared on
+            # the exception path.
+            self._inflight = nid
+            self._step(nid, work, wps)
+            self._inflight = None
+            if cp is not None:
+                cp.maybe_write(self)
         self._work = None
         self.stats.max_worklist = work.max_size
         cache_after = cache_stats()
@@ -739,6 +799,108 @@ class FixpointEngine:
         space.record_stats(self.stats)
         self._telemetry.merge_fixpoint_stats(self.stats, self.scheduler_stats)
         return self.table
+
+    def _step(self, nid: int, work, wps) -> None:
+        """One worklist visit: meter, transfer, table update, propagation."""
+        space = self.space
+        self.stats.iterations += 1
+        try:
+            self._tick()
+        except BudgetExceeded as exc:
+            if self._degrade is None:
+                raise
+            # Degrade the procedure whose node could not afford its next
+            # visit; pending work in other procedures degrades the same
+            # way as it is popped (every further tick re-raises), so the
+            # loop still terminates and every unconverged procedure ends
+            # at the pre-analysis bound.
+            newly = self._degrade.degrade_node(nid, self.table, cause=str(exc))
+            self._absorb_degraded(newly)
+            return
+        self.stats.visited.add(nid)
+        in_state = space.input_for(nid)
+        if in_state is None:
+            return
+        out = self._apply_transfer(nid, in_state)
+        if out is None:
+            return
+        space.after_transfer(nid, work)
+        old = self.table.get(nid)
+        if old is None:
+            out = space.install(out)
+            self.table[nid] = out
+            self._entries += len(out)
+            changed = None  # everything is new
+        elif nid in wps:
+            before = len(old)
+            seen = self._growth.get(nid, 0)
+            if seen < self._widening_delay:
+                changed = old.join_changed(out)
+                if changed:
+                    self._growth[nid] = seen + 1
+            else:
+                changed = old.widen_changed(out, self._thresholds)
+            self._entries += len(old) - before
+            out = old
+        else:
+            before = len(old)
+            changed = old.join_changed(out)
+            self._entries += len(old) - before
+            out = old
+        if changed is None or changed:
+            space.propagate(nid, out, changed, work)
+
+    # -- checkpoint/resume -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A complete wire-format snapshot of the in-flight run: the state
+        table, the pending worklist in pop order (including any inflight
+        node), widening/iteration counters, and the space's private caches.
+        See DESIGN.md §11 for why this set is sufficient for resume ≡
+        uninterrupted equivalence."""
+        from repro.runtime.checkpoint import state_to_wire
+
+        pending = list(self._work.pending()) if self._work is not None else []
+        if self._inflight is not None and self._inflight not in pending:
+            pending.insert(0, self._inflight)
+        return {
+            "phase": self._phase,
+            "iterations": self.stats.iterations,
+            "meter_iterations": self._meter.iterations,
+            "visited": sorted(self.stats.visited),
+            "growth": sorted(self._growth.items()),
+            "table": [
+                [nid, state_to_wire(state)]
+                for nid, state in sorted(self.table.items())
+            ],
+            "pending": pending,
+            "space": self.space.snapshot_extra(),
+            "degraded_procs": (
+                sorted(self._degrade.degraded_procs)
+                if self._degrade is not None
+                else []
+            ),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Reinstall a :meth:`snapshot` payload; the next :meth:`solve`
+        continues from the checkpointed worklist instead of the seeds."""
+        from repro.runtime.checkpoint import state_from_wire
+
+        self.table = {
+            int(nid): state_from_wire(wire) for nid, wire in payload["table"]
+        }
+        self._entries = sum(len(s) for s in self.table.values())
+        self.stats.iterations = int(payload["iterations"])
+        self.stats.visited = set(payload["visited"])
+        self._growth = {int(n): int(c) for n, c in payload["growth"]}
+        self._meter.iterations = int(payload["meter_iterations"])
+        self._resume_pending = [int(n) for n in payload["pending"]]
+        self.space.restore_extra(payload.get("space") or {})
+        degraded = payload.get("degraded_procs") or []
+        if self._degrade is not None and degraded:
+            self._degrade.adopt(degraded)
+        self.resumed_from_iteration = self.stats.iterations
 
     def narrow(self, passes: int) -> None:
         """Decreasing iteration: recompute states without widening for a

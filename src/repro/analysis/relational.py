@@ -677,6 +677,8 @@ def run_rel_dense(
     scheduler: str = "wto",
     widening_delay: int = 0,
     telemetry=None,
+    checkpoint=None,
+    resume_from=None,
 ) -> RelResult:
     """Dense octagon analysis (``Octagon_vanilla`` / ``Octagon_base``)."""
     if on_budget not in ("fail", "degrade"):
@@ -795,7 +797,10 @@ def run_rel_dense(
         priority=wto.priority,
         scheduler=scheduler,
         telemetry=tel,
+        checkpointer=checkpoint,
     )
+    if resume_from is not None:
+        engine.restore(resume_from)
     table = engine.solve()
     diagnostics.iterations = engine.stats.iterations
     if engine.scheduler_stats is not None:
@@ -884,6 +889,28 @@ class PackCells(CellOps):
                 state.set(pack, oct_)
         return state
 
+    def cache_to_wire(self, cache):
+        from repro.runtime.checkpoint import octagon_to_wire, pack_to_wire
+
+        # None (pinned ⊤) survives the round trip; _UNSET entries don't
+        # exist — a missing key *is* the unset encoding.
+        return [
+            [pack_to_wire(pack), None if oct_ is None else octagon_to_wire(oct_)]
+            for pack, oct_ in sorted(
+                cache.items(), key=lambda kv: kv[0].sort_key()
+            )
+        ]
+
+    def cache_from_wire(self, wire):
+        from repro.runtime.checkpoint import octagon_from_wire, pack_from_wire
+
+        return {
+            pack_from_wire(pack_w): (
+                None if oct_w is None else octagon_from_wire(oct_w)
+            )
+            for pack_w, oct_w in wire
+        }
+
 
 def run_rel_sparse(
     program: Program,
@@ -902,6 +929,8 @@ def run_rel_sparse(
     scheduler: str = "wto",
     widening_delay: int = 0,
     telemetry=None,
+    checkpoint=None,
+    resume_from=None,
 ) -> RelResult:
     """Sparse octagon analysis (``Octagon_sparse``)."""
     if on_budget not in ("fail", "degrade"):
@@ -966,7 +995,10 @@ def run_rel_sparse(
         priority=wto.priority,
         scheduler=scheduler,
         telemetry=tel,
+        checkpointer=checkpoint,
     )
+    if resume_from is not None:
+        engine.restore(resume_from)
     table = engine.solve()
     time_fix = time.perf_counter() - t_fix
 

@@ -349,6 +349,10 @@ class FifoWorklist:
             if len(self._deque) > self.max_size:
                 self.max_size = len(self._deque)
 
+    def pending(self) -> list[int]:
+        """The queued nodes in exact pop order (checkpoint capture)."""
+        return list(self._deque)
+
     def pop(self) -> int:
         node = self._deque.popleft()
         self._in.discard(node)
@@ -420,6 +424,12 @@ class PriorityWorklist:
             heapq.heappush(self._heap, (self._prio(node), node))
             if len(self._in) > self.max_size:
                 self.max_size = len(self._in)
+
+    def pending(self) -> list[int]:
+        """The live nodes in exact pop order (checkpoint capture). The heap
+        may hold stale lazy-deleted entries; ``_in`` is the truth, and the
+        heap's ``(priority, node)`` ordering is a pure function of it."""
+        return sorted(self._in, key=lambda n: (self._prio(n), n))
 
     def pop(self) -> int:
         while True:

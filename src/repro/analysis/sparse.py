@@ -68,6 +68,8 @@ def run_sparse(
     scheduler: str = "wto",
     widening_delay: int = 0,
     telemetry=None,
+    checkpoint=None,
+    resume_from=None,
 ) -> FixpointResult:
     """Run the sparse interval analysis end to end: pre-analysis → D̂/Û →
     data dependencies → sparse fixpoint (the three phases whose times the
@@ -152,7 +154,10 @@ def run_sparse(
         priority=wto.priority,
         scheduler=scheduler,
         telemetry=tel,
+        checkpointer=checkpoint,
     )
+    if resume_from is not None:
+        engine.restore(resume_from)
     table = engine.solve()
     stats = engine.stats
     stats.time_pre = time_pre

@@ -245,6 +245,9 @@ def analyze(
     faults=None,
     watchdog: bool = True,
     telemetry=None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int = 200,
+    resume: bool = False,
     **options,
 ) -> AnalysisRun:
     """Parse, lower, and analyze C-subset ``source``.
@@ -276,6 +279,17 @@ def analyze(
     (or ``True`` for a fresh one, reachable as ``run.telemetry``): every
     phase — frontend, pre-analysis, dep-gen, fixpoint, narrowing — reports
     spans and counters into it, at no cost when omitted.
+
+    Checkpointing (see :mod:`repro.runtime.checkpoint`): with
+    ``checkpoint_path`` set, the engine atomically snapshots its in-flight
+    state every ``checkpoint_every`` iterations and once more on any abort
+    (budget exhaustion, injected crash, SIGINT/SIGTERM). ``resume=True``
+    restores that snapshot — after validating format version, content
+    digest, and a configuration fingerprint, failing closed with a
+    :class:`~repro.runtime.errors.CheckpointError` otherwise — and the run
+    converges to the same fixpoint as an uninterrupted one. Incompatible
+    with ``fallback`` (a ladder re-runs stages; a snapshot belongs to
+    exactly one engine configuration).
     """
     if on_budget not in ("fail", "degrade"):
         raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
@@ -307,6 +321,34 @@ def analyze(
     )
     injector = FaultInjector.coerce(faults)
 
+    checkpointer = None
+    resume_payload = None
+    if checkpoint_path is not None:
+        if fallback:
+            raise ValueError(
+                "checkpointing is incompatible with a fallback engine ladder"
+            )
+        from repro.runtime.checkpoint import (
+            Checkpointer,
+            config_fingerprint,
+            load_checkpoint,
+        )
+
+        fingerprint = config_fingerprint(domain, mode, options, program)
+        checkpointer = Checkpointer(
+            checkpoint_path,
+            every=checkpoint_every,
+            fingerprint=fingerprint,
+            telemetry=tel,
+            heartbeat=True,
+        )
+        if resume:
+            resume_payload = load_checkpoint(
+                checkpoint_path, expect_fingerprint=fingerprint
+            )
+    elif resume:
+        raise ValueError("resume=True requires checkpoint_path")
+
     stages = tuple(fallback) if fallback else (mode,)
     stage_budget = (
         resolved_budget.split(len(stages)) if resolved_budget is not None else None
@@ -320,6 +362,10 @@ def analyze(
         engine_options["telemetry"] = tel
     if injector is not None:
         engine_options["faults"] = injector
+    if checkpointer is not None:
+        engine_options["checkpoint"] = checkpointer
+    if resume_payload is not None:
+        engine_options["resume_from"] = resume_payload
 
     attempts: list[tuple[str, str, float, str | None]] = []
     last_exc: Exception | None = None
@@ -345,6 +391,11 @@ def analyze(
         )
         if stage != stages[0]:
             diagnostics.fallback_used = stage
+        if resume_payload is not None:
+            diagnostics.events.append(
+                "resumed from checkpoint at iteration "
+                f"{resume_payload['iterations']}"
+            )
         return AnalysisRun(
             program, pre, domain, mode, result, diagnostics, telemetry=tel
         )

@@ -18,6 +18,10 @@ Run from the command line::
     python -m repro.bench.harness table2 [--quick]
     python -m repro.bench.harness table3 [--quick]
     python -m repro.bench.harness all --quick
+
+``--json OUT`` additionally writes the raw rows (times, memory, per-phase
+breakdowns) as JSON; the write is atomic, so a killed harness never leaves
+a truncated results file behind.
 """
 
 from __future__ import annotations
@@ -231,7 +235,10 @@ def table2(
 def print_table2(
     specs: list[WorkloadSpec] | None = None, budget: int = DEFAULT_BUDGET
 ) -> None:
-    rows = table2(specs, budget)
+    _render_table2(table2(specs, budget))
+
+
+def _render_table2(rows: list[dict]) -> None:
     header = (
         "Program", "LOC", "Vanilla(s)", "Base(s)", "Spd.1", "Mem.1",
         "Dep(s)", "Fix(s)", "Sparse(s)", "Spd.2", "Mem.2", "D(c)", "U(c)",
@@ -324,7 +331,10 @@ def table3(
 def print_table3(
     specs: list[WorkloadSpec] | None = None, budget: int = DEFAULT_BUDGET
 ) -> None:
-    rows = table3(specs, budget)
+    _render_table3(table3(specs, budget))
+
+
+def _render_table3(rows: list[dict]) -> None:
     header = (
         "Program", "LOC", "Vanilla(s)", "Base(s)", "Spd.1", "Mem.1",
         "Dep(s)", "Fix(s)", "Sparse(s)", "Spd.2", "Mem.2", "D(c)", "U(c)", "Pack",
@@ -370,6 +380,25 @@ def _print_rows(header: tuple, rows: list[tuple]) -> None:
         print("  ".join(str(c).ljust(cols[i]) for i, c in enumerate(row)))
 
 
+def _row_jsonable(row) -> dict | list:
+    """Strip a table row down to JSON-serializable facts (Measurements
+    collapse to time/memory; live result objects are dropped)."""
+    if not isinstance(row, dict):
+        return list(row)  # table1 rows are plain tuples
+    out: dict = {}
+    for key, value in row.items():
+        if isinstance(value, Measurement):
+            out[key] = {
+                "time_s": value.time_s,
+                "peak_mb": value.peak_mb,
+                "timed_out": value.timed_out,
+                "phases": value.extra.get("phases", {}),
+            }
+        else:
+            out[key] = value
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     if not argv:
@@ -377,24 +406,44 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     which = argv[0]
     quick = "--quick" in argv
+    json_out = None
+    if "--json" in argv:
+        at = argv.index("--json")
+        if at + 1 >= len(argv):
+            print("--json needs an output path", file=sys.stderr)
+            return 2
+        json_out = argv[at + 1]
     budget = QUICK_BUDGET if quick else DEFAULT_BUDGET
     interval_specs = default_suite()[:4] if quick else default_suite()
     oct_specs = octagon_suite()[:3] if quick else octagon_suite()
+    results: dict[str, list] = {}
     if which in ("table1", "all"):
         print("== Table 1: benchmark characteristics ==")
+        rows = table1(interval_specs)
+        results["table1"] = [_row_jsonable(r) for r in rows]
         print_table1(interval_specs)
         print()
     if which in ("table2", "all"):
         print("== Table 2: interval analysis performance ==")
-        print_table2(interval_specs, budget)
+        rows = table2(interval_specs, budget)
+        results["table2"] = [_row_jsonable(r) for r in rows]
+        _render_table2(rows)
         print()
     if which in ("table3", "all"):
         print("== Table 3: octagon analysis performance ==")
-        print_table3(oct_specs, budget)
+        rows = table3(oct_specs, budget)
+        results["table3"] = [_row_jsonable(r) for r in rows]
+        _render_table3(rows)
         print()
     if which not in ("table1", "table2", "table3", "all"):
         print(f"unknown table {which!r}")
         return 2
+    if json_out is not None:
+        # crash-safe: a killed harness never leaves a truncated results file
+        from repro.runtime.atomicio import atomic_write_json
+
+        atomic_write_json(json_out, {"quick": quick, **results}, indent=2)
+        print(f"results written to {json_out}", file=sys.stderr)
     return 0
 
 

@@ -1,4 +1,4 @@
-"""Resilient analysis runtime: budgets, graceful degradation, fault injection.
+"""Resilient analysis runtime: budgets, degradation, faults, durability.
 
 The runtime layer makes every fixpoint engine budget-aware and
 failure-tolerant:
@@ -12,10 +12,30 @@ failure-tolerant:
 * :mod:`repro.runtime.faults` — a deterministic fault-injection harness so
   the degradation paths are actually testable;
 * :mod:`repro.runtime.errors` — the structured :class:`ReproError`
-  exception hierarchy shared by the frontend and the engines.
+  exception hierarchy shared by the frontend and the engines;
+* :mod:`repro.runtime.checkpoint` — versioned, digest-protected snapshots
+  of in-flight engine state with resume ≡ uninterrupted equivalence;
+* :mod:`repro.runtime.pool` — the fault-tolerant multi-process batch
+  driver behind ``repro batch`` (timeouts, retry with backoff, crash
+  detection, resume-from-checkpoint);
+* :mod:`repro.runtime.atomicio` — crash-safe file writes shared by
+  checkpoints, telemetry exporters, and reports;
+* :mod:`repro.runtime.interrupt` — SIGINT/SIGTERM → exception bridging
+  for graceful shutdown.
 """
 
+from repro.runtime.atomicio import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
 from repro.runtime.budget import Budget, BudgetMeter
+from repro.runtime.checkpoint import (
+    Checkpointer,
+    config_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.runtime.degrade import (
     DegradeController,
     Diagnostics,
@@ -25,25 +45,43 @@ from repro.runtime.degrade import (
 )
 from repro.runtime.errors import (
     AnalysisError,
+    AnalysisInterrupted,
     BudgetExceeded,
+    CheckpointError,
     ReproError,
     SoundnessViolation,
 )
 from repro.runtime.faults import FaultInjected, FaultInjector, FaultPlan
+from repro.runtime.interrupt import raising_signal_handlers
+from repro.runtime.pool import BatchJob, BatchReport, JobOutcome, run_batch
 
 __all__ = [
     "AnalysisError",
+    "AnalysisInterrupted",
+    "BatchJob",
+    "BatchReport",
     "Budget",
     "BudgetExceeded",
     "BudgetMeter",
+    "CheckpointError",
+    "Checkpointer",
     "DegradeController",
     "Diagnostics",
     "FaultInjected",
     "FaultInjector",
     "FaultPlan",
+    "JobOutcome",
     "ReproError",
     "SoundnessViolation",
     "StageAttempt",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "config_fingerprint",
+    "load_checkpoint",
     "make_watchdog",
     "preanalysis_table",
+    "raising_signal_handlers",
+    "run_batch",
+    "save_checkpoint",
 ]

@@ -1,0 +1,60 @@
+"""Crash-safe file writes (temp file + ``os.replace``).
+
+Every durable artifact the analysis produces — checkpoints, telemetry
+exports, batch outcome reports, bench results — must never be observable
+half-written: a reader (or a resumed run) that finds the file at all must
+find a complete, internally consistent one. POSIX rename within one
+filesystem is atomic, so the pattern is uniform: write to a temp file in
+the *same directory* as the target (same filesystem, so the replace cannot
+degrade to a copy), flush + fsync, then ``os.replace`` over the target.
+A crash at any point leaves either the old file or the new file, never a
+truncated hybrid; stray ``.tmp-*`` files are the only possible debris and
+are cleaned up on the next successful write.
+
+This module must stay import-leaf (stdlib only) — the checkpoint layer,
+the telemetry exporters, and the batch driver all depend on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> int:
+    """Atomically replace ``path``'s contents with ``data``; returns the
+    number of bytes written. The temp file lives next to the target so the
+    final ``os.replace`` is a same-filesystem rename."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".tmp-"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, encoding: str = "utf-8"
+) -> int:
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str | os.PathLike, obj, **dump_kwargs) -> int:
+    """Serialize ``obj`` fully *before* touching the filesystem, then write
+    atomically — a serialization crash (unserializable object, ``inf`` with
+    ``allow_nan=False``) leaves any existing file untouched."""
+    data = json.dumps(obj, **dump_kwargs).encode("utf-8")
+    return atomic_write_bytes(path, data)

@@ -163,6 +163,22 @@ class DegradeController:
     def degrade_node(self, nid: int, table: dict, cause: str | None = None) -> set[int]:
         return self.degrade_proc(self.proc_of(nid), table, cause)
 
+    def adopt(self, procs) -> None:
+        """Re-pin procedures a checkpoint recorded as degraded, without
+        rewriting the table — the restored table already holds their
+        fallback states (checkpoint resume path)."""
+        for proc in procs:
+            if proc in self.degraded_procs:
+                continue
+            self.degraded_procs.add(proc)
+            cfg = self.program.cfgs.get(proc)
+            if cfg is not None:
+                self._degraded_nodes |= {node.nid for node in cfg.nodes}
+            self.diagnostics.degraded_procs.append(proc)
+            self.diagnostics.events.append(
+                f"resumed with {proc!r} already degraded"
+            )
+
 
 def preanalysis_table(program, pre, domain: str = "interval") -> dict[int, object]:
     """A whole-program table filled from the pre-analysis — the terminal

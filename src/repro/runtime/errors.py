@@ -7,7 +7,9 @@ Every failure the framework itself can anticipate derives from
     ├── FrontendError        (repro.frontend.errors — lex/parse/lowering)
     ├── AnalysisError        (a solver or transfer function failed)
     │   └── FaultInjected    (repro.runtime.faults — deliberate test faults)
-    └── BudgetExceeded       (a resource budget ran out mid-analysis)
+    ├── BudgetExceeded       (a resource budget ran out mid-analysis)
+    ├── CheckpointError      (repro.runtime.checkpoint — bad/poisoned snapshot)
+    └── AnalysisInterrupted  (SIGINT/SIGTERM while an engine was running)
 
 Callers that want "anything this package can raise on bad input or
 exhausted resources" catch ``ReproError``; callers that want the paper's
@@ -63,3 +65,23 @@ class BudgetExceeded(AnalysisError):
 class SoundnessViolation(AnalysisError):
     """The soundness watchdog found a degraded state that is *not* bounded
     by the flow-insensitive pre-analysis state (Lemma 2 would not apply)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be trusted: unreadable file, wrong magic or
+    format version, digest mismatch, truncation, or a configuration
+    fingerprint that does not match the resuming run. Restores fail closed —
+    a poisoned snapshot is never partially applied."""
+
+
+class AnalysisInterrupted(ReproError):
+    """The process received SIGINT/SIGTERM while an engine was running.
+
+    Raised from the signal handler installed by
+    :func:`repro.runtime.interrupt.raising_signal_handlers` so that the
+    engine's abort path can flush a final checkpoint before the process
+    exits with the conventional ``128 + signum`` code."""
+
+    def __init__(self, signum: int) -> None:
+        self.signum = signum
+        super().__init__(f"interrupted by signal {signum}")

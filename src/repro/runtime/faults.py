@@ -16,7 +16,9 @@ reproduces with its seed and no assertion ever depends on wall-clock time.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from dataclasses import dataclass
 
 from repro.runtime.errors import AnalysisError, BudgetExceeded
@@ -37,13 +39,21 @@ class FaultPlan:
     * ``drop_dep_push_at`` — silently drop the Mth dependency-edge push of a
       sparse engine (models a corrupted dependency graph);
     * ``drop_dep_edge`` — drop every push along one specific ``(src, dst)``
-      dependency edge.
+      dependency edge;
+    * ``kill_worker_at`` — SIGKILL the *current process* at worklist
+      iteration K (models a crashed/preempted batch worker; only the
+      periodic checkpoints survive, exactly as with a real kill);
+    * ``corrupt_checkpoint`` — not fired in-process: the batch driver reads
+      this flag and flips bytes in the job's checkpoint file before the
+      first retry, exercising the fail-closed restore path.
     """
 
     crash_transfer_at: int | None = None
     trip_budget_at: int | None = None
     drop_dep_push_at: int | None = None
     drop_dep_edge: tuple[int, int] | None = None
+    kill_worker_at: int | None = None
+    corrupt_checkpoint: bool = False
     seed: int | None = None
 
     @classmethod
@@ -101,6 +111,9 @@ class FaultInjector:
             )
 
     def on_iteration(self, iteration: int) -> None:
+        if self.plan.kill_worker_at == iteration:
+            self.fired.append("kill_worker")
+            os.kill(os.getpid(), signal.SIGKILL)
         if self.plan.trip_budget_at == iteration:
             self.fired.append("trip_budget")
             raise BudgetExceeded(

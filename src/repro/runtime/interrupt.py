@@ -1,0 +1,45 @@
+"""Signal-to-exception bridging for long-running analysis paths.
+
+The CLI and the batch-driver workers install handlers that convert
+SIGINT/SIGTERM into an :class:`AnalysisInterrupted` exception raised at the
+next bytecode boundary. That routes an external kill through the ordinary
+Python unwind: the engine's abort path flushes a final checkpoint, spans
+close, and the caller maps the exception to the conventional
+``128 + signum`` exit code. SIGKILL cannot be caught — crash recovery for
+that case rests on the engine's *periodic* checkpoints.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+
+from repro.runtime.errors import AnalysisInterrupted
+
+#: the signals a graceful shutdown handles by default
+GRACEFUL_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+def _raise_interrupted(signum, frame):
+    raise AnalysisInterrupted(signum)
+
+
+@contextmanager
+def raising_signal_handlers(*signums: int):
+    """Install handlers that raise :class:`AnalysisInterrupted`; restore the
+    previous handlers on exit. A no-op off the main thread (Python only
+    delivers signals there, and ``signal.signal`` would raise)."""
+    if not signums:
+        signums = GRACEFUL_SIGNALS
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = {}
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, _raise_interrupted)
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)

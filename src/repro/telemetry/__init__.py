@@ -2,12 +2,12 @@
 
 Quick use::
 
-    from repro.telemetry import Telemetry, chrome_trace, phase_report
+    from repro.telemetry import Telemetry, phase_report, write_chrome_trace
 
     tel = Telemetry(track_memory=True)
     run = analyze(source, telemetry=tel)
     print(phase_report(tel).text())          # Table-2-style breakdown
-    json.dump(chrome_trace(tel), open("out.json", "w"))   # chrome://tracing
+    write_chrome_trace(tel, "out.json")      # chrome://tracing, crash-safe
 """
 
 from repro.telemetry.core import NULL_TELEMETRY, PHASES, Span, Telemetry
@@ -16,6 +16,8 @@ from repro.telemetry.export import (
     PhaseRow,
     chrome_trace,
     phase_report,
+    write_chrome_trace,
+    write_phase_report,
 )
 
 __all__ = [
@@ -27,4 +29,6 @@ __all__ = [
     "PhaseRow",
     "chrome_trace",
     "phase_report",
+    "write_chrome_trace",
+    "write_phase_report",
 ]

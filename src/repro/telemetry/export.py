@@ -13,6 +13,11 @@ Two consumers, two formats:
   pre-analysis cost, *dep-gen* is the ``Dep`` column, *fixpoint* the
   ``Fix`` column, and ``mem.peak_bytes`` the ``Mem`` columns; *frontend*
   and *checkers* are the phases the paper folds into its totals.
+
+File writes (:func:`write_chrome_trace`, :func:`write_phase_report`) are
+crash-safe: serialization happens fully in memory, then the bytes land via
+atomic temp-file + ``os.replace`` (:mod:`repro.runtime.atomicio`) — a
+crash mid-export never leaves truncated JSON behind.
 """
 
 from __future__ import annotations
@@ -66,6 +71,22 @@ def chrome_trace(tel: Telemetry, pid: int = 1) -> dict:
     }
     events.append(meta)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tel: Telemetry, path, pid: int = 1) -> int:
+    """Serialize :func:`chrome_trace` and write it crash-safely; returns
+    the byte count."""
+    from repro.runtime.atomicio import atomic_write_json
+
+    return atomic_write_json(path, chrome_trace(tel, pid))
+
+
+def write_phase_report(tel: Telemetry, path) -> int:
+    """Serialize :func:`phase_report`'s dict form and write it
+    crash-safely; returns the byte count."""
+    from repro.runtime.atomicio import atomic_write_json
+
+    return atomic_write_json(path, phase_report(tel).as_dict(), indent=2)
 
 
 # --------------------------------------------------------------------------

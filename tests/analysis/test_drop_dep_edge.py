@@ -1,0 +1,123 @@
+"""``FaultPlan.drop_dep_edge``: a severed dependency edge is unsound.
+
+The sparse engines are only sound because the data-dependency graph
+carries every def to every reachable use (the paper's Theorem 1). This
+suite drops exactly one edge — the one ferrying the global ``g`` out of a
+loop — and demands the damage is *observable*: on the interval domain a
+concrete execution escapes the abstract state (``check_soundness`` flags
+it), and on the octagon domain the relational fixpoint drops below the
+clean one. A fault that fires without consequence would mean the sparse
+engines secretly re-derive facts they should only learn through the edge
+— masking real dependency-generation bugs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.preanalysis import run_preanalysis
+from repro.analysis.relational import run_rel_sparse
+from repro.analysis.sparse import run_sparse
+from repro.ir.interp import Interpreter
+from repro.ir.program import build_program
+from repro.runtime.faults import FaultPlan
+from tests.analysis.test_soundness import check_soundness
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+from golden_tables import table_digest  # noqa: E402
+
+#: ``g`` is written only inside the loop and read after it — the reading
+#: nodes learn about ``g`` exclusively through dependency edges
+SOURCE = """
+int g;
+
+int main(void) {
+  int i; int out = 0;
+  g = 0;
+  for (i = 0; i < 10; i++) { g = g + 1; }
+  out = g + 1;
+  return out;
+}
+"""
+
+
+def _carries_g(loc) -> bool:
+    """Interval edges carry single AbsLocs, relational edges carry packs."""
+    if getattr(loc, "name", None) == "g":
+        return True
+    members = getattr(loc, "members", None) or ()
+    return any(getattr(m, "name", None) == "g" for m in members)
+
+
+def _g_edges(deps):
+    return sorted(
+        {(src, dst) for src, dst, loc in deps.triples() if _carries_g(loc)}
+    )
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = build_program(SOURCE)
+    pre = run_preanalysis(program)
+    interp = Interpreter(program, fuel=500_000)
+    interp.run()
+    return program, pre, interp
+
+
+def test_interval_sparse_drop_flagged_unsound(setup):
+    program, pre, interp = setup
+    clean = run_sparse(program, pre)
+    assert not check_soundness(program, clean, interp, restrict_to_defs=True)
+    edges = _g_edges(clean.deps)
+    assert edges, "no dependency edge carries the global 'g'"
+
+    flagged = False
+    for edge in edges:
+        plan = FaultPlan(drop_dep_edge=edge)
+        injector = plan.injector()
+        faulted = run_sparse(program, pre, faults=injector)
+        if "drop_dep_edge" not in injector.fired:
+            continue
+        if check_soundness(program, faulted, interp, restrict_to_defs=True):
+            flagged = True
+            break
+    assert flagged, (
+        "dropping every g-carrying dependency edge left the sparse result "
+        "sound — the edges are not actually load-bearing"
+    )
+
+
+def test_octagon_sparse_drop_perturbs_fixpoint(setup):
+    program, pre, interp = setup
+    clean = run_rel_sparse(program, pre)
+    edges = _g_edges(clean.deps)
+    assert edges, "no relational dependency edge carries the global 'g'"
+
+    perturbed = False
+    for edge in edges:
+        plan = FaultPlan(drop_dep_edge=edge)
+        injector = plan.injector()
+        faulted = run_rel_sparse(program, pre, faults=injector)
+        if "drop_dep_edge" not in injector.fired:
+            continue
+        if table_digest(faulted.table) != table_digest(clean.table):
+            perturbed = True
+            break
+    assert perturbed, (
+        "dropping every g-carrying relational edge left the octagon "
+        "fixpoint unchanged — the edges are not actually load-bearing"
+    )
+
+
+def test_dropped_edge_is_recorded_for_diagnostics(setup):
+    program, pre, _ = setup
+    clean = run_sparse(program, pre)
+    edge = _g_edges(clean.deps)[0]
+    injector = FaultPlan(drop_dep_edge=edge).injector()
+    run_sparse(program, pre, faults=injector)
+    assert injector.fired.count("drop_dep_edge") >= 1

@@ -1,0 +1,143 @@
+"""Resume ≡ uninterrupted: the central checkpoint/restore guarantee.
+
+For every engine×domain combination the golden suite locks down, interrupt
+an analysis mid-ascent (deterministically, via a fault-injected budget
+trip), restore from the abort checkpoint, and demand the resumed run's
+fixpoint table is *byte-identical* — same canonical digest as the
+uninterrupted baseline, not merely an equivalent fixpoint. Checker alarms
+must match too, since that is what users actually observe.
+
+The equivalence argument (DESIGN.md §11) hinges on the checkpoint capturing
+everything that influences processing order: the worklist in exact pop
+order, the in-flight node, widening counters, and the propagation space's
+private caches. These tests are the executable form of that argument.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import analyze
+from repro.runtime.errors import BudgetExceeded, CheckpointError
+from repro.runtime.faults import FaultPlan
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+from golden_tables import COMBOS, table_digest  # noqa: E402
+
+#: loopy enough that iteration 7 is mid-ascent for every combo, with calls,
+#: globals, and arrays so all codec paths (points-to, arrays, packs) fire
+SOURCE = """
+int g;
+int buf[8];
+
+int step(int x) {
+  g = g + x;
+  return x + 1;
+}
+
+int main(void) {
+  int i; int s = 0;
+  for (i = 0; i < 8; i++) {
+    s = step(s);
+    buf[i] = s;
+  }
+  for (i = 0; i < 4; i++) { g = g + buf[i]; }
+  return s;
+}
+"""
+
+OPTIONS = {"narrowing_passes": 2}
+
+
+def _alarms(run):
+    if run.domain != "interval":
+        return None
+    return sorted(
+        str(r)
+        for r in run.overrun_reports()
+        if "alarm" in str(r).lower()
+    )
+
+
+@pytest.mark.parametrize("domain,mode", COMBOS, ids=[f"{d}/{m}" for d, m in COMBOS])
+def test_resumed_run_matches_uninterrupted(domain, mode, tmp_path):
+    baseline = analyze(SOURCE, domain=domain, mode=mode, **OPTIONS)
+    assert baseline.result.stats.iterations > 7, (
+        "interrupt point must fall mid-ascent; grow SOURCE"
+    )
+
+    ckpt = tmp_path / f"{domain}-{mode}.ckpt"
+    with pytest.raises(BudgetExceeded):
+        analyze(
+            SOURCE,
+            domain=domain,
+            mode=mode,
+            faults=FaultPlan(trip_budget_at=7),
+            checkpoint_path=str(ckpt),
+            checkpoint_every=3,
+            **OPTIONS,
+        )
+    assert ckpt.exists(), "abort path must flush a final checkpoint"
+
+    resumed = analyze(
+        SOURCE,
+        domain=domain,
+        mode=mode,
+        checkpoint_path=str(ckpt),
+        resume=True,
+        **OPTIONS,
+    )
+    assert table_digest(resumed.result.table) == table_digest(
+        baseline.result.table
+    ), f"{domain}/{mode}: resumed fixpoint diverged from uninterrupted run"
+    assert _alarms(resumed) == _alarms(baseline)
+    assert any(
+        e.startswith("resumed from checkpoint") for e in resumed.diagnostics.events
+    )
+
+
+def test_resume_with_wrong_config_fails_closed(tmp_path):
+    ckpt = tmp_path / "interval-sparse.ckpt"
+    with pytest.raises(BudgetExceeded):
+        analyze(
+            SOURCE,
+            domain="interval",
+            mode="sparse",
+            faults=FaultPlan(trip_budget_at=7),
+            checkpoint_path=str(ckpt),
+            checkpoint_every=3,
+            **OPTIONS,
+        )
+    # same file, different engine mode → fingerprint mismatch, one line
+    with pytest.raises(CheckpointError, match="fingerprint") as exc:
+        analyze(
+            SOURCE,
+            domain="interval",
+            mode="vanilla",
+            checkpoint_path=str(ckpt),
+            resume=True,
+            **OPTIONS,
+        )
+    assert "\n" not in str(exc.value)
+
+
+def test_resume_requires_checkpoint_path():
+    with pytest.raises(ValueError):
+        analyze(SOURCE, resume=True)
+
+
+def test_periodic_checkpoints_without_interrupt_are_harmless(tmp_path):
+    ckpt = tmp_path / "steady.ckpt"
+    baseline = analyze(SOURCE, **OPTIONS)
+    checkpointed = analyze(
+        SOURCE, checkpoint_path=str(ckpt), checkpoint_every=3, **OPTIONS
+    )
+    assert table_digest(checkpointed.result.table) == table_digest(
+        baseline.result.table
+    )
+    assert ckpt.exists()

@@ -1,0 +1,129 @@
+"""Graceful-shutdown tests: signals become exceptions, aborts flush state.
+
+The in-process tests deliver a real SIGTERM to ourselves from inside the
+engine loop (via a custom fault injector) while
+:func:`raising_signal_handlers` is installed — the exact code path a batch
+worker takes when the supervisor times it out — and then prove the abort
+checkpoint it flushed resumes to the byte-identical fixpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import analyze
+from repro.runtime.errors import AnalysisInterrupted
+from repro.runtime.checkpoint import load_checkpoint
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.interrupt import raising_signal_handlers
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "analysis"))
+
+from golden_tables import table_digest  # noqa: E402
+
+SOURCE = """
+int g;
+int main(void) {
+  int i; int s = 0;
+  for (i = 0; i < 50; i++) { s = s + i; g = s; }
+  return s;
+}
+"""
+
+
+class _SigtermInjector(FaultInjector):
+    """Sends this process a real SIGTERM at worklist iteration ``at``."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: int) -> None:
+        super().__init__(FaultPlan())
+        self.at = at
+
+    def on_iteration(self, iteration: int) -> None:
+        if iteration == self.at:
+            os.kill(os.getpid(), signal.SIGTERM)
+
+
+class TestRaisingSignalHandlers:
+    def test_sigterm_becomes_exception(self):
+        with raising_signal_handlers(signal.SIGTERM):
+            with pytest.raises(AnalysisInterrupted) as exc:
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert exc.value.signum == signal.SIGTERM
+        assert "signal" in str(exc.value)
+
+    def test_previous_handlers_are_restored(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with raising_signal_handlers(signal.SIGTERM):
+            assert signal.getsignal(signal.SIGTERM) is not before
+            try:
+                os.kill(os.getpid(), signal.SIGTERM)
+            except AnalysisInterrupted:
+                pass
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_default_covers_sigint_and_sigterm(self):
+        with raising_signal_handlers():
+            with pytest.raises(AnalysisInterrupted) as exc:
+                os.kill(os.getpid(), signal.SIGINT)
+        assert exc.value.signum == signal.SIGINT
+
+
+class TestInterruptedAnalysis:
+    def test_sigterm_mid_fixpoint_flushes_abort_checkpoint(self, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        with raising_signal_handlers(signal.SIGTERM):
+            with pytest.raises(AnalysisInterrupted):
+                analyze(
+                    SOURCE,
+                    faults=_SigtermInjector(7),
+                    checkpoint_path=str(ckpt),
+                    checkpoint_every=100,  # only the abort write can fire
+                )
+        payload = load_checkpoint(ckpt)
+        assert payload["reason"] == "abort"
+        assert payload["iterations"] > 0
+
+    def test_resume_after_sigterm_matches_uninterrupted(self, tmp_path):
+        baseline = analyze(SOURCE, narrowing_passes=2)
+        ckpt = tmp_path / "run.ckpt"
+        with raising_signal_handlers(signal.SIGTERM):
+            with pytest.raises(AnalysisInterrupted):
+                analyze(
+                    SOURCE,
+                    faults=_SigtermInjector(7),
+                    checkpoint_path=str(ckpt),
+                    checkpoint_every=3,
+                    narrowing_passes=2,
+                )
+        resumed = analyze(
+            SOURCE,
+            checkpoint_path=str(ckpt),
+            resume=True,
+            narrowing_passes=2,
+        )
+        assert table_digest(resumed.result.table) == table_digest(
+            baseline.result.table
+        )
+
+    def test_interrupt_never_degrades(self, tmp_path):
+        """SIGTERM must abort, not silently degrade procedures the way a
+        budget trip in degrade mode would."""
+        ckpt = tmp_path / "run.ckpt"
+        with raising_signal_handlers(signal.SIGTERM):
+            with pytest.raises(AnalysisInterrupted):
+                analyze(
+                    SOURCE,
+                    faults=_SigtermInjector(7),
+                    checkpoint_path=str(ckpt),
+                    on_budget="degrade",
+                )
+        payload = load_checkpoint(ckpt)
+        assert payload["degraded_procs"] == []

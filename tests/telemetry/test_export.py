@@ -3,6 +3,9 @@ with monotone timestamps, and the phase report aggregates outermost
 same-named spans into Table-2-style rows."""
 
 import json
+import os
+
+import pytest
 
 from repro.telemetry import NULL_TELEMETRY, Telemetry, chrome_trace, phase_report
 
@@ -157,3 +160,47 @@ class TestEndToEnd:
         decoded = json.loads(json.dumps(chrome_trace(tel)))
         names = {e["name"] for e in decoded["traceEvents"]}
         assert {"fixpoint", "dep-gen", "metrics"} <= names
+
+
+class TestCrashSafeWrites:
+    """Regression tests for the atomic exporter file writes: a crash (or
+    serialization failure) mid-export must never leave a truncated or
+    half-written file where a previous good export used to be."""
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        from repro.telemetry import write_chrome_trace
+
+        tel = _pipeline_run()
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(tel, path)
+        assert n == path.stat().st_size > 0
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(chrome_trace(tel))
+        )
+        assert os.listdir(tmp_path) == ["trace.json"]  # no temp debris
+
+    def test_write_phase_report_round_trips(self, tmp_path):
+        from repro.telemetry import write_phase_report
+
+        tel = _pipeline_run()
+        path = tmp_path / "phases.json"
+        n = write_phase_report(tel, path)
+        assert n == path.stat().st_size > 0
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(phase_report(tel).as_dict())
+        )
+
+    def test_failed_export_preserves_previous_file(self, tmp_path):
+        from repro.telemetry import write_chrome_trace
+
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_pipeline_run(), path)
+        good = path.read_bytes()
+
+        poisoned = Telemetry()
+        with poisoned.span("fixpoint", bad=object()):  # not JSON-serializable
+            pass
+        with pytest.raises(TypeError):
+            write_chrome_trace(poisoned, path)
+        assert path.read_bytes() == good  # old export untouched
+        assert os.listdir(tmp_path) == ["trace.json"]  # temp file cleaned up

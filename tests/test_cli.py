@@ -39,10 +39,10 @@ def clean_file(tmp_path):
 
 
 class TestAnalyzeCommand:
-    def test_alarming_program_exits_2(self, demo_file, capsys):
+    def test_alarming_program_exits_1(self, demo_file, capsys):
         code = main(["analyze", demo_file])
         out = capsys.readouterr().out
-        assert code == 2
+        assert code == 1
         assert "ALARM" in out
 
     def test_clean_program_exits_0(self, clean_file, capsys):
@@ -78,7 +78,7 @@ class TestAnalyzeCommand:
         assert main(["analyze", clean_file, "--mode", "vanilla"]) == 0
 
     def test_missing_file(self, capsys):
-        assert main(["analyze", "/nonexistent.c"]) == 1
+        assert main(["analyze", "/nonexistent.c"]) == 2
 
 
 class TestRobustness:
@@ -103,10 +103,10 @@ class TestRobustness:
         path.write_text("int main( {\n")
         return str(path)
 
-    def test_budget_fail_exits_1_with_one_liner(self, loopy_file, capsys):
+    def test_budget_fail_exits_2_with_one_liner(self, loopy_file, capsys):
         code = main(["analyze", loopy_file, "--max-iterations", "3"])
         err = capsys.readouterr().err
-        assert code == 1
+        assert code == 2
         assert err.count("\n") == 1  # exactly one diagnostic line
         assert "error:" in err and "exceeded" in err
         assert "Traceback" not in err
@@ -134,7 +134,7 @@ class TestRobustness:
     def test_parse_error_one_line_diagnostic(self, broken_file, capsys):
         code = main(["analyze", broken_file])
         err = capsys.readouterr().err
-        assert code == 1
+        assert code == 2
         assert "error:" in err
         assert "broken.c" in err  # file:line:col prefix
         assert "Traceback" not in err
