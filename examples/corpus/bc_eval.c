@@ -1,0 +1,50 @@
+/* Expression-stack arithmetic in the style of bc: carries a K&R-style
+ * function definition the grammar does not accept. Recovery skips past
+ * it and every ANSI-style function is still analyzed. */
+#include "corpus_defs.h"
+
+int stack[BUFSZ];
+int sp;
+
+int push(int v) {
+  if (sp < BUFSZ) {
+    stack[sp] = v;
+    sp = sp + 1;
+    return 0;
+  }
+  return -1;
+}
+
+int pop(void) {
+  if (sp > 0) {
+    sp = sp - 1;
+    return stack[sp];
+  }
+  return 0;
+}
+
+/* Old-style definition, straight out of 1980s sources. */
+int bc_add(a, b)
+int a;
+int b;
+{
+  return a + b;
+}
+
+int eval_sum(int n) {
+  int i;
+  int acc = 0;
+  sp = 0;
+  for (i = 0; i < n; i++) {
+    push(i);
+  }
+  for (i = 0; i < n; i++) {
+    acc = acc + pop();
+  }
+  return acc;
+}
+
+int main(void) {
+  exit_status = eval_sum(10);
+  return MAX(exit_status, 0);
+}

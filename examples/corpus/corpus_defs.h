@@ -1,0 +1,13 @@
+/* Shared definitions for the recovery corpus (included with
+ * #include "corpus_defs.h" — exercises quoted-include resolution). */
+#ifndef CORPUS_DEFS_H
+#define CORPUS_DEFS_H
+
+#define BUFSZ 64
+#define NAMELEN 14
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+
+int exit_status;
+
+#endif

@@ -1,0 +1,56 @@
+/* Sliding-window bookkeeping in the style of gzip's deflate.c: a clean
+ * file — parses fully, no diagnostics, outcome "ok". */
+#include <stdio.h>
+#include "corpus_defs.h"
+
+#define WSIZE 32
+#define HSIZE 16
+
+int window[WSIZE];
+int head[HSIZE];
+int strstart;
+
+int update_hash(int h, int c) {
+  int v = (h * 4 + c) % HSIZE;
+  if (v < 0) {
+    v = -v;
+  }
+  return v;
+}
+
+int insert_string(int h, int pos) {
+  int prev;
+  if (h < 0 || h >= HSIZE) {
+    return -1;
+  }
+  prev = head[h];
+  head[h] = pos;
+  return prev;
+}
+
+int longest_match(int cur) {
+  int len = 0;
+  int i;
+  for (i = 0; i < WSIZE; i++) {
+    if (window[i] == window[cur % WSIZE]) {
+      len = len + 1;
+    }
+  }
+  return MIN(len, WSIZE - 1);
+}
+
+int main(void) {
+  int h = 0;
+  int i;
+  strstart = 0;
+  for (i = 0; i < WSIZE; i++) {
+    window[i] = i * 7 % 31;
+  }
+  for (i = 0; i < WSIZE; i++) {
+    h = update_hash(h, window[i]);
+    insert_string(h, i);
+    strstart = strstart + 1;
+  }
+  exit_status = longest_match(3);
+  return exit_status;
+}

@@ -1,0 +1,39 @@
+/* Screen-repaint arithmetic in the style of less: one function body uses
+ * a compound literal the grammar rejects, so that function is quarantined
+ * behind a havoc stub while the rest of the file analyzes normally. */
+#include "corpus_defs.h"
+
+int sc_width;
+int sc_height;
+int pos_table[BUFSZ];
+
+int adjust(int lines) {
+  int clamped = MIN(lines, BUFSZ - 1);
+  return MAX(clamped, 0);
+}
+
+/* Unparseable body: compound literals are outside the subset. */
+int lower_left(void) {
+  int *origin = (int[2]){0, 0};
+  sc_height = origin[1];
+  return origin[0];
+}
+
+int repaint(int from, int to) {
+  int i;
+  int painted = 0;
+  int lo = adjust(from);
+  int hi = adjust(to);
+  for (i = lo; i < hi; i++) {
+    pos_table[i] = i * sc_width;
+    painted = painted + 1;
+  }
+  return painted;
+}
+
+int main(void) {
+  sc_width = 80;
+  sc_height = 24;
+  exit_status = repaint(0, sc_height);
+  return exit_status;
+}

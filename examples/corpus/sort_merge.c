@@ -1,0 +1,36 @@
+/* Merge pass in the style of sort: clean except for an unterminated
+ * string literal in a stray debug line — the lexer closes it at end of
+ * line and every function is still analyzed. */
+#include "corpus_defs.h"
+
+#define RUNS 4
+
+int runs[RUNS];
+int out[BUFSZ];
+char *tag = "merge pass;
+
+int pick_min(int a, int b) {
+  return MIN(a, b);
+}
+
+int merge_two(int lo, int hi) {
+  int i = lo;
+  int j = hi;
+  int k = 0;
+  while (i < hi && j < BUFSZ && k < BUFSZ) {
+    out[k] = pick_min(i, j);
+    i = i + 1;
+    j = j + 1;
+    k = k + 1;
+  }
+  return k;
+}
+
+int main(void) {
+  int r;
+  for (r = 0; r < RUNS; r++) {
+    runs[r] = r * 16;
+  }
+  exit_status = merge_two(runs[0], runs[1]);
+  return exit_status;
+}

@@ -1,0 +1,38 @@
+/* Header-block checksumming in the style of tar: the flag struct uses
+ * bit-fields, which the grammar rejects — the declaration is skipped and
+ * the functions that avoid it still analyze. */
+#include "corpus_defs.h"
+
+struct posix_flags {
+  unsigned int readable : 1;
+  unsigned int writable : 1;
+  unsigned int exec : 1;
+};
+
+int block[BUFSZ];
+
+int checksum(int n) {
+  int i;
+  int sum = 0;
+  for (i = 0; i < n && i < BUFSZ; i++) {
+    sum = sum + block[i];
+  }
+  return sum;
+}
+
+int verify(int expected, int n) {
+  int got = checksum(n);
+  if (got == expected) {
+    return 0;
+  }
+  return 1;
+}
+
+int main(void) {
+  int i;
+  for (i = 0; i < NAMELEN; i++) {
+    block[i] = i + 1;
+  }
+  exit_status = verify(checksum(NAMELEN), NAMELEN);
+  return exit_status;
+}

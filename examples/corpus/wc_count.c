@@ -1,0 +1,48 @@
+/* Word/line counting in the style of wc — but the file is poisoned: a
+ * botched merge left conflict markers behind. The lexer recovers past
+ * them, the mangled function is quarantined, and the clean counters are
+ * still analyzed end to end. */
+#include "corpus_defs.h"
+
+int lines;
+int words;
+int chars;
+
+int is_space(int c) {
+  if (c == 32 || c == 9 || c == 10) {
+    return 1;
+  }
+  return 0;
+}
+
+int count_buffer(int n) {
+  int i;
+  int in_word = 0;
+  for (i = 0; i < n; i++) {
+    chars = chars + 1;
+    if (is_space(i % 11)) {
+      in_word = 0;
+    } else if (in_word == 0) {
+      in_word = 1;
+      words = words + 1;
+    }
+  }
+  return words;
+}
+
+int report_totals(int fmt) {
+<<<<<<< HEAD
+  int total = lines + words;
+=======
+  int total = chars + words;
+>>>>>>> feature/recount
+  return total * fmt;
+}
+
+int main(void) {
+  lines = 0;
+  words = 0;
+  chars = 0;
+  exit_status = count_buffer(BUFSZ);
+  return exit_status;
+}

@@ -49,10 +49,11 @@ EXIT_INTERNAL = 3
 
 
 def _one_line_diagnostic(exc: ReproError) -> str:
-    """A ``file:line:col: message`` line for frontend errors, a labelled
+    """A ``file:line:col: message`` diagnostic for frontend errors (with a
+    caret snippet when the offending source line is known), a labelled
     one-liner for everything else in the :class:`ReproError` hierarchy."""
     if isinstance(exc, FrontendError):
-        return f"{exc.pos}: error: {exc.message}"
+        return str(exc)
     return f"error: {exc}"
 
 
@@ -68,6 +69,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         "preprocess_source": args.cpp,
         "inline": args.inline,
         "scheduler": args.scheduler,
+        "strict_frontend": args.strict_frontend,
     }
     if args.narrow:
         options["narrowing_passes"] = args.narrow
@@ -107,6 +109,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print(f"trace written to {args.trace}", file=sys.stderr)
         raise
 
+    exit_code = EXIT_OK
+    fdiags = run.frontend_diagnostics
+    if len(fdiags):
+        print(fdiags.render(), file=sys.stderr)
+        analyzed, quarantined = run.coverage()
+        print(
+            f"note: recovered from {fdiags.summary()}: "
+            f"{analyzed} analyzed, {quarantined} quarantined",
+            file=sys.stderr,
+        )
+        if fdiags.errors():
+            # Recovered-with-diagnostics shares the alarm exit path: the
+            # run completed but its input was degraded.
+            exit_code = EXIT_ALARMS
+
     if run.diagnostics.degraded_procs:
         print(
             "note: budget-degraded to the pre-analysis in: "
@@ -144,7 +161,6 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 print(f"join cache      : {sched.join_cache_hits}/{total} "
                       f"hits ({100 * sched.join_cache_hit_rate:.0f}%)")
 
-    exit_code = EXIT_OK
     if args.domain == "interval":
         for name in args.check:
             reports = run_checker(name, run.program, run.result, telemetry=tel)
@@ -204,8 +220,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             kill_worker_at=args.fault_kill_at,
             corrupt_checkpoint=args.fault_corrupt_checkpoint,
         )
+    options = {}
+    if args.cpp:
+        options["preprocess_source"] = True
+    if args.strict_frontend:
+        options["strict_frontend"] = True
     jobs = [
-        BatchJob(path=path, domain=args.domain, mode=args.mode, faults=faults)
+        BatchJob(path=path, domain=args.domain, mode=args.mode,
+                 options=dict(options), faults=faults)
         for path in args.files
     ]
     with raising_signal_handlers():
@@ -292,6 +314,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run the mini preprocessor (#define/#if/#include) first",
     )
     p_analyze.add_argument(
+        "--strict-frontend", action="store_true",
+        help="fail fast on the first frontend error instead of recovering "
+        "with diagnostics and per-function quarantine",
+    )
+    p_analyze.add_argument(
         "--inline", action="store_true",
         help="inline small non-recursive callees before analysis "
         "(bounded context sensitivity)",
@@ -340,6 +367,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_batch.add_argument(
         "--mode", choices=["sparse", "base", "vanilla"], default="sparse"
+    )
+    p_batch.add_argument(
+        "--cpp", action="store_true",
+        help="run the mini preprocessor on each file first (needed for "
+        "sources that carry #define/#include lines, e.g. examples/corpus)",
+    )
+    p_batch.add_argument(
+        "--strict-frontend", action="store_true",
+        help="fail fast on the first frontend error instead of recovering; "
+        "poisoned files then count as failed, not degraded",
     )
     p_batch.add_argument(
         "--checkpoint-dir", default=".repro-checkpoints", metavar="DIR",

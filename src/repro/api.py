@@ -40,6 +40,7 @@ from repro.checkers.overrun import AccessReport, check_overruns
 from repro.domains.absloc import AbsLoc, VarLoc
 from repro.domains.interval import Interval
 from repro.domains.value import AbsValue
+from repro.frontend.errors import DiagnosticBag
 from repro.ir.program import Program, build_program
 from repro.runtime.budget import Budget
 from repro.runtime.degrade import Diagnostics, preanalysis_table
@@ -77,6 +78,10 @@ class AnalysisRun:
     #: the telemetry registry the run reported into (the shared no-op
     #: singleton unless ``analyze(..., telemetry=...)`` was given one)
     telemetry: Telemetry = field(default=NULL_TELEMETRY, repr=False)
+    #: recovered frontend problems (lex/parse/lowering errors plus
+    #: quarantine notes); empty under ``strict_frontend=True`` or when the
+    #: input parsed cleanly
+    frontend_diagnostics: DiagnosticBag = field(default_factory=DiagnosticBag)
     #: memo for :meth:`_reaching_lookup` — repeated checker queries walk the
     #: same predecessor chains over and over; one entry per (node, key)
     _lookup_cache: dict = field(
@@ -90,6 +95,18 @@ class AnalysisRun:
         """The main fixpoint's :class:`~repro.analysis.schedule.SchedulerStats`
         (None for pre-analysis-only results)."""
         return getattr(self.result, "scheduler_stats", None)
+
+    @property
+    def quarantined(self) -> dict[str, str]:
+        """Functions replaced by havoc stubs, with their soundness notes."""
+        return self.program.quarantined
+
+    def coverage(self) -> tuple[int, int]:
+        """``(analyzed, quarantined)`` function counts for this run."""
+        return (
+            len(self.program.analyzed_functions()),
+            len(self.program.quarantined),
+        )
 
     def _reaching_lookup(self, nid: int, key) -> object | None:
         """Join of the nearest states (backward over the control graph)
@@ -248,6 +265,7 @@ def analyze(
     checkpoint_path: str | None = None,
     checkpoint_every: int = 200,
     resume: bool = False,
+    strict_frontend: bool = False,
     **options,
 ) -> AnalysisRun:
     """Parse, lower, and analyze C-subset ``source``.
@@ -290,28 +308,45 @@ def analyze(
     converges to the same fixpoint as an uninterrupted one. Incompatible
     with ``fallback`` (a ladder re-runs stages; a snapshot belongs to
     exactly one engine configuration).
+
+    Frontend fault tolerance (ISSUE 6): by default malformed input is
+    *recovered* — lex/parse/lowering errors become positioned caret
+    diagnostics on ``run.frontend_diagnostics``, functions whose bodies
+    cannot be parsed or lowered are quarantined behind sound havoc stubs
+    (``run.quarantined``), and every clean function is still analyzed. A
+    file with **zero** recoverable functions raises
+    :class:`~repro.frontend.errors.FrontendError` (one hard failure,
+    carrying the first diagnostic). ``strict_frontend=True`` opts back
+    into historical fail-fast parsing.
     """
     if on_budget not in ("fail", "degrade"):
         raise ValueError(f"on_budget must be 'fail' or 'degrade', not {on_budget!r}")
     tel = Telemetry.coerce(telemetry)
+    bag = DiagnosticBag() if not strict_frontend else None
     with tel.span("frontend", file=filename) as front_span:
         if preprocess_source:
             from repro.frontend.preprocessor import preprocess
 
-            source = preprocess(source, filename)
+            source = preprocess(source, filename, diagnostics=bag)
         if inline:
             from repro.frontend import parse
             from repro.frontend.inliner import inline_unit
             from repro.ir.program import ProgramBuilder
 
-            unit, _count = inline_unit(parse(source, filename))
-            program = ProgramBuilder(unit).build()
+            unit, _count = inline_unit(parse(source, filename, bag))
+            program = ProgramBuilder(unit, diagnostics=bag).build()
         else:
-            program = build_program(source, filename, telemetry=tel)
+            program = build_program(
+                source, filename, telemetry=tel, diagnostics=bag
+            )
         front_span.set(
             procedures=program.num_functions(),
             control_points=program.num_statements(),
         )
+    if bag is not None and bag.errors() and not program.analyzed_functions():
+        # Recovery found nothing analyzable: this is the one hard-failure
+        # case of the recovery contract (everything else degrades).
+        raise bag.to_error(f"no recoverable functions in {filename}")
     pre = run_preanalysis(program, telemetry=tel)
 
     resolved_budget = Budget.coerce(
@@ -397,7 +432,14 @@ def analyze(
                 f"{resume_payload['iterations']}"
             )
         return AnalysisRun(
-            program, pre, domain, mode, result, diagnostics, telemetry=tel
+            program,
+            pre,
+            domain,
+            mode,
+            result,
+            diagnostics,
+            telemetry=tel,
+            frontend_diagnostics=bag if bag is not None else DiagnosticBag(),
         )
     assert last_exc is not None
     raise last_exc

@@ -1,26 +1,46 @@
 """C-subset frontend: lexer, parser, AST, the small C type system, the
-mini preprocessor, and the AST inliner."""
+mini preprocessor, and the AST inliner.
 
-from repro.frontend.errors import FrontendError, LexError, ParseError, Position
+Error recovery: every stage accepts an optional
+:class:`~repro.frontend.errors.DiagnosticBag`; with one attached, malformed
+input is recorded as positioned caret diagnostics and processing continues
+(panic-mode synchronization at top level, per-function quarantine for
+unparseable bodies) instead of raising on the first problem.
+"""
+
+from repro.frontend.errors import (
+    Diagnostic,
+    DiagnosticBag,
+    FrontendError,
+    LexError,
+    ParseError,
+    Position,
+    caret_snippet,
+)
 from repro.frontend.lexer import Token, TokenKind, tokenize
 from repro.frontend.parser import parse
 
 
-def preprocess(source: str, filename: str = "<input>", defines=None) -> str:
+def preprocess(source: str, filename: str = "<input>", defines=None,
+               diagnostics=None, include_dirs=()) -> str:
     """Shorthand for :func:`repro.frontend.preprocessor.preprocess`
     (imported lazily; most callers feed already-preprocessed code)."""
     from repro.frontend.preprocessor import preprocess as _pp
 
-    return _pp(source, filename, defines)
+    return _pp(source, filename, defines,
+               diagnostics=diagnostics, include_dirs=include_dirs)
 
 
 __all__ = [
+    "Diagnostic",
+    "DiagnosticBag",
     "FrontendError",
     "LexError",
     "ParseError",
     "Position",
     "Token",
     "TokenKind",
+    "caret_snippet",
     "tokenize",
     "parse",
     "preprocess",

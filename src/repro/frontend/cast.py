@@ -261,6 +261,9 @@ class FuncDef(Node):
     body: Compound
     variadic: bool = False
     is_static: bool = False
+    #: body failed to parse (or lower) under error recovery — ``body`` is
+    #: empty and IR lowering substitutes a sound havoc stub
+    quarantined: bool = False
 
 
 @dataclass

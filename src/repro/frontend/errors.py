@@ -5,11 +5,19 @@ its subclasses) carrying a source :class:`Position` so callers can point at
 the offending token. ``FrontendError`` is part of the package-wide
 :class:`repro.runtime.errors.ReproError` hierarchy, so ``except ReproError``
 catches frontend and analysis failures alike.
+
+Fault tolerance (ISSUE 6): the frontend no longer has to die on the first
+malformed construct. Callers that pass a :class:`DiagnosticBag` into the
+lexer/parser/preprocessor get *panic-mode recovery* — every error is
+recorded as a positioned :class:`Diagnostic` (rendered with the offending
+source line and a ``^`` caret) and the frontend keeps going, so one bad
+declaration no longer kills a whole translation unit. Without a bag the
+historical fail-fast behaviour is preserved exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.runtime.errors import ReproError
 
@@ -26,13 +34,44 @@ class Position:
         return f"{self.filename}:{self.line}:{self.column}"
 
 
-class FrontendError(ReproError):
-    """Base class for all lexing/parsing/typing errors."""
+def caret_snippet(source_line: str, column: int) -> str:
+    """Render ``source_line`` with a ``^`` caret under ``column`` (1-based).
 
-    def __init__(self, message: str, pos: Position | None = None) -> None:
+    Tabs in the prefix are preserved in the caret line so the marker stays
+    visually aligned in terminals that expand tabs.
+    """
+    prefix = source_line[: max(column - 1, 0)]
+    pad = "".join("\t" if ch == "\t" else " " for ch in prefix)
+    return f"  {source_line}\n  {pad}^"
+
+
+class FrontendError(ReproError):
+    """Base class for all lexing/parsing/typing errors.
+
+    When the offending ``source_line`` is known, ``str(exc)`` renders a
+    caret diagnostic::
+
+        file.c:3:13: error: expected ';', found '}'
+          int x = 1 }
+                    ^
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pos: Position | None = None,
+        source_line: str | None = None,
+    ) -> None:
         self.message = message
         self.pos = pos or Position()
+        self.source_line = source_line
         super().__init__(f"{self.pos}: {message}")
+
+    def __str__(self) -> str:
+        head = f"{self.pos}: error: {self.message}"
+        if self.source_line is None:
+            return head
+        return head + "\n" + caret_snippet(self.source_line, self.pos.column)
 
 
 class LexError(FrontendError):
@@ -45,3 +84,117 @@ class ParseError(FrontendError):
 
 class LoweringError(FrontendError):
     """A well-formed AST uses a construct the IR lowering does not support."""
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One recovered frontend problem: where, what, and how bad.
+
+    ``severity`` is ``"error"`` for recovered lex/parse/preprocess/lowering
+    failures and ``"note"`` for informational records (e.g. the soundness
+    note attached when a function is quarantined). ``kind`` names the stage
+    that produced it (``lex``, ``parse``, ``preprocess``, ``lowering``,
+    ``quarantine``).
+    """
+
+    message: str
+    pos: Position = field(default_factory=Position)
+    kind: str = "parse"
+    severity: str = "error"
+    source_line: str | None = None
+
+    def __str__(self) -> str:
+        head = f"{self.pos}: {self.severity}: {self.message}"
+        if self.source_line is None or self.severity != "error":
+            return head
+        return head + "\n" + caret_snippet(self.source_line, self.pos.column)
+
+
+class DiagnosticBag:
+    """An accumulator for recovered frontend diagnostics.
+
+    Passing a bag into the lexer/parser/preprocessor switches them from
+    fail-fast to panic-mode recovery: problems are appended here (in source
+    order) instead of raised, and processing continues past them.
+    """
+
+    def __init__(self) -> None:
+        self.diagnostics: list[Diagnostic] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def add(self, diag: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diag)
+        return diag
+
+    def error(
+        self,
+        message: str,
+        pos: Position | None = None,
+        kind: str = "parse",
+        source_line: str | None = None,
+    ) -> Diagnostic:
+        return self.add(
+            Diagnostic(message, pos or Position(), kind, "error", source_line)
+        )
+
+    def note(
+        self,
+        message: str,
+        pos: Position | None = None,
+        kind: str = "quarantine",
+    ) -> Diagnostic:
+        return self.add(Diagnostic(message, pos or Position(), kind, "note"))
+
+    def record_exception(self, exc: FrontendError, kind: str) -> Diagnostic:
+        """Record a caught :class:`FrontendError` as a diagnostic."""
+        return self.add(
+            Diagnostic(exc.message, exc.pos, kind, "error", exc.source_line)
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    def notes(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "note"]
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.errors())
+
+    def render(self) -> str:
+        """All diagnostics, caret snippets included, one block per entry."""
+        return "\n".join(str(d) for d in self.diagnostics)
+
+    def summary(self) -> str:
+        errors = len(self.errors())
+        notes = len(self.notes())
+        parts = [f"{errors} error{'s' if errors != 1 else ''}"]
+        if notes:
+            parts.append(f"{notes} note{'s' if notes != 1 else ''}")
+        return ", ".join(parts)
+
+    def to_error(self, context: str = "") -> FrontendError:
+        """Collapse the bag into one raisable :class:`FrontendError`.
+
+        Used for the hard-failure path (a file with zero recoverable
+        functions): the first error's position and source line lead, and
+        the total count is appended so nothing is silently dropped.
+        """
+        errors = self.errors()
+        if not errors:
+            return FrontendError(context or "frontend failed")
+        first = errors[0]
+        message = first.message
+        if context:
+            message = f"{context}: {message}"
+        if len(errors) > 1:
+            message += f" (+{len(errors) - 1} more diagnostics)"
+        return FrontendError(message, first.pos, first.source_line)

@@ -206,6 +206,9 @@ class Inliner:
                 if f.name not in taken
                 and f.name not in recursive
                 and not f.variadic
+                # a quarantined body is an *empty placeholder*, not the real
+                # code — inlining it would silently erase the havoc stub
+                and not f.quarantined
                 and _count_stmts(f.body) <= self.max_stmts
             }
             if not candidates:

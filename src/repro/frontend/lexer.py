@@ -9,15 +9,25 @@ The lexer produces a flat list of :class:`Token` objects. It understands:
 * ``//`` and ``/* */`` comments (skipped),
 * preprocessor lines (a leading ``#`` skips to end of line) — benchmark
   sources are expected to be pre-expanded, mirroring the paper's setup where
-  programs are analyzed "after preprocessing and macro expansion".
+  programs are analyzed "after preprocessing and macro expansion". GNU-style
+  linemarkers (``# 12 "file.h"``) *are* interpreted: they reset the
+  line/filename the lexer stamps onto subsequent tokens, which is how the
+  mini preprocessor keeps positions exact across ``#include`` expansion.
+
+Error recovery: constructed with a :class:`DiagnosticBag`, the lexer
+records malformed input as positioned diagnostics and keeps scanning
+(skipping the offending character, or closing an unterminated literal at
+the end of its line) instead of raising on the first problem. Without a
+bag the historical fail-fast behaviour is unchanged.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from enum import Enum, auto
 
-from repro.frontend.errors import LexError, Position
+from repro.frontend.errors import DiagnosticBag, LexError, Position
 
 
 class TokenKind(Enum):
@@ -108,6 +118,9 @@ _ESCAPES = {
     "v": "\v",
 }
 
+#: GNU linemarker / ``#line`` directive: ``# 12 "file"`` or ``#line 12``.
+_LINEMARKER = re.compile(r"#\s*(?:line\s+)?(\d+)(?:\s+\"([^\"]*)\")?")
+
 
 @dataclass(frozen=True)
 class Token:
@@ -133,14 +146,25 @@ class Token:
 
 
 class Lexer:
-    """Tokenizes a source string into a list of :class:`Token`."""
+    """Tokenizes a source string into a list of :class:`Token`.
 
-    def __init__(self, source: str, filename: str = "<input>") -> None:
+    With ``diagnostics`` set, lexical errors are recorded and recovered
+    from; without it they raise :class:`LexError` as before.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        filename: str = "<input>",
+        diagnostics: DiagnosticBag | None = None,
+    ) -> None:
         self._src = source
         self._filename = filename
         self._i = 0
         self._line = 1
         self._col = 1
+        self._diags = diagnostics
+        self._lines = source.split("\n")
 
     # -- low-level cursor helpers ------------------------------------------
 
@@ -165,6 +189,34 @@ class Lexer:
     def _at_end(self) -> bool:
         return self._i >= len(self._src)
 
+    def _line_text(self, pos: Position) -> str | None:
+        """The raw source line at ``pos`` (for caret diagnostics).
+
+        Only valid while the lexer is still inside the file it started on
+        (a linemarker retargets positions into another file whose text we
+        do not have).
+        """
+        if pos.filename != self._filename:
+            return None
+        index = pos.line - 1
+        # a linemarker may have shifted line numbers away from raw indices
+        if pos.filename == self._marker_file and self._marker_delta:
+            index -= self._marker_delta
+        if 0 <= index < len(self._lines):
+            return self._lines[index]
+        return None
+
+    #: line-number shift introduced by the last linemarker (see _line_text)
+    _marker_delta: int = 0
+    _marker_file: str = ""
+
+    def _error(self, message: str, pos: Position) -> None:
+        """Raise in strict mode, record and continue in recovery mode."""
+        exc = LexError(message, pos, self._line_text(pos))
+        if self._diags is None:
+            raise exc
+        self._diags.record_exception(exc, "lex")
+
     # -- token scanners -----------------------------------------------------
 
     def tokenize(self) -> list[Token]:
@@ -175,7 +227,9 @@ class Lexer:
             if self._at_end():
                 tokens.append(Token(TokenKind.EOF, "", self._pos()))
                 return tokens
-            tokens.append(self._next_token())
+            tok = self._next_token()
+            if tok is not None:
+                tokens.append(tok)
 
     def _skip_trivia(self) -> None:
         while not self._at_end():
@@ -190,23 +244,43 @@ class Lexer:
                 self._advance(2)
                 while not (self._peek() == "*" and self._peek(1) == "/"):
                     if self._at_end():
-                        raise LexError("unterminated block comment", start)
+                        self._error("unterminated block comment", start)
+                        return
                     self._advance()
                 self._advance(2)
             elif ch == "#" and self._col == 1:
-                # Preprocessor line: skip, honouring line continuations.
-                while not self._at_end():
-                    if self._peek() == "\\" and self._peek(1) == "\n":
-                        self._advance(2)
-                    elif self._peek() == "\n":
-                        self._advance()
-                        break
-                    else:
-                        self._advance()
+                self._skip_directive_line()
             else:
                 return
 
-    def _next_token(self) -> Token:
+    def _skip_directive_line(self) -> None:
+        """Skip a ``#`` line, honouring continuations and linemarkers."""
+        start = self._i
+        while not self._at_end():
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+            elif self._peek() == "\n":
+                break
+            else:
+                self._advance()
+        text = self._src[start : self._i]
+        saw_newline = not self._at_end()
+        if saw_newline:
+            self._advance()  # consume the newline
+        m = _LINEMARKER.match(text)
+        if m is not None:
+            # ``# N "file"``: the *next* line is line N of ``file``. The
+            # delta must be against the *physical* next line (markers are
+            # rare, so counting newlines here is fine), not the possibly
+            # already-marker-shifted line counter.
+            raw_next_line = self._src.count("\n", 0, self._i) + 1
+            self._line = int(m.group(1))
+            if m.group(2) is not None:
+                self._filename = m.group(2)
+            self._marker_file = self._filename
+            self._marker_delta = self._line - raw_next_line
+
+    def _next_token(self) -> Token | None:
         pos = self._pos()
         ch = self._peek()
         if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
@@ -226,6 +300,9 @@ class Lexer:
             while self._peek() and self._peek() in "0123456789abcdefABCDEF":
                 self._advance()
             text = self._src[start : self._i]
+            if text in ("0x", "0X"):
+                self._error("invalid hex literal", pos)
+                return Token(TokenKind.NUMBER, text, pos, 0)
             value: object = int(text, 16)
         else:
             is_float = False
@@ -250,7 +327,11 @@ class Lexer:
             if is_float:
                 value = float(text)
             elif len(text) > 1 and text[0] == "0":
-                value = int(text, 8)
+                try:
+                    value = int(text, 8)
+                except ValueError:
+                    self._error(f"invalid octal literal {text!r}", pos)
+                    value = 0
             else:
                 value = int(text)
         # Integer suffixes are accepted and ignored. (Note: membership
@@ -277,7 +358,8 @@ class Lexer:
             while self._peek() and self._peek() in "0123456789abcdefABCDEF":
                 digits += self._advance()
             if not digits:
-                raise LexError("invalid hex escape", pos)
+                self._error("invalid hex escape", pos)
+                return "?"
             return chr(int(digits, 16) & 0xFF)
         if ch.isdigit():
             digits = ""
@@ -287,7 +369,12 @@ class Lexer:
         if ch in _ESCAPES:
             self._advance()
             return _ESCAPES[ch]
-        raise LexError(f"unknown escape sequence '\\{ch}'", pos)
+        self._error(f"unknown escape sequence '\\{ch}'", pos)
+        # recovery: treat the escaped character literally
+        if not self._at_end() and ch != "\n":
+            self._advance()
+            return ch
+        return "?"
 
     def _scan_char(self, pos: Position) -> Token:
         self._advance()  # opening quote
@@ -295,10 +382,12 @@ class Lexer:
             value = self._scan_escape(pos)
         else:
             if self._at_end() or self._peek() == "\n":
-                raise LexError("unterminated character literal", pos)
+                self._error("unterminated character literal", pos)
+                return Token(TokenKind.CHAR, "'", pos, 0)
             value = self._advance()
         if self._peek() != "'":
-            raise LexError("unterminated character literal", pos)
+            self._error("unterminated character literal", pos)
+            return Token(TokenKind.CHAR, f"'{value}", pos, ord(value))
         self._advance()
         return Token(TokenKind.CHAR, f"'{value}'", pos, ord(value))
 
@@ -307,7 +396,8 @@ class Lexer:
         chars: list[str] = []
         while True:
             if self._at_end() or self._peek() == "\n":
-                raise LexError("unterminated string literal", pos)
+                self._error("unterminated string literal", pos)
+                break
             if self._peek() == '"':
                 self._advance()
                 break
@@ -318,7 +408,7 @@ class Lexer:
         value = "".join(chars)
         return Token(TokenKind.STRING, f'"{value}"', pos, value)
 
-    def _scan_punct(self, pos: Position) -> Token:
+    def _scan_punct(self, pos: Position) -> Token | None:
         for table in (_PUNCTS_3, _PUNCTS_2):
             for p in table:
                 if self._src.startswith(p, self._i):
@@ -328,9 +418,19 @@ class Lexer:
         if ch in _PUNCTS_1:
             self._advance()
             return Token(TokenKind.PUNCT, ch, pos)
-        raise LexError(f"unexpected character {ch!r}", pos)
+        self._error(f"unexpected character {ch!r}", pos)
+        self._advance()  # recovery: drop the offending character
+        return None
 
 
-def tokenize(source: str, filename: str = "<input>") -> list[Token]:
-    """Convenience wrapper: tokenize ``source`` into a token list."""
-    return Lexer(source, filename).tokenize()
+def tokenize(
+    source: str,
+    filename: str = "<input>",
+    diagnostics: DiagnosticBag | None = None,
+) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` into a token list.
+
+    With ``diagnostics``, lexical errors are recorded there and skipped
+    instead of raised.
+    """
+    return Lexer(source, filename, diagnostics).tokenize()

@@ -13,6 +13,23 @@ The grammar covers the language the analyzer handles:
 Type names are the builtin specifiers, ``struct TAG`` and names introduced
 by ``typedef`` — the classic lexer-feedback problem is solved by tracking
 typedef names in the parser state.
+
+Panic-mode error recovery (ISSUE 6): constructed with a
+:class:`DiagnosticBag`, the parser records every :class:`ParseError` as a
+positioned diagnostic and keeps going instead of raising on the first one.
+
+* **Top level** — a malformed declaration synchronizes forward to the next
+  ``;`` or ``}`` at brace depth zero (or the next token that can start a
+  declaration) and parsing resumes there.
+* **Function bodies** — dropping individual statements from a body would
+  be *unsound* (the analysis would reason about a program that skips side
+  effects), so an unparseable body **quarantines the whole function**: the
+  braces are skipped in balance, and the function is kept as a
+  ``FuncDef`` with ``quarantined=True`` and an empty body. IR lowering
+  replaces it with an explicit havoc stub (globals ⊤, return ⊤) so every
+  call boundary stays sound, and a note is recorded in the bag.
+
+Without a bag the historical fail-fast behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -29,8 +46,33 @@ from repro.frontend.ctypes import (
     StructLayout,
     StructType,
 )
-from repro.frontend.errors import ParseError, Position
-from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.errors import DiagnosticBag, ParseError, Position
+from repro.frontend.lexer import _LINEMARKER, Token, TokenKind, tokenize
+
+
+def _source_line_map(
+    lines: list[str], filename: str
+) -> dict[tuple[str, int], int]:
+    """Map ``(filename, line)`` positions to raw indices into ``lines``.
+
+    The preprocessor splices ``#include`` bodies bracketed by GNU
+    linemarkers, so a token's reported position no longer equals its
+    physical index in the text being parsed; this walks the lines once,
+    tracking the markers, so caret diagnostics can recover the text —
+    including lines that physically live in an included header.
+    """
+    mapping: dict[tuple[str, int], int] = {}
+    cur_file, cur_line = filename, 1
+    for idx, text in enumerate(lines):
+        m = _LINEMARKER.match(text)
+        if m is not None:
+            cur_line = int(m.group(1))
+            if m.group(2) is not None:
+                cur_file = m.group(2)
+            continue
+        mapping.setdefault((cur_file, cur_line), idx)
+        cur_line += 1
+    return mapping
 
 _TYPE_KEYWORDS = frozenset(
     {
@@ -57,16 +99,39 @@ _ASSIGN_OPS = frozenset(
     {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
 )
 
+#: combined statement/expression nesting depth bound — deep enough for any
+#: realistic C, shallow enough that fuzzer-made ``((((...`` towers raise a
+#: clean :class:`ParseError` instead of blowing the Python stack
+_MAX_NEST = 64
+
 
 class Parser:
-    """Parses a token stream into a :class:`TranslationUnit`."""
+    """Parses a token stream into a :class:`TranslationUnit`.
 
-    def __init__(self, tokens: list[Token]) -> None:
+    With ``diagnostics`` set, parse errors are recorded and recovered from
+    (panic-mode synchronization at top level, per-function quarantine for
+    bodies); without it they raise :class:`ParseError` as before.
+    ``source_lines`` (the raw input split on newlines) enables caret
+    rendering on every diagnostic.
+    """
+
+    def __init__(
+        self,
+        tokens: list[Token],
+        diagnostics: DiagnosticBag | None = None,
+        source_lines: list[str] | None = None,
+        filename: str = "<input>",
+    ) -> None:
         self._toks = tokens
         self._i = 0
         self._typedefs: dict[str, CType] = {}
         self._structs: dict[str, StructLayout] = {}
         self._enum_consts: dict[str, int] = {}
+        self._diags = diagnostics
+        self._source_lines = source_lines
+        self._filename = filename
+        self._depth = 0
+        self._line_map: dict[tuple[str, int], int] | None = None
 
     # -- token stream helpers ------------------------------------------------
 
@@ -89,20 +154,42 @@ class Parser:
             return self._next()
         return None
 
+    def _line_text(self, pos: Position) -> str | None:
+        if self._source_lines is None:
+            return None
+        if self._line_map is None:
+            self._line_map = _source_line_map(self._source_lines, self._filename)
+        idx = self._line_map.get((pos.filename, pos.line))
+        return self._source_lines[idx] if idx is not None else None
+
+    def _error(self, message: str, pos: Position) -> ParseError:
+        """Build (not raise) a caret-capable :class:`ParseError`."""
+        return ParseError(message, pos, self._line_text(pos))
+
     def _expect(self, text: str) -> Token:
         tok = self._peek()
         if not self._at(text):
-            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.pos)
+            raise self._error(f"expected {text!r}, found {tok.text!r}", tok.pos)
         return self._next()
 
     def _expect_ident(self) -> Token:
         tok = self._peek()
         if tok.kind is not TokenKind.IDENT:
-            raise ParseError(f"expected identifier, found {tok.text!r}", tok.pos)
+            raise self._error(
+                f"expected identifier, found {tok.text!r}", tok.pos
+            )
         return self._next()
 
     def _pos(self) -> Position:
         return self._peek().pos
+
+    def _enter(self) -> None:
+        self._depth += 1
+        if self._depth > _MAX_NEST:
+            raise self._error("construct nested too deeply", self._pos())
+
+    def _leave(self) -> None:
+        self._depth -= 1
 
     # -- type detection -------------------------------------------------------
 
@@ -120,8 +207,61 @@ class Parser:
         unit = A.TranslationUnit(pos=self._pos())
         unit.structs = self._structs
         while self._peek().kind is not TokenKind.EOF:
-            self._parse_external_decl(unit)
+            start = self._i
+            self._depth = 0
+            if self._diags is None:
+                self._parse_external_decl(unit)
+                continue
+            try:
+                self._parse_external_decl(unit)
+            except ParseError as exc:
+                self._diags.record_exception(exc, "parse")
+                self._synchronize(start)
         return unit
+
+    def _synchronize(self, start: int) -> None:
+        """Panic-mode recovery: skip to the next plausible declaration.
+
+        Consumes forward from the error point, tracking brace depth, until
+        just past a ``;`` or ``}`` at depth zero, or just before a token
+        that can start a top-level declaration — whichever comes first. At
+        least one token is always consumed (relative to ``start``) so
+        recovery makes progress.
+        """
+        depth = 0
+        if self._i == start:
+            tok = self._next()  # forced progress — but honour what we ate
+            if tok.is_punct("{"):
+                depth = 1
+            elif tok.is_punct("}") or tok.is_punct(";"):
+                return  # already a synchronization point
+        while self._peek().kind is not TokenKind.EOF:
+            tok = self._peek()
+            if depth == 0 and self._i > start + 1 and self._starts_type():
+                return
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                if depth == 0:
+                    self._next()
+                    return
+                depth -= 1
+            elif tok.is_punct(";") and depth == 0:
+                self._next()
+                return
+            self._next()
+
+    def _skip_balanced_braces(self) -> None:
+        """Consume a ``{``-opened block, balancing nested braces (for
+        quarantined function bodies). Stops at EOF if unbalanced."""
+        self._expect("{")
+        depth = 1
+        while depth and self._peek().kind is not TokenKind.EOF:
+            tok = self._next()
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                depth -= 1
 
     def _parse_external_decl(self, unit: A.TranslationUnit) -> None:
         pos = self._pos()
@@ -149,7 +289,27 @@ class Parser:
                 # the body reuse the declarator machinery and would clobber
                 # the pending-parameter slot.
                 params = self._pending_params or []
-                body = self._parse_compound()
+                body_start = self._i
+                quarantined = False
+                if self._diags is None:
+                    body = self._parse_compound()
+                else:
+                    try:
+                        body = self._parse_compound()
+                    except ParseError as exc:
+                        self._diags.record_exception(exc, "parse")
+                        # Soundness: a body with statements dropped would
+                        # analyze a different program — quarantine instead.
+                        self._i = body_start
+                        self._skip_balanced_braces()
+                        body = A.Compound([], pos=pos)
+                        quarantined = True
+                        self._diags.note(
+                            f"function {name!r} quarantined: body failed to "
+                            "parse; calls are modelled by a havoc stub "
+                            "(globals and return value assumed unknown)",
+                            pos,
+                        )
                 unit.functions.append(
                     A.FuncDef(
                         name=name,
@@ -158,6 +318,7 @@ class Parser:
                         body=body,
                         variadic=ctype.variadic,
                         is_static="static" in storage,
+                        quarantined=quarantined,
                         pos=pos,
                     )
                 )
@@ -229,7 +390,9 @@ class Parser:
             names.append(self._next().text)
         names = [n for n in names if n not in ("const", "volatile")]
         if not names:
-            raise ParseError(f"expected type specifier, found {tok.text!r}", tok.pos)
+            raise self._error(
+                f"expected type specifier, found {tok.text!r}", tok.pos
+            )
         if names == ["void"]:
             return VOID
         return IntType(" ".join(names))
@@ -277,7 +440,7 @@ class Parser:
         expr = self._parse_conditional()
         value = fold_const(expr, self._enum_consts)
         if value is None:
-            raise ParseError("expected integer constant expression", expr.pos)
+            raise self._error("expected integer constant expression", expr.pos)
         return value
 
     # -- declarators -----------------------------------------------------------
@@ -366,6 +529,13 @@ class Parser:
         return A.Compound(body, pos=pos)
 
     def _parse_statement(self) -> A.Stmt:
+        self._enter()
+        try:
+            return self._parse_statement_inner()
+        finally:
+            self._leave()
+
+    def _parse_statement_inner(self) -> A.Stmt:
         pos = self._pos()
         tok = self._peek()
         if self._at("{"):
@@ -508,7 +678,7 @@ class Parser:
                 cases.append(current)
             else:
                 if current is None:
-                    raise ParseError("statement before first case label", self._pos())
+                    raise self._error("statement before first case label", self._pos())
                 current.body.append(self._parse_statement())
         return A.Switch(scrutinee, cases, pos=pos)
 
@@ -589,14 +759,21 @@ class Parser:
                 return left
 
     def _parse_cast(self) -> A.Expr:
-        pos = self._pos()
-        if self._at("(") and self._starts_type(1):
-            self._next()
-            ty = self._parse_abstract_type()
-            self._expect(")")
-            operand = self._parse_cast()
-            return A.Cast(ty, operand, pos=pos)
-        return self._parse_unary()
+        # Every structurally recursive expression path (parenthesized
+        # subexpressions, casts, unary chains) re-enters here, so this is
+        # the one place the expression nesting guard has to live.
+        self._enter()
+        try:
+            pos = self._pos()
+            if self._at("(") and self._starts_type(1):
+                self._next()
+                ty = self._parse_abstract_type()
+                self._expect(")")
+                operand = self._parse_cast()
+                return A.Cast(ty, operand, pos=pos)
+            return self._parse_unary()
+        finally:
+            self._leave()
 
     def _parse_abstract_type(self) -> CType:
         base = self._parse_type_specifier()
@@ -686,7 +863,7 @@ class Parser:
             expr = self._parse_expr()
             self._expect(")")
             return expr
-        raise ParseError(f"expected expression, found {tok.text!r}", pos)
+        raise self._error(f"expected expression, found {tok.text!r}", pos)
 
 
 def _substitute_base(inner: CType, new_base: CType) -> CType:
@@ -742,6 +919,27 @@ def fold_const(expr: A.Expr, env: dict[str, int] | None = None) -> int | None:
     return None
 
 
-def parse(source: str, filename: str = "<input>") -> A.TranslationUnit:
-    """Parse C-subset ``source`` into a :class:`TranslationUnit`."""
-    return Parser(tokenize(source, filename)).parse_translation_unit()
+def parse(
+    source: str,
+    filename: str = "<input>",
+    diagnostics: DiagnosticBag | None = None,
+) -> A.TranslationUnit:
+    """Parse C-subset ``source`` into a :class:`TranslationUnit`.
+
+    With ``diagnostics``, both the lexer and the parser run in panic-mode
+    recovery: all errors land in the bag (with caret snippets) and the
+    returned unit contains every function that could be salvaged —
+    unparseable bodies appear as quarantined ``FuncDef`` stubs.
+    """
+    tokens = tokenize(source, filename, diagnostics)
+    parser = Parser(tokens, diagnostics, source.split("\n"), filename)
+    try:
+        return parser.parse_translation_unit()
+    except RecursionError:
+        # Defence in depth behind the _MAX_NEST guard: whatever overflows
+        # the interpreter stack becomes an ordinary frontend error.
+        exc = ParseError("input nested too deeply to parse", Position(1, 1, filename))
+        if diagnostics is None:
+            raise exc from None
+        diagnostics.record_exception(exc, "parse")
+        return A.TranslationUnit(pos=Position(1, 1, filename))

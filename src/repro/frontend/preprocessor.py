@@ -12,25 +12,39 @@ code can be fed to :func:`repro.frontend.parse` directly:
 * conditional sections: ``#if 0/1``, ``#ifdef``/``#ifndef``/``#else``/
   ``#endif`` (conditions restricted to literals, ``defined(X)`` and
   object-macro names expanding to literals);
-* ``#include`` lines are dropped (external headers are modelled by the
-  analyzer's unknown-function semantics).
+* quoted local includes — ``#include "file.h"`` — are **resolved and
+  spliced in**, relative to the including file (then any ``include_dirs``),
+  with cycle detection and a diagnostic on missing headers. GNU-style
+  linemarkers (``# 1 "file.h"``) bracket the spliced text so the lexer
+  keeps reporting exact line:column positions in the right file;
+* angle-bracket includes (``#include <stdio.h>``) are dropped (system
+  headers are modelled by the analyzer's unknown-function semantics).
 
 It is deliberately *not* a full CPP: no token pasting, stringizing,
 variadic macros, or arithmetic conditional expressions beyond a constant
 fold of ``&& || !`` over the forms above.
+
+Error recovery: with a :class:`DiagnosticBag` attached, malformed
+directives, unbalanced conditionals, and missing/cyclic includes are
+recorded as positioned diagnostics and the offending line is dropped,
+instead of raising on the first problem.
 """
 
 from __future__ import annotations
 
+import os
 import re
 from dataclasses import dataclass
 
-from repro.frontend.errors import FrontendError, Position
+from repro.frontend.errors import DiagnosticBag, FrontendError, Position
 
 
 class PreprocessError(FrontendError):
     """Malformed directive or unbalanced conditional."""
 
+
+#: bound on nested ``#include`` depth (defends against unbounded chains)
+_MAX_INCLUDE_DEPTH = 32
 
 _IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
 _DEFINE_OBJ = re.compile(rf"#\s*define\s+({_IDENT})(?:\s+(.*))?$")
@@ -43,6 +57,7 @@ _ELSE = re.compile(r"#\s*else\b")
 _ELIF = re.compile(r"#\s*elif\s+(.*)$")
 _ENDIF = re.compile(r"#\s*endif\b")
 _INCLUDE = re.compile(r"#\s*include\b")
+_INCLUDE_QUOTED = re.compile(r"#\s*include\s+\"([^\"]+)\"")
 _DEFINED = re.compile(rf"defined\s*\(\s*({_IDENT})\s*\)|defined\s+({_IDENT})")
 
 
@@ -54,16 +69,51 @@ class Macro:
 
 
 class Preprocessor:
-    """Expands the supported directive subset over a source string."""
+    """Expands the supported directive subset over a source string.
 
-    def __init__(self, defines: dict[str, str] | None = None) -> None:
+    With ``diagnostics`` set, preprocessing errors are recorded there and
+    the offending line is dropped; without it they raise
+    :class:`PreprocessError` as before. ``include_dirs`` are extra search
+    roots for quoted includes, tried after the including file's directory.
+    """
+
+    def __init__(
+        self,
+        defines: dict[str, str] | None = None,
+        diagnostics: DiagnosticBag | None = None,
+        include_dirs: tuple[str, ...] | list[str] = (),
+    ) -> None:
         self.macros: dict[str, Macro] = {}
         for name, body in (defines or {}).items():
             self.macros[name] = Macro(name, body)
+        self._diags = diagnostics
+        self._include_dirs = tuple(include_dirs)
+        # absolute paths of files currently being processed (cycle check)
+        self._include_stack: list[str] = []
+
+    def _error(self, message: str, pos: Position, source_line: str | None = None) -> None:
+        """Raise in strict mode, record and continue in recovery mode."""
+        exc = PreprocessError(message, pos, source_line)
+        if self._diags is None:
+            raise exc
+        self._diags.record_exception(exc, "preprocess")
 
     # -- directives ---------------------------------------------------------------
 
     def process(self, source: str, filename: str = "<input>") -> str:
+        return "\n".join(self._process_lines(source, filename)) + "\n"
+
+    def _process_lines(self, source: str, filename: str) -> list[str]:
+        real = os.path.abspath(filename) if not filename.startswith("<") else None
+        if real is not None:
+            self._include_stack.append(real)
+        try:
+            return self._process_lines_inner(source, filename)
+        finally:
+            if real is not None:
+                self._include_stack.pop()
+
+    def _process_lines_inner(self, source: str, filename: str) -> list[str]:
         out: list[str] = []
         # Stack of (taken_now, any_branch_taken) for nested conditionals.
         cond_stack: list[tuple[bool, bool]] = []
@@ -78,19 +128,22 @@ class Preprocessor:
             if stripped.startswith("#"):
                 if m := _ENDIF.match(stripped):
                     if not cond_stack:
-                        raise PreprocessError("#endif without #if", pos)
-                    cond_stack.pop()
+                        self._error("#endif without #if", pos, raw)
+                    else:
+                        cond_stack.pop()
                 elif m := _ELSE.match(stripped):
                     if not cond_stack:
-                        raise PreprocessError("#else without #if", pos)
-                    taken, ever = cond_stack[-1]
-                    cond_stack[-1] = (not ever, True)
+                        self._error("#else without #if", pos, raw)
+                    else:
+                        taken, ever = cond_stack[-1]
+                        cond_stack[-1] = (not ever, True)
                 elif m := _ELIF.match(stripped):
                     if not cond_stack:
-                        raise PreprocessError("#elif without #if", pos)
-                    taken, ever = cond_stack[-1]
-                    now = not ever and self._eval_condition(m.group(1), pos)
-                    cond_stack[-1] = (now, ever or now)
+                        self._error("#elif without #if", pos, raw)
+                    else:
+                        taken, ever = cond_stack[-1]
+                        now = not ever and self._eval_condition(m.group(1), pos)
+                        cond_stack[-1] = (now, ever or now)
                 elif m := _IFDEF.match(stripped):
                     taken = m.group(1) in self.macros
                     cond_stack.append((taken and active(), taken))
@@ -102,8 +155,13 @@ class Preprocessor:
                     cond_stack.append((taken and active(), taken))
                 elif not active():
                     pass  # other directives inside a dead branch
+                elif m := _INCLUDE_QUOTED.match(stripped):
+                    spliced = self._splice_include(m.group(1), filename, lineno, raw)
+                    if spliced is not None:
+                        out.extend(spliced)
+                        continue
                 elif _INCLUDE.match(stripped):
-                    pass  # headers are modelled, not read
+                    pass  # system headers are modelled, not read
                 elif m := _DEFINE_FUN.match(stripped):
                     name, params, body = m.groups()
                     plist = [p.strip() for p in params.split(",")] if params.strip() else []
@@ -114,18 +172,71 @@ class Preprocessor:
                 elif m := _UNDEF.match(stripped):
                     self.macros.pop(m.group(1), None)
                 else:
-                    raise PreprocessError(
-                        f"unsupported directive: {stripped.split()[0]}", pos
+                    self._error(
+                        f"unsupported directive: {stripped.split()[0]}", pos, raw
                     )
                 out.append("")  # keep line numbers aligned
                 continue
             if not active():
                 out.append("")
                 continue
-            out.append(self._expand(line, pos))
+            try:
+                out.append(self._expand(line, pos))
+            except PreprocessError as exc:
+                if self._diags is None:
+                    raise
+                self._diags.record_exception(exc, "preprocess")
+                out.append("")
         if cond_stack:
-            raise PreprocessError("unterminated conditional", Position(1, 1, filename))
-        return "\n".join(out) + "\n"
+            self._error("unterminated conditional", Position(1, 1, filename))
+        return out
+
+    # -- includes -------------------------------------------------------------------
+
+    def _resolve_include(self, name: str, including_file: str) -> str | None:
+        candidates: list[str] = []
+        if os.path.isabs(name):
+            candidates.append(name)
+        if not including_file.startswith("<"):
+            base = os.path.dirname(os.path.abspath(including_file))
+            candidates.append(os.path.join(base, name))
+        candidates.extend(os.path.join(d, name) for d in self._include_dirs)
+        for cand in candidates:
+            if os.path.isfile(cand):
+                return os.path.abspath(cand)
+        return None
+
+    def _splice_include(
+        self, name: str, filename: str, lineno: int, raw: str
+    ) -> list[str] | None:
+        """Resolve and preprocess ``#include "name"``.
+
+        Returns the spliced lines (bracketed by linemarkers so token
+        positions stay exact), or ``None`` if the include could not be
+        read — the caller then emits a blank placeholder line.
+        """
+        pos = Position(lineno, 1, filename)
+        resolved = self._resolve_include(name, filename)
+        if resolved is None:
+            self._error(f'include file not found: "{name}"', pos, raw)
+            return None
+        if resolved in self._include_stack:
+            self._error(f'circular include of "{name}"', pos, raw)
+            return None
+        if len(self._include_stack) >= _MAX_INCLUDE_DEPTH:
+            self._error("includes nested too deeply", pos, raw)
+            return None
+        try:
+            with open(resolved, encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError as exc:
+            self._error(f'cannot read include file "{name}": {exc}', pos, raw)
+            return None
+        spliced = [f'# 1 "{resolved}"']
+        spliced.extend(self._process_lines(text, resolved))
+        # restore position tracking in the including file
+        spliced.append(f'# {lineno + 1} "{filename}"')
+        return spliced
 
     # -- expansion ------------------------------------------------------------------
 
@@ -143,7 +254,12 @@ class Preprocessor:
         try:
             return bool(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307
         except Exception as exc:
-            raise PreprocessError(f"cannot evaluate condition {text!r}", pos) from exc
+            if self._diags is None:
+                raise PreprocessError(
+                    f"cannot evaluate condition {text!r}", pos
+                ) from exc
+            self._error(f"cannot evaluate condition {text!r}", pos)
+            return False  # recovery: treat as false, skip the branch
 
     def _expand(self, line: str, pos: Position, depth: int = 0) -> str:
         if depth > 16:
@@ -240,6 +356,13 @@ def preprocess(
     source: str,
     filename: str = "<input>",
     defines: dict[str, str] | None = None,
+    diagnostics: DiagnosticBag | None = None,
+    include_dirs: tuple[str, ...] | list[str] = (),
 ) -> str:
-    """Preprocess ``source`` with optional predefined macros."""
-    return Preprocessor(defines).process(source, filename)
+    """Preprocess ``source`` with optional predefined macros.
+
+    With ``diagnostics``, preprocessing errors are recorded there instead
+    of raised. Quoted includes resolve relative to ``filename``'s
+    directory, then each of ``include_dirs``.
+    """
+    return Preprocessor(defines, diagnostics, include_dirs).process(source, filename)

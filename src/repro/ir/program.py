@@ -56,6 +56,10 @@ class Program:
     factory: NodeFactory = field(default_factory=NodeFactory)
     global_types: dict[str, CType] = field(default_factory=dict)
     main: str = "main"
+    #: functions whose bodies could not be parsed/lowered under error
+    #: recovery, mapped to the soundness note explaining how calls to them
+    #: are modelled (an explicit havoc stub: globals ⊤, return ⊤)
+    quarantined: dict[str, str] = field(default_factory=dict)
 
     # -- node access -----------------------------------------------------------
 
@@ -85,6 +89,11 @@ class Program:
         """Procedures that have bodies (excluding the synthetic init)."""
         return {p for p in self.cfgs if p != INIT_PROC}
 
+    def analyzed_functions(self) -> set[str]:
+        """Defined functions excluding quarantined havoc stubs — the set
+        the analysis produces real (non-stub) tables for."""
+        return self.defined_functions() - set(self.quarantined)
+
     # -- statistics (Table 1 columns) -------------------------------------------
 
     def num_statements(self) -> int:
@@ -95,11 +104,23 @@ class Program:
 
 
 class ProgramBuilder:
-    """Lowers a :class:`TranslationUnit` into a :class:`Program`."""
+    """Lowers a :class:`TranslationUnit` into a :class:`Program`.
 
-    def __init__(self, unit: A.TranslationUnit, main: str = "main") -> None:
+    With a :class:`~repro.frontend.errors.DiagnosticBag` attached, lowering
+    failures are recovered per function: the offending function is
+    quarantined behind a havoc stub (like bodies that already failed to
+    parse) instead of killing the whole translation unit.
+    """
+
+    def __init__(
+        self,
+        unit: A.TranslationUnit,
+        main: str = "main",
+        diagnostics=None,
+    ) -> None:
         self.unit = unit
         self.main = main
+        self.diagnostics = diagnostics
 
     def build(self, call_orphans: bool = False) -> Program:
         """Lower every function plus the synthetic ``__init`` procedure.
@@ -108,6 +129,8 @@ class ProgramBuilder:
         procedures unreachable from ``main`` are explicitly called from the
         root so they get analyzed.
         """
+        from repro.frontend.errors import FrontendError
+
         program = Program(main=self.main)
         program.structs = dict(self.unit.structs)
         factory = program.factory
@@ -124,6 +147,9 @@ class ProgramBuilder:
             program.global_types[g.name] = ctype
 
         for fn in self.unit.functions:
+            if fn.quarantined:
+                self._build_havoc_stub(program, fn, global_scope, func_names)
+                continue
             lowerer = FunctionLowerer(
                 self.unit,
                 fn.name,
@@ -132,13 +158,84 @@ class ProgramBuilder:
                 program.structs,
                 func_names,
             )
-            cfg, info = lowerer.lower(fn)
+            try:
+                cfg, info = lowerer.lower(fn)
+            except FrontendError as exc:
+                if self.diagnostics is None:
+                    raise
+                # Partial CFG nodes stay in the factory but in no CFG, so
+                # no later phase ever visits them.
+                self.diagnostics.record_exception(exc, "lowering")
+                self.diagnostics.note(
+                    f"function {fn.name!r} quarantined: body failed to "
+                    "lower; calls are modelled by a havoc stub "
+                    "(globals and return value assumed unknown)",
+                    fn.pos,
+                )
+                self._build_havoc_stub(program, fn, global_scope, func_names)
+                continue
             program.cfgs[fn.name] = cfg
             program.proc_infos[fn.name] = info
             program.string_literals.update(lowerer.string_literals)
 
         self._build_init_proc(program, global_scope, func_names, call_orphans)
         return program
+
+    def _build_havoc_stub(
+        self,
+        program: Program,
+        fn: A.FuncDef,
+        global_scope: Scope,
+        func_names: set[str],
+    ) -> None:
+        """Replace a quarantined function with an explicit havoc stub.
+
+        The stub is the sound over-approximation of an arbitrary body over
+        the modelled state: every global is assumed unknown (⊤) and so is
+        the return value, so calls into the quarantine stay conservative.
+        Parameters are registered normally so argument binding at call
+        sites keeps working.
+        """
+        from repro.frontend.ctypes import PointerType
+        from repro.ir.commands import CEntry, CExit, CReturn
+
+        lowerer = FunctionLowerer(
+            self.unit,
+            fn.name,
+            program.factory,
+            global_scope,
+            program.structs,
+            func_names,
+        )
+        cfg, info = lowerer.cfg, lowerer.info
+        info.ret_type = fn.ret_type
+        info.variadic = fn.variadic
+        entry = cfg.add_node(CEntry(fn.name), fn.pos.line)
+        cfg.entry = entry
+        lowerer._frontier = [entry]
+        for p in fn.params:
+            slot = p.name or lowerer._fresh_temp("arg").name
+            ptype = p.ctype
+            if isinstance(ptype, ArrayType):
+                ptype = PointerType(ptype.element)
+            lowerer.scope.bind(p.name, slot, ptype)
+            info.params.append(slot)
+            info.var_types[slot] = ptype
+        havoc = EUnknown(f"quarantine:{fn.name}")
+        for gname in program.global_types:
+            lowerer._emit(CSet(VarLv(gname, None), havoc), fn.pos.line)
+        lowerer._emit(CReturn(havoc), fn.pos.line)
+        exit_node = cfg.add_node(CExit(fn.name), fn.pos.line)
+        for f in lowerer._frontier + lowerer._returns:
+            cfg.add_edge(f, exit_node)
+        cfg.exit = exit_node
+        program.cfgs[fn.name] = cfg
+        program.proc_infos[fn.name] = info
+        program.quarantined[fn.name] = (
+            "calls are modelled by a havoc stub: all globals and the "
+            "return value are assumed unknown (sound for the modelled "
+            "state; unmodelled effects of the real body are lost)"
+        )
 
     def _build_init_proc(
         self,
@@ -242,22 +339,34 @@ def build_program(
     main: str = "main",
     call_orphans: bool = False,
     telemetry=None,
+    diagnostics=None,
 ) -> Program:
     """Parse and lower C-subset ``source`` into a whole-program IR.
 
     With a :class:`repro.telemetry.Telemetry` registry attached, the two
     frontend stages are traced as ``parse``/``lower`` spans (nested under
     the caller's ``frontend`` phase span) with size counters.
+
+    With a :class:`~repro.frontend.errors.DiagnosticBag`, the frontend runs
+    in panic-mode recovery: lex/parse/lowering errors are recorded in the
+    bag, unparseable or unlowerable functions are quarantined behind havoc
+    stubs (named in ``program.quarantined``), and every clean function
+    still reaches the analysis.
     """
     from repro.telemetry.core import Telemetry
 
     tel = Telemetry.coerce(telemetry)
     with tel.span("parse", category="frontend", file=filename) as sp:
-        unit = parse(source, filename)
+        unit = parse(source, filename, diagnostics)
         sp.set(functions=len(unit.functions))
     with tel.span("lower", category="frontend"):
-        program = ProgramBuilder(unit, main).build(call_orphans=call_orphans)
+        program = ProgramBuilder(unit, main, diagnostics).build(
+            call_orphans=call_orphans
+        )
     tel.count("frontend.source_lines", source.count("\n") + 1)
     tel.count("frontend.procedures", program.num_functions())
     tel.count("frontend.control_points", program.num_statements())
+    if diagnostics is not None:
+        tel.count("frontend.diagnostics", len(diagnostics.errors()))
+        tel.count("frontend.quarantined", len(program.quarantined))
     return program

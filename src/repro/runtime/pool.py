@@ -22,7 +22,11 @@ subprocess worker and supervises the fleet:
   a poisoned snapshot.
 
 Each job ends in exactly one outcome — ``ok``, ``degraded``,
-``resumed×k``, or ``failed`` — and the driver aggregates worker telemetry
+``resumed×k``, or ``failed``. Frontend-poisoned files that *recover*
+(malformed declarations skipped, unparseable functions quarantined behind
+havoc stubs) finish ``degraded`` with their diagnostic count and
+quarantine list attached; only a file with zero recoverable functions is
+a permanent failure. The driver aggregates worker telemetry
 counters (``checkpoint.writes``, ``checkpoint.bytes``) plus its own
 (``worker.retries``, ``worker.restores``) into the supervising registry.
 
@@ -80,6 +84,12 @@ class JobOutcome:
     resumed: int = 0
     retries: int = 0
     alarms: int = 0
+    #: functions replaced by havoc stubs after frontend recovery
+    quarantined: list[str] = field(default_factory=list)
+    #: recovered frontend error diagnostics (count)
+    diagnostics: int = 0
+    #: functions the analysis actually covered (defined minus quarantined)
+    functions: int = 0
     error: str | None = None
     #: per-retry causes ("crash(exit -9)", "timeout", "heartbeat")
     causes: list[str] = field(default_factory=list)
@@ -113,7 +123,8 @@ class BatchReport:
     def exit_code(self) -> int:
         if any(o.status == "failed" for o in self.outcomes):
             return 2
-        if any(o.alarms for o in self.outcomes):
+        # recovered frontend diagnostics share the alarm exit path
+        if any(o.alarms or o.diagnostics for o in self.outcomes):
             return 1
         return 0
 
@@ -129,9 +140,16 @@ class BatchReport:
         width = max((len(os.path.basename(o.path)) for o in self.outcomes), default=4)
         lines = [f"{'file':<{width}}  {'outcome':<12} {'tries':>5} {'alarms':>6}  note"]
         for o in self.outcomes:
-            note = o.error or (
-                "; ".join(o.causes) if o.causes else ""
-            )
+            parts = []
+            if o.error:
+                parts.append(o.error)
+            elif o.causes:
+                parts.append("; ".join(o.causes))
+            if o.diagnostics:
+                parts.append(f"{o.diagnostics} frontend diagnostics")
+            if o.quarantined:
+                parts.append("quarantined: " + ", ".join(o.quarantined))
+            note = "; ".join(parts)
             lines.append(
                 f"{os.path.basename(o.path):<{width}}  {o.label:<12} "
                 f"{o.attempts:>5} {o.alarms:>6}  {note}"
@@ -224,7 +242,12 @@ def _worker_main(spec: dict, ckpt_path: str, result_path: str, attempt: int,
         result["alarms"] = _count_alarms(run)
         degraded = list(run.diagnostics.degraded_procs)
         result["degraded_procs"] = degraded
-        if degraded:
+        result["quarantined"] = sorted(run.quarantined)
+        result["diagnostics"] = len(run.frontend_diagnostics.errors())
+        result["functions"] = len(run.program.analyzed_functions())
+        # Frontend-poisoned inputs that still recovered are *degraded*,
+        # not failed: every clean function was analyzed.
+        if degraded or result["quarantined"] or result["diagnostics"]:
             result["status"] = "degraded"
     except AnalysisInterrupted:
         raise  # die without a result file: the supervisor retries us
@@ -415,6 +438,9 @@ def run_batch(
         if result.get("restore_error"):
             outcome.restore_errors.append(result["restore_error"])
         outcome.alarms = int(result.get("alarms") or 0)
+        outcome.quarantined = list(result.get("quarantined") or [])
+        outcome.diagnostics = int(result.get("diagnostics") or 0)
+        outcome.functions = int(result.get("functions") or 0)
         outcome.counters = result.get("counters") or {}
         for name, value in outcome.counters.items():
             if isinstance(value, int):

@@ -1,0 +1,87 @@
+"""The real-corpus recovery harness (ISSUE 6)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.corpus import (
+    DEFAULT_CORPUS,
+    CorpusReport,
+    CorpusRow,
+    main,
+    run_corpus,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+CORPUS = Path(DEFAULT_CORPUS)
+
+
+def test_default_corpus_exists_and_is_messy():
+    files = sorted(CORPUS.glob("*.c"))
+    assert len(files) >= 5
+    assert (CORPUS / "corpus_defs.h").exists()
+    # at least one file must be poisoned on purpose
+    assert any("<<<<<<<" in f.read_text() for f in files)
+
+
+class TestReportShape:
+    def _report(self):
+        rows = [
+            CorpusRow("a.c", 10, 3, [], 0, 0, "ok"),
+            CorpusRow("b.c", 20, 2, ["f"], 3, 1, "degraded"),
+        ]
+        return CorpusReport(rows=rows, elapsed=0.5)
+
+    def test_aggregates(self):
+        report = self._report()
+        assert report.analyzed_functions == 5
+        assert report.quarantined_functions == 1
+        assert report.coverage == pytest.approx(5 / 6)
+        assert report.recovered_files == 1
+        assert report.poisoned_files == 1
+        assert report.exit_code == 0
+
+    def test_failed_file_fails_the_harness(self):
+        report = self._report()
+        report.rows.append(CorpusRow("c.c", 5, 0, [], 2, 0, "failed", "boom"))
+        assert report.exit_code == 2
+
+    def test_text_and_dict_round_trip(self):
+        report = self._report()
+        text = report.text()
+        assert "b.c" in text and "degraded (f)" in text
+        data = report.as_dict()
+        assert data["coverage"] == pytest.approx(5 / 6)
+        assert json.dumps(data)  # JSON-serializable
+
+
+def test_corpus_end_to_end(tmp_path):
+    """One real run over two corpus files: a clean one and a poisoned one."""
+    files = [
+        str(CORPUS / "gzip_window.c"),
+        str(CORPUS / "wc_count.c"),
+    ]
+    report = run_corpus(files, str(tmp_path / "ckpt"))
+    by_name = {r.file: r for r in report.rows}
+    assert by_name["gzip_window.c"].status == "ok"
+    assert by_name["wc_count.c"].status == "degraded"
+    assert by_name["wc_count.c"].quarantined == ["report_totals"]
+    assert by_name["wc_count.c"].diagnostics >= 1
+    assert report.exit_code == 0
+
+
+def test_main_writes_json(tmp_path):
+    out = tmp_path / "corpus.json"
+    code = main(
+        [
+            str(CORPUS / "gzip_window.c"),
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--json", str(out),
+        ]
+    )
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert data["rows"][0]["file"] == "gzip_window.c"

@@ -135,3 +135,105 @@ int main(void) {
         run = analyze(text)
         reports = run.overrun_reports()
         assert all(r.verdict.value != "alarm" for r in reports)
+
+
+class TestQuotedIncludes:
+    """#include "file.h" resolution (ISSUE 6): relative to the including
+    file, cycle detection, linemarker-exact positions, recovery mode."""
+
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_resolved_relative_to_including_file(self, tmp_path):
+        self._write(tmp_path, "defs.h", "#define CAP 8\nint shared;\n")
+        main = self._write(
+            tmp_path, "main.c", '#include "defs.h"\nint a[CAP];\n'
+        )
+        out = preprocess(main.read_text(), str(main))
+        assert "int shared;" in out
+        assert "int a[8];" in out
+
+    def test_include_dirs_searched_after_local(self, tmp_path):
+        incdir = tmp_path / "include"
+        incdir.mkdir()
+        (incdir / "lib.h").write_text("#define FROM_DIR 3\n")
+        main = self._write(tmp_path, "main.c", '#include "lib.h"\nint x = FROM_DIR;\n')
+        out = preprocess(
+            main.read_text(), str(main), include_dirs=[str(incdir)]
+        )
+        assert "int x = 3;" in out
+
+    def test_missing_header_strict_raises(self, tmp_path):
+        main = self._write(tmp_path, "main.c", '#include "gone.h"\nint x;\n')
+        with pytest.raises(PreprocessError, match="not found"):
+            preprocess(main.read_text(), str(main))
+
+    def test_missing_header_recovery_records_diagnostic(self, tmp_path):
+        from repro.frontend.errors import DiagnosticBag
+
+        main = self._write(tmp_path, "main.c", '#include "gone.h"\nint x;\n')
+        bag = DiagnosticBag()
+        out = preprocess(main.read_text(), str(main), diagnostics=bag)
+        assert "int x;" in out
+        (diag,) = bag.errors()
+        assert diag.kind == "preprocess" and "gone.h" in diag.message
+
+    def test_cycle_detected(self, tmp_path):
+        self._write(tmp_path, "a.h", '#include "b.h"\nint a_var;\n')
+        self._write(tmp_path, "b.h", '#include "a.h"\nint b_var;\n')
+        main = self._write(tmp_path, "main.c", '#include "a.h"\nint x;\n')
+        from repro.frontend.errors import DiagnosticBag
+
+        with pytest.raises(PreprocessError, match="circular"):
+            preprocess(main.read_text(), str(main))
+        bag = DiagnosticBag()
+        out = preprocess(main.read_text(), str(main), diagnostics=bag)
+        # both headers' contents survive; only the back-edge is dropped
+        assert "int a_var;" in out and "int b_var;" in out
+        assert any("circular" in d.message for d in bag.errors())
+
+    def test_linemarkers_keep_positions_exact(self, tmp_path):
+        self._write(tmp_path, "defs.h", "int h1;\nint h2;\n")
+        main = self._write(
+            tmp_path,
+            "main.c",
+            '#include "defs.h"\nint ok;\nint @@bad;\n',
+        )
+        from repro.frontend.errors import DiagnosticBag
+
+        bag = DiagnosticBag()
+        out = preprocess(main.read_text(), str(main), diagnostics=bag)
+        from repro.frontend import tokenize
+
+        tokenize(out, str(main), bag)
+        diag = next(d for d in bag.errors() if "@" in d.message)
+        assert diag.pos.line == 3  # position in main.c, not in the splice
+        assert diag.pos.filename == str(main)
+        assert diag.source_line == "int @@bad;"
+
+    def test_error_inside_header_points_into_header(self, tmp_path):
+        hdr = self._write(tmp_path, "defs.h", "int fine;\nint $oops;\n")
+        main = self._write(tmp_path, "main.c", '#include "defs.h"\nint x;\n')
+        from repro.frontend import tokenize
+        from repro.frontend.errors import DiagnosticBag
+
+        bag = DiagnosticBag()
+        out = preprocess(main.read_text(), str(main), diagnostics=bag)
+        tokenize(out, str(main), bag)
+        (diag,) = bag.errors()
+        assert diag.pos.filename == str(hdr)
+        assert diag.pos.line == 2
+
+    def test_angle_includes_still_dropped(self, tmp_path):
+        out = preprocess("#include <stdio.h>\nint x;\n")
+        assert "stdio" not in out and "int x;" in out
+
+    def test_macros_from_header_visible_after_include(self, tmp_path):
+        self._write(tmp_path, "m.h", "#define TWICE(x) ((x) * 2)\n")
+        main = self._write(
+            tmp_path, "main.c", '#include "m.h"\nint y = TWICE(4);\n'
+        )
+        out = preprocess(main.read_text(), str(main))
+        assert "int y = ((4) * 2);" in out

@@ -1,0 +1,178 @@
+"""Panic-mode frontend recovery (ISSUE 6).
+
+With a :class:`DiagnosticBag` attached, the lexer and parser must survive
+malformed input: every injected error becomes a positioned caret
+diagnostic, clean declarations around the damage still parse, and only a
+file with zero recoverable functions is a hard failure. Without a bag the
+historical fail-fast behaviour must be unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import analyze
+from repro.frontend import parse, tokenize
+from repro.frontend.errors import (
+    DiagnosticBag,
+    FrontendError,
+    LexError,
+    ParseError,
+    Position,
+    caret_snippet,
+)
+
+
+class TestCaretRendering:
+    def test_caret_under_column(self):
+        snippet = caret_snippet("int x = @;", 9)
+        line, caret = snippet.split("\n")
+        assert line == "  int x = @;"
+        assert caret == "  " + " " * 8 + "^"
+
+    def test_caret_preserves_tabs(self):
+        snippet = caret_snippet("\tint y;", 2)
+        caret = snippet.split("\n")[1]
+        assert caret == "  \t^"
+
+    def test_frontend_error_str_renders_caret(self):
+        exc = ParseError("expected ';'", Position(3, 5, "f.c"), "int x = 1")
+        text = str(exc)
+        assert text.startswith("f.c:3:5: error: expected ';'")
+        assert "^" in text
+
+    def test_frontend_error_str_without_source_line(self):
+        exc = ParseError("oops", Position(1, 1, "f.c"))
+        assert str(exc) == "f.c:1:1: error: oops"
+
+
+class TestLexerRecovery:
+    def test_strict_mode_still_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int @ x;")
+
+    def test_bad_character_recorded_and_skipped(self):
+        bag = DiagnosticBag()
+        toks = tokenize("int @ x;", "f.c", bag)
+        assert [t.text for t in toks[:-1]] == ["int", "x", ";"]
+        (diag,) = bag.errors()
+        assert diag.kind == "lex"
+        assert diag.pos.column == 5
+        assert "^" in str(diag)
+
+    def test_unterminated_string_closed_at_newline(self):
+        bag = DiagnosticBag()
+        toks = tokenize('char *s = "abc;\nint y;', "f.c", bag)
+        assert len(bag.errors()) == 1
+        assert any(t.text == "y" for t in toks)
+
+    def test_unterminated_block_comment(self):
+        bag = DiagnosticBag()
+        toks = tokenize("int x; /* no end", "f.c", bag)
+        assert [t.text for t in toks[:-1]] == ["int", "x", ";"]
+        assert len(bag.errors()) == 1
+
+    def test_invalid_literals_recover_to_zero(self):
+        bag = DiagnosticBag()
+        toks = tokenize("int a = 0x; int b = 09;", "f.c", bag)
+        values = [t.value for t in toks if t.kind.name == "NUMBER"]
+        assert values == [0, 0]
+        assert len(bag.errors()) == 2
+
+
+class TestParserRecovery:
+    BROKEN_GLOBAL = (
+        "int ok_before(void) { return 1; }\n"
+        "int $$$;\n"
+        "int ok_after(void) { return 2; }\n"
+    )
+
+    def test_strict_mode_still_raises(self):
+        with pytest.raises(FrontendError):
+            parse(self.BROKEN_GLOBAL)
+
+    def test_clean_functions_survive_broken_neighbor(self):
+        bag = DiagnosticBag()
+        unit = parse(self.BROKEN_GLOBAL, "f.c", bag)
+        names = [f.name for f in unit.functions]
+        assert names == ["ok_before", "ok_after"]
+        assert bag.errors()
+
+    def test_every_diagnostic_is_positioned(self):
+        bag = DiagnosticBag()
+        parse(self.BROKEN_GLOBAL, "f.c", bag)
+        for diag in bag.errors():
+            assert diag.pos.filename == "f.c"
+            assert diag.pos.line >= 1 and diag.pos.column >= 1
+
+    def test_unparseable_body_quarantines_function(self):
+        bag = DiagnosticBag()
+        unit = parse(
+            "int bad(void) { int x = ((; return x; }\n"
+            "int good(void) { return 4; }\n",
+            "f.c",
+            bag,
+        )
+        by_name = {f.name: f for f in unit.functions}
+        assert by_name["bad"].quarantined
+        assert not by_name["good"].quarantined
+        assert any(
+            d.kind == "quarantine" and "bad" in d.message for d in bag.notes()
+        )
+
+    def test_sync_skips_kandr_definition(self):
+        bag = DiagnosticBag()
+        unit = parse(
+            "int add(a, b)\nint a;\nint b;\n{ return a + b; }\n"
+            "int keep(void) { return 7; }\n",
+            "f.c",
+            bag,
+        )
+        assert [f.name for f in unit.functions if not f.quarantined] == ["keep"]
+        assert bag.errors()
+
+    def test_deep_nesting_is_a_parse_error_not_a_crash(self):
+        source = "int f(void) { return " + "(" * 500 + "1" + ")" * 500 + "; }"
+        with pytest.raises(ParseError):
+            parse(source)
+        bag = DiagnosticBag()
+        parse(source, "f.c", bag)  # recovery mode must not crash either
+        assert bag.errors()
+
+
+class TestAnalyzeRecoveryContract:
+    MIXED = (
+        "int g;\n"
+        "int bad(void) { int x = ((; return x; }\n"
+        "int good(int a) { return a + 1; }\n"
+        "int main(void) { g = good(1); return g; }\n"
+    )
+
+    def test_recovered_run_reports_coverage(self):
+        run = analyze(self.MIXED, filename="mixed.c")
+        analyzed, quarantined = run.coverage()
+        assert analyzed == 2 and quarantined == 1
+        assert "bad" in run.quarantined
+        assert run.frontend_diagnostics.errors()
+
+    def test_strict_frontend_raises(self):
+        with pytest.raises(FrontendError):
+            analyze(self.MIXED, filename="mixed.c", strict_frontend=True)
+
+    def test_zero_recoverable_functions_is_hard_failure(self):
+        with pytest.raises(FrontendError) as info:
+            analyze("int $$$;\nint ###;\n", filename="junk.c")
+        assert "no recoverable functions" in str(info.value)
+
+    def test_clean_input_has_empty_bag(self):
+        run = analyze("int main(void) { return 0; }")
+        assert len(run.frontend_diagnostics) == 0
+        assert run.coverage() == (1, 0)
+
+    def test_quarantine_counts_in_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry(enabled=True)
+        analyze(self.MIXED, filename="mixed.c", telemetry=tel)
+        assert tel.counters.get("frontend.quarantined") == 1
+        assert tel.counters.get("frontend.diagnostics", 0) >= 1

@@ -164,3 +164,56 @@ class TestPermanentFailures:
         data = report.as_dict()
         assert data["exit_code"] == 2
         assert len(data["jobs"]) == 3
+
+
+class TestFrontendDegradation:
+    """Frontend-poisoned files recover as ``degraded``, not ``failed``."""
+
+    def test_poisoned_file_is_degraded_not_failed(self, ckpt_dir, tmp_path):
+        poisoned = tmp_path / "poisoned.c"
+        poisoned.write_text(
+            "int g;\n"
+            "int broken(void) { int x = ((; return x; }\n"
+            "int main(void) { g = 1; return g; }\n"
+        )
+        report = run_batch([_job(str(poisoned))], ckpt_dir)
+        (outcome,) = report.outcomes
+        assert outcome.status == "degraded"
+        assert outcome.quarantined == ["broken"]
+        assert outcome.diagnostics >= 1
+        assert outcome.functions == 1
+        assert report.exit_code == 1  # diagnostics share the alarm path
+        assert "quarantined: broken" in report.text()
+
+    def test_unrecoverable_file_is_permanent_failure(self, ckpt_dir, tmp_path):
+        hopeless = tmp_path / "hopeless.c"
+        hopeless.write_text("int $$$;\n@@@\n")
+        report = run_batch([_job(str(hopeless))], ckpt_dir, max_retries=2)
+        (outcome,) = report.outcomes
+        assert outcome.status == "failed"
+        assert outcome.attempts == 1  # ReproError: never retried
+        assert "no recoverable functions" in (outcome.error or "")
+        assert report.exit_code == 2
+
+    def test_strict_frontend_option_fails_poisoned_file(self, ckpt_dir, tmp_path):
+        poisoned = tmp_path / "poisoned.c"
+        poisoned.write_text(
+            "int broken(void) { int x = ((; return x; }\n"
+            "int main(void) { return 0; }\n"
+        )
+        report = run_batch(
+            [_job(str(poisoned), options={"strict_frontend": True})],
+            ckpt_dir,
+        )
+        (outcome,) = report.outcomes
+        assert outcome.status == "failed"
+        assert report.exit_code == 2
+
+    def test_clean_files_unaffected_by_new_fields(self, ckpt_dir):
+        report = run_batch([_job(LOOPS)], ckpt_dir)
+        (outcome,) = report.outcomes
+        assert outcome.status == "ok"
+        assert outcome.quarantined == [] and outcome.diagnostics == 0
+        assert outcome.functions >= 1
+        data = report.as_dict()
+        assert data["jobs"][0]["quarantined"] == []

@@ -84,12 +84,15 @@ class TestExitCodes:
         assert proc.returncode == 1
         assert "ALARM" in proc.stdout
 
-    def test_repro_error_exits_2_with_one_liner(self, tmp_path):
+    def test_repro_error_exits_2_with_caret_diagnostic(self, tmp_path):
         broken = tmp_path / "broken.c"
         broken.write_text("int main( {\n")
         proc = _run([str(broken)])
         assert proc.returncode == 2
-        assert proc.stderr.count("\n") == 1
+        # file:line:col head plus the offending line with a ^ caret
+        head = proc.stderr.splitlines()[0]
+        assert "broken.c:1:" in head and "error:" in head
+        assert "^" in proc.stderr
         assert "Traceback" not in proc.stderr
 
     def test_missing_file_exits_2(self):
@@ -168,3 +171,60 @@ class TestSignalExit:
 
         payload = load_checkpoint(ckpt)
         assert payload["iterations"] > 0
+
+
+class TestRecoveryExitCodes:
+    """Frontend recovery (ISSUE 6): recovered-with-diagnostics shares the
+    alarm exit path; --strict-frontend restores fail-fast; zero
+    recoverable functions stays a hard error."""
+
+    RECOVERABLE = (
+        "int g;\n"
+        "int broken(void) { int x = ((; return x; }\n"
+        "int main(void) { g = 1; return 0; }\n"
+    )
+
+    @pytest.fixture
+    def recoverable_file(self, tmp_path):
+        path = tmp_path / "recoverable.c"
+        path.write_text(self.RECOVERABLE)
+        return str(path)
+
+    def test_recovered_run_exits_1_with_diagnostics(self, recoverable_file):
+        proc = _run([recoverable_file])
+        assert proc.returncode == 1, proc.stderr
+        assert "^" in proc.stderr  # caret diagnostics on stderr
+        assert "quarantined" in proc.stderr
+        assert "1 analyzed, 1 quarantined" in proc.stderr
+
+    def test_strict_frontend_exits_2(self, recoverable_file):
+        proc = _run([recoverable_file, "--strict-frontend"])
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr
+
+    def test_zero_recoverable_functions_exits_2(self, tmp_path):
+        junk = tmp_path / "junk.c"
+        junk.write_text("int $$$;\n@@@\n")
+        proc = _run([str(junk)])
+        assert proc.returncode == 2
+        assert "no recoverable functions" in proc.stderr
+
+    def test_clean_file_still_exits_0(self, clean_file):
+        proc = _run([clean_file])
+        assert proc.returncode == 0
+        assert "quarantined" not in proc.stderr
+
+    def test_batch_marks_poisoned_degraded(self, recoverable_file, tmp_path):
+        report = tmp_path / "report.json"
+        proc = _run(
+            [
+                "batch", recoverable_file,
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--report", str(report),
+            ]
+        )
+        assert proc.returncode == 1, proc.stderr
+        data = json.loads(report.read_text())
+        (job,) = data["jobs"]
+        assert job["status"] == "degraded"
+        assert job["quarantined"] == ["broken"]
