@@ -370,19 +370,9 @@ class IntervalCells(CellOps):
         return out.copy()
 
     def push(self, cache, touched, out) -> bool:
-        grew = False
-        for loc in touched:
-            value = out.get(loc)
-            if value.is_bottom():
-                continue
-            old = cache.get(loc)
-            if old is value:
-                continue  # interning: pointer-equal means nothing new
-            new = old.join(value)
-            if new is not old and new != old:
-                cache.set(loc, new)
-                grew = True
-        return grew
+        # the array backend joins plain bound rows without materializing
+        # AbsValues; the scalar backend runs the historical per-loc loop
+        return cache.join_entries_from(out, touched)
 
     def assemble(self, in_edges, table) -> AbsState:
         state = AbsState()

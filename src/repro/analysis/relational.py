@@ -95,6 +95,14 @@ class PackState:
     def __init__(self, mapping: dict[Pack, Octagon] | None = None) -> None:
         self._map: dict[Pack, Octagon] = dict(mapping) if mapping else {}
 
+    @classmethod
+    def _adopt(cls, mapping: dict[Pack, Octagon]) -> "PackState":
+        """Wrap a freshly-built dict without the constructor's defensive
+        copy (copy/restrict/remove build their mapping themselves)."""
+        out = object.__new__(cls)
+        out._map = mapping
+        return out
+
     def get(self, pack: Pack) -> Octagon:
         found = self._map.get(pack)
         if found is None:
@@ -122,13 +130,17 @@ class PackState:
         return True
 
     def copy(self) -> "PackState":
-        return PackState(self._map)
+        return PackState._adopt(dict(self._map))
 
     def restrict(self, packs: set[Pack]) -> "PackState":
-        return PackState({p: o for p, o in self._map.items() if p in packs})
+        return PackState._adopt(
+            {p: o for p, o in self._map.items() if p in packs}
+        )
 
     def remove(self, packs: set[Pack]) -> "PackState":
-        return PackState({p: o for p, o in self._map.items() if p not in packs})
+        return PackState._adopt(
+            {p: o for p, o in self._map.items() if p not in packs}
+        )
 
     def has_contradiction(self) -> bool:
         return any(o.is_bottom() for o in self._map.values())
@@ -136,6 +148,8 @@ class PackState:
     # -- lattice (⊤-default maps: join weakens, entries vanish at ⊤) -------------
 
     def leq(self, other: "PackState") -> bool:
+        if self is other:
+            return True
         for pack, oct_ in other._map.items():
             if not self.get(pack).leq(oct_):
                 return False

@@ -21,6 +21,7 @@ are small (packs are capped at ~10 variables) so numpy ``float64`` with
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +29,50 @@ import numpy as np
 from repro.domains.interval import Interval
 
 INF = np.inf
+
+# -- sparsity-preserving closure (Jourdan's observation) ----------------------
+#
+# Pack octagons are mostly ⊤: typically only a few of the pack's variables
+# carry any constraint, and a variable with no finite off-diagonal entry
+# can never tighten anything — Floyd–Warshall relaxation through it and the
+# strong step over its (infinite) unary bounds are both no-ops, and its own
+# entries stay at +∞/0. Restricting closure, leq, join and widen to the
+# *support* (variables with at least one finite off-diagonal entry) is
+# therefore byte-identical to the dense Miné path while cutting the O(n³)
+# closure to O(s³). The dense path remains both a fallback when density
+# crosses the threshold and an oracle for the differential tests.
+
+_SPARSE_ENABLED = os.environ.get("REPRO_OCT_CLOSURE", "").strip().lower() != "dense"
+#: fall back to the dense path once support/dim exceeds this fraction —
+#: near-dense packs gain nothing from gathering a submatrix
+_SPARSE_THRESHOLD = 0.9
+
+
+def set_sparse_closure(
+    enabled: bool | None = None, threshold: float | None = None
+) -> tuple[bool, float]:
+    """Toggle the sparsity-preserving octagon paths (A/B + test knob).
+    Returns the previous ``(enabled, threshold)`` pair."""
+    global _SPARSE_ENABLED, _SPARSE_THRESHOLD
+    previous = (_SPARSE_ENABLED, _SPARSE_THRESHOLD)
+    if enabled is not None:
+        _SPARSE_ENABLED = bool(enabled)
+    if threshold is not None:
+        _SPARSE_THRESHOLD = float(threshold)
+    return previous
+
+
+def sparse_closure_enabled() -> bool:
+    return _SPARSE_ENABLED
+
+
+def _interleaved_pairs(support: np.ndarray) -> np.ndarray:
+    """DBM indices (2v, 2v+1 interleaved) of the support variables; the
+    interleaving keeps ``i ^ 1`` the negation within the submatrix."""
+    pairs = np.empty(2 * len(support), dtype=np.intp)
+    pairs[0::2] = 2 * support
+    pairs[1::2] = 2 * support + 1
+    return pairs
 
 
 def _neg_index(i: int) -> int:
@@ -45,6 +90,27 @@ def _tighten_and_strong(m: np.ndarray, n: int, swap: np.ndarray) -> None:
     m[idx, swap] = unary
     # m[i,j] ← min(m[i,j], (m[i,ī] + m[j̄,j]) / 2); ∞/2 stays ∞.
     np.minimum(m, (unary[:, None] + unary[swap][None, :]) / 2, out=m)
+
+
+def _strong_closure_rounds(m: np.ndarray, rounds: int) -> bool:
+    """The full strong-closure iteration (Floyd–Warshall relaxation +
+    tightening + strong step until stable), in place. Returns False when
+    the system is infeasible (negative diagonal); on True the diagonal has
+    been reset to 0."""
+    n = m.shape[0]
+    swap = np.arange(n) ^ 1
+    for _round in range(rounds):
+        before = m.copy()
+        # Floyd–Warshall via vectorized relaxation.
+        for k in range(n):
+            np.minimum(m, m[:, k : k + 1] + m[k : k + 1, :], out=m)
+        _tighten_and_strong(m, n, swap)
+        if np.any(np.diag(m) < 0):
+            return False
+        if np.array_equal(m, before):
+            break
+    np.fill_diagonal(m, 0.0)
+    return True
 
 
 def _incremental_close(m: np.ndarray, var: int) -> None:
@@ -95,31 +161,63 @@ class Octagon:
         assert self.matrix is not None
         return self.matrix
 
+    def _support(self) -> np.ndarray:
+        """Variables with at least one finite off-diagonal entry; every
+        other variable is unconstrained (its row/column is all +∞) and
+        inert under closure. Cached on the instance — matrices are never
+        mutated after construction."""
+        cached = getattr(self, "_support_cache", None)
+        if cached is not None:
+            return cached
+        m = self._m()
+        finite = np.isfinite(m)
+        np.fill_diagonal(finite, False)
+        by_index = finite.any(axis=1) | finite.any(axis=0)
+        support = np.nonzero(by_index[0::2] | by_index[1::2])[0]
+        object.__setattr__(self, "_support_cache", support)
+        return support
+
     # -- closure --------------------------------------------------------------------
 
     def closed(self) -> "Octagon":
         """Strong closure: shortest paths + unary tightening + integer
-        rounding. Returns ⊥ if the constraint system is infeasible."""
+        rounding. Returns ⊥ if the constraint system is infeasible.
+
+        When the matrix is sparse (most variables unconstrained), closure
+        runs on the support submatrix only — byte-identical to the dense
+        result, since unconstrained rows/columns stay at +∞ through every
+        relaxation, tightening and strong step of the dense iteration."""
         if self.empty:
             return self
         if self.closed_flag:
             return self
         # DBM entries are finite or +∞ (never −∞), so +∞ arithmetic cannot
         # produce NaN and no scrubbing is needed in the relaxations.
+        if _SPARSE_ENABLED and self.dim >= 2:
+            support = self._support()
+            s = len(support)
+            if s == 0:
+                m = self._m().copy()
+                if np.any(np.diag(m) < 0):
+                    return Octagon.bottom(self.dim)
+                np.fill_diagonal(m, 0.0)
+                return Octagon(self.dim, m, closed_flag=True)
+            if s < self.dim and s <= _SPARSE_THRESHOLD * self.dim:
+                ix = np.ix_(
+                    _interleaved_pairs(support), _interleaved_pairs(support)
+                )
+                sub = np.ascontiguousarray(self._m()[ix])
+                # same round cap as the dense path: identical fixpoint and
+                # identical bottom detection on the embedded submatrix
+                if not _strong_closure_rounds(sub, 2 * self.dim + 2):
+                    return Octagon.bottom(self.dim)
+                m = np.full_like(self._m(), INF)
+                np.fill_diagonal(m, 0.0)
+                m[ix] = sub
+                return Octagon(self.dim, m, closed_flag=True)
         m = self._m().copy()
-        n = m.shape[0]
-        swap = np.arange(n) ^ 1
-        for _round in range(2 * self.dim + 2):
-            before = m.copy()
-            # Floyd–Warshall via vectorized relaxation.
-            for k in range(n):
-                np.minimum(m, m[:, k : k + 1] + m[k : k + 1, :], out=m)
-            _tighten_and_strong(m, n, swap)
-            if np.any(np.diag(m) < 0):
-                return Octagon.bottom(self.dim)
-            if np.array_equal(m, before):
-                break
-        np.fill_diagonal(m, 0.0)
+        if not _strong_closure_rounds(m, 2 * self.dim + 2):
+            return Octagon.bottom(self.dim)
         return Octagon(self.dim, m, closed_flag=True)
 
     def is_bottom(self) -> bool:
@@ -139,17 +237,53 @@ class Octagon:
             return True
         if other.empty:
             return False
-        return bool(np.all(self._m() <= other._m()))
+        if self is other:
+            return True
+        a, b = self._m(), other._m()
+        if _SPARSE_ENABLED and self.dim >= 2:
+            # b is +∞ off-diagonal outside its support, where a ≤ b holds
+            # trivially — only the diagonal and b's support block matter
+            support = other._support()
+            if 2 * len(support) < a.shape[0]:
+                if not np.all(np.diag(a) <= np.diag(b)):
+                    return False
+                if len(support) == 0:
+                    return True
+                ix = np.ix_(
+                    _interleaved_pairs(support), _interleaved_pairs(support)
+                )
+                return bool(np.all(a[ix] <= b[ix]))
+        return bool(np.all(a <= b))
 
     def join(self, other: "Octagon") -> "Octagon":
         if self.empty:
             return other
         if other.empty:
             return self
+        a, b = self._m(), other._m()
+        if _SPARSE_ENABLED and self.dim >= 2:
+            # max(a, b) is finite off-diagonal only where both are — the
+            # intersection of the supports
+            common = np.intersect1d(self._support(), other._support())
+            if 2 * len(common) < a.shape[0]:
+                out = np.full_like(a, INF)
+                n = a.shape[0]
+                idx = np.arange(n)
+                out[idx, idx] = np.maximum(np.diag(a), np.diag(b))
+                if len(common):
+                    ix = np.ix_(
+                        _interleaved_pairs(common), _interleaved_pairs(common)
+                    )
+                    out[ix] = np.maximum(a[ix], b[ix])
+                return Octagon(
+                    self.dim,
+                    out,
+                    closed_flag=self.closed_flag and other.closed_flag,
+                )
         # pointwise max of strongly closed DBMs is strongly closed
         return Octagon(
             self.dim,
-            np.maximum(self._m(), other._m()),
+            np.maximum(a, b),
             closed_flag=self.closed_flag and other.closed_flag,
         )
 
@@ -165,6 +299,19 @@ class Octagon:
         if other.empty:
             return self
         a, b = self._m(), other._m()
+        if _SPARSE_ENABLED and self.dim >= 2:
+            # a's +∞ entries stay +∞ under widening (b ≤ +∞ keeps a), so
+            # only a's support block can hold finite results
+            support = self._support()
+            if 2 * len(support) < a.shape[0]:
+                out = np.full_like(a, INF)
+                if len(support):
+                    ix = np.ix_(
+                        _interleaved_pairs(support), _interleaved_pairs(support)
+                    )
+                    out[ix] = np.where(b[ix] <= a[ix], a[ix], INF)
+                np.fill_diagonal(out, 0.0)
+                return Octagon(self.dim, out)
         out = np.where(b <= a, a, INF)
         np.fill_diagonal(out, 0.0)
         return Octagon(self.dim, out)

@@ -200,8 +200,10 @@ def _merge_groups(
     oversized packs)."""
     merged: list[set[AbsLoc]] = []
     for group in groups:
+        fresh = False
         if len(group) > threshold:
             group = set(sorted(group, key=lambda l: l.sort_key())[:threshold])
+            fresh = True  # already our own set — no second copy needed
         target = None
         for existing in merged:
             if existing & group and len(existing | group) <= threshold:
@@ -210,5 +212,5 @@ def _merge_groups(
         if target is not None:
             target |= group
         else:
-            merged.append(set(group))
+            merged.append(group if fresh else set(group))
     return merged

@@ -113,12 +113,35 @@ def set_interning(enabled: bool) -> None:
     clear_intern_tables()
 
 
+#: callbacks run whenever the intern tables clear — dependent caches (the
+#: array store's bound→value cache) register here so they never outlive the
+#: canonical instances they were built from
+_on_clear_hooks: list = []
+
+
+def register_intern_clear_hook(hook) -> None:
+    _on_clear_hooks.append(hook)
+
+
 def clear_intern_tables() -> None:
     _interned.clear()
     _interned_itvs.clear()
     _interned_ptsto.clear()
+    _clear_memos()
+
+
+def _clear_memos() -> None:
+    """Drop the join/widen memos (and dependent caches) together with any
+    intern-table clear. A memo entry maps *canonical* operands to a
+    *canonical* result; once a table clears, a structurally-equal value can
+    be re-interned as a different object, so keeping the old entries would
+    hand out stale non-canonical results — correct, but it defeats every
+    identity fast path downstream and pins dead generations of values
+    alive."""
     _join_memo.clear()
     _widen_memo.clear()
+    for hook in _on_clear_hooks:
+        hook()
 
 
 def cache_stats() -> tuple[int, int]:
@@ -139,11 +162,13 @@ def intern_value(value: "AbsValue") -> "AbsValue":
         return found
     if len(_interned) >= _INTERN_LIMIT:
         _interned.clear()
+        _clear_memos()
     itv = value.itv
     cached_itv = _interned_itvs.get(itv)
     if cached_itv is None:
         if len(_interned_itvs) >= _INTERN_LIMIT:
             _interned_itvs.clear()
+            _clear_memos()
         _interned_itvs[itv] = itv
     elif cached_itv is not itv:
         itv = cached_itv
@@ -153,6 +178,7 @@ def intern_value(value: "AbsValue") -> "AbsValue":
         if cached_pts is None:
             if len(_interned_ptsto) >= _INTERN_LIMIT:
                 _interned_ptsto.clear()
+                _clear_memos()
             _interned_ptsto[ptsto] = ptsto
         elif cached_pts is not ptsto:
             ptsto = cached_pts

@@ -107,6 +107,59 @@ def test_overflow_clears_table_keeps_semantics():
         clear_intern_tables()
 
 
+def test_overflow_clears_memo_caches_with_tables():
+    """When the intern tables overflow mid-run, the join/widen memos (which
+    key by object identity and hold canonical instances) must be dropped
+    too — otherwise they keep serving values the table no longer vouches
+    for, and later ``is``-based fast paths compare against stale objects."""
+    import repro.domains.value as V
+
+    old_limit = V._INTERN_LIMIT
+    V._INTERN_LIMIT = 8
+    try:
+        clear_intern_tables()
+        a = intern_value(AbsValue.of_interval(Interval(0, 3)))
+        b = intern_value(AbsValue.of_interval(Interval(2, 8)))
+        a.join(b)
+        a.widen(b)
+        assert V._join_memo and V._widen_memo
+        # overflow the value table: every clear must take the memos with it
+        for i in range(32):
+            intern_value(AbsValue.of_interval(Interval(i, i + 100)))
+        assert not V._join_memo, "join memo survived an intern-table clear"
+        assert not V._widen_memo, "widen memo survived an intern-table clear"
+        # semantics unharmed: joins after the clear are still correct
+        assert a.join(b).itv == Interval(0, 8)
+    finally:
+        V._INTERN_LIMIT = old_limit
+        clear_intern_tables()
+
+
+def test_clear_hooks_run_on_overflow_and_explicit_clear():
+    """Dependent caches (e.g. the array store's bounds→value cache) register
+    hooks that must fire on both overflow- and explicit clears."""
+    import repro.domains.value as V
+
+    calls = []
+    V.register_intern_clear_hook(lambda: calls.append("hook"))
+    try:
+        clear_intern_tables()
+        assert calls, "explicit clear must run registered hooks"
+        calls.clear()
+        old_limit = V._INTERN_LIMIT
+        V._INTERN_LIMIT = 4
+        try:
+            for i in range(16):
+                intern_value(AbsValue.of_interval(Interval(i, i)))
+            assert calls, "overflow clear must run registered hooks"
+        finally:
+            V._INTERN_LIMIT = old_limit
+            clear_intern_tables()
+    finally:
+        V._on_clear_hooks.pop()
+        clear_intern_tables()
+
+
 def test_results_identical_with_and_without_interning():
     """End-to-end ablation: interning is invisible in the computed tables."""
     from repro.api import analyze
