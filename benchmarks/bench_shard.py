@@ -1,0 +1,157 @@
+"""Sharded-pipeline gate: digest identity across job counts + speedup report.
+
+Runs the largest codegen workload (the ``vim-mini`` analog, whose maxSCC
+dominates analysis cost) through the SCC-sharded driver at ``--jobs``
+1/2/4 and against the sequential engine, then asserts:
+
+1. **Digest identity (unconditional)** — every sharded table must be
+   byte-identical to the sequential fixpoint table under the canonical
+   rendering. This is the pipeline's core contract: the priority-ceiling
+   scheduler makes the committed pop order *be* the sequential WTO order,
+   so parallelism may never change a single bound.
+2. **Speedup (multicore only)** — with ≥ 2 CPUs, jobs=4 must beat the
+   serial sharded run by ``SPEEDUP_FLOOR``×. On single-CPU machines the
+   speculative activations that overlap on real cores serialize instead,
+   so the gate is skipped and the honest numbers are recorded anyway.
+
+Usage::
+
+    python benchmarks/bench_shard.py            # full gate (vim-mini)
+    python benchmarks/bench_shard.py --quick    # CI-sized (screen-mini)
+
+Emits ``BENCH_shard.json`` next to the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.shards import run_sharded  # noqa: E402
+from repro.api import analyze  # noqa: E402
+from repro.bench.codegen import default_suite, generate_source  # noqa: E402
+from repro.ir.program import build_program  # noqa: E402
+
+#: jobs=4 must beat the serial sharded run by this factor on ≥2 CPUs
+SPEEDUP_FLOOR = 1.5
+
+JOB_LEVELS = (1, 2, 4)
+
+
+def _digest(table: dict) -> str:
+    import hashlib
+
+    h = hashlib.sha256()
+    for nid in sorted(table):
+        h.update(f"{nid}\n{table[nid]!r}\n".encode())
+    return h.hexdigest()
+
+
+def _spec_stats(result) -> str:
+    for event in result.diagnostics.events:
+        if event.startswith("sharded fixpoint"):
+            return event
+    return ""
+
+
+def run(workload: str) -> dict:
+    spec = next(s for s in default_suite() if s.name == workload)
+    src = generate_source(spec)
+    program = build_program(src)
+
+    t0 = time.perf_counter()
+    sequential = analyze(src, domain="interval", mode="sparse")
+    t_seq = time.perf_counter() - t0
+    seq_digest = _digest(sequential.result.table)
+
+    rows = {}
+    failures = []
+    for jobs in JOB_LEVELS:
+        t0 = time.perf_counter()
+        result = run_sharded(
+            program, domain="interval", mode="sparse", jobs=jobs
+        )
+        elapsed = time.perf_counter() - t0
+        digest = _digest(result.table)
+        rows[jobs] = {
+            "seconds": round(elapsed, 3),
+            "digest": digest[:16],
+            "identical_to_sequential": digest == seq_digest,
+            "driver": _spec_stats(result),
+        }
+        if digest != seq_digest:
+            failures.append(
+                f"jobs={jobs}: sharded table diverged from sequential"
+            )
+        print(
+            f"  jobs={jobs}: {elapsed:7.2f}s  "
+            f"{'identical' if digest == seq_digest else 'DIVERGED'}"
+        )
+
+    cpus = os.cpu_count() or 1
+    speedup = rows[1]["seconds"] / rows[4]["seconds"] if rows[4]["seconds"] else 0.0
+    gated = cpus >= 2
+    if gated and speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"jobs=4 speedup {speedup:.2f}x below floor {SPEEDUP_FLOOR}x "
+            f"on {cpus} CPUs"
+        )
+
+    return {
+        "workload": workload,
+        "cpu_count": cpus,
+        "sequential_seconds": round(t_seq, 3),
+        "sequential_digest": seq_digest[:16],
+        "jobs": {str(j): r for j, r in rows.items()},
+        "speedup_jobs4_vs_serial_sharded": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_gate_applied": gated,
+        "failures": failures,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run on the screen-mini analog",
+    )
+    args = parser.parse_args()
+    workload = "screen-mini" if args.quick else "vim-mini"
+
+    print(f"shard pipeline gate on {workload} "
+          f"(cpus={os.cpu_count()}, quick={args.quick})")
+    report = run(workload)
+
+    out = ROOT / "BENCH_shard.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"FAIL: {failure}")
+        return 1
+    if report["speedup_gate_applied"]:
+        print(
+            f"shard gate: OK (digests identical, jobs=4 speedup "
+            f"{report['speedup_jobs4_vs_serial_sharded']}x)"
+        )
+    else:
+        print(
+            "shard gate: OK (digests identical; speedup gate skipped on "
+            f"{report['cpu_count']} CPU — recorded "
+            f"{report['speedup_jobs4_vs_serial_sharded']}x for reference)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,11 +13,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.analysis.defuse import DefUseInfo, compute_defuse, localization_set
-from repro.analysis.engine import CfgSpace, FixpointEngine, FixpointResult
+from repro.analysis.engine import (
+    CfgSpace,
+    DepGraphSpace,
+    FixpointEngine,
+    FixpointResult,
+)
 from repro.analysis.preanalysis import PreAnalysis, run_preanalysis
-from repro.analysis.schedule import widening_points_for
+from repro.analysis.schedule import GraphView, widening_points_for
 from repro.analysis.semantics import AnalysisContext, transfer
 from repro.domains.absloc import AbsLoc
 from repro.domains.state import AbsState
@@ -122,6 +128,161 @@ def _resolve_thresholds(program, spec):
 DenseResult = FixpointResult
 
 
+@dataclass
+class EnginePlan:
+    """Everything a fixpoint run needs, separated from the engine that will
+    execute it. Each ``prepare_*`` function (here and in ``sparse.py`` /
+    ``relational.py``) builds one plan per engine×domain combo; the
+    sequential ``run_*`` drivers and the SCC-sharded driver
+    (:mod:`repro.analysis.shards`) then instantiate spaces and engines from
+    the *same* plan — identical graphs, transfers, WTO priorities, widening
+    points, and thresholds — which is what makes the sharded fixpoint
+    comparable to the sequential one structure for structure."""
+
+    program: Program
+    pre: PreAnalysis
+    domain: str  # "interval" | "octagon"
+    mode: str  # "vanilla" | "base" | "sparse"
+    strict: bool
+    widen: bool
+    graph: "InterprocGraph"
+    #: seed states for the CFG space (strict: entry only; non-strict: all)
+    entries: dict[int, object]
+    transfer: Callable[[int, object], object]
+    #: zero-argument bottom-state constructor of the plan's lattice
+    state_factory: Callable[[], object]
+    wto: object
+    widening_points: set[int]
+    thresholds: tuple[int, ...] | None
+    widening_delay: int
+    entry_nid: int
+    node_ids: tuple[int, ...]
+    #: builds the CfgSpace edge transform given a zero-arg thunk returning
+    #: the live engine table (the octagon-base return overlay reads callee
+    #: exit states through it); None when the mode has no transform
+    make_edge_transform: Callable | None = None
+    #: sparse modes: the dependency graph and its cell strategy
+    deps: object = None
+    cells_factory: Callable | None = None
+    dep_count: int = 0
+    raw_dep_count: int = 0
+    defuse: object = None
+    packs: object = None
+    ctx: object = None
+    time_pre: float = 0.0
+    time_dep: float = 0.0
+
+    @property
+    def sparse(self) -> bool:
+        return self.mode == "sparse"
+
+    def edge_transform_for(self, get_table):
+        if self.make_edge_transform is None:
+            return None
+        return self.make_edge_transform(get_table)
+
+    def make_program_space(self, get_table=None):
+        """The whole-program propagation space this plan describes (shard
+        spaces are built by :mod:`repro.analysis.shards` from the same
+        ingredients)."""
+        if self.sparse:
+            return DepGraphSpace(
+                self.deps,
+                self.graph,
+                self.cells_factory(),
+                node_ids=self.node_ids,
+                entry=self.entry_nid,
+                strict=self.strict,
+            )
+        return CfgSpace(
+            self.graph.succs,
+            self.graph.preds,
+            self.entries,
+            edge_transform=self.edge_transform_for(get_table),
+            roots=[self.entry_nid],
+        )
+
+
+def prepare_interval_dense(
+    program: Program,
+    pre: PreAnalysis,
+    *,
+    localize: bool = False,
+    strict: bool = True,
+    widen: bool = True,
+    widening_thresholds: tuple[int, ...] | str | None = None,
+    widening_delay: int = 0,
+) -> EnginePlan:
+    """Build the plan for ``Interval_vanilla`` / ``Interval_base``."""
+    ctx = AnalysisContext(program, pre.site_callees, strict=strict)
+    graph = build_interproc_graph(program, pre.site_callees, localized=localize)
+
+    defuse: DefUseInfo | None = None
+    make_edge_transform = None
+    if localize:
+        defuse = compute_defuse(program, pre)
+        passed_sets: dict[str, frozenset[AbsLoc]] = {
+            callee: localization_set(program, defuse, callee)
+            for callee in program.procedures()
+        }
+        call_edges = graph.call_edges
+        bypass = graph.bypass_edges
+
+        def make_edge_transform(get_table):
+            # get_table unused: interval localization is a pure restriction
+            def edge_transform(src: int, dst: int, state: AbsState) -> AbsState:
+                callee = call_edges.get((src, dst))
+                if callee is not None:
+                    return state.restrict(passed_sets[callee])
+                if (src, dst) in bypass:
+                    # The call node has one outgoing callee at least; the
+                    # bypass carries what no callee can access.
+                    touched: set[AbsLoc] = set()
+                    for (s, _e), c in call_edges.items():
+                        if s == src:
+                            touched |= passed_sets[c]
+                    return state.remove(touched)
+                return state
+
+            return edge_transform
+
+    node_map = program.factory.nodes
+
+    def node_transfer(nid: int, state: AbsState) -> AbsState | None:
+        return transfer(node_map[nid], state, ctx)
+
+    entry = program.entry_node()
+    if strict:
+        entries = {entry.nid: AbsState()}
+    else:
+        # Non-strict: every control point runs at least once on ⊥.
+        entries = {node.nid: AbsState() for node in program.nodes()}
+    wto, widening_points = widening_points_for(
+        GraphView((entry.nid,), graph.succs), widen
+    )
+    return EnginePlan(
+        program=program,
+        pre=pre,
+        domain="interval",
+        mode="base" if localize else "vanilla",
+        strict=strict,
+        widen=widen,
+        graph=graph,
+        entries=entries,
+        transfer=node_transfer,
+        state_factory=AbsState,
+        wto=wto,
+        widening_points=widening_points,
+        thresholds=_resolve_thresholds(program, widening_thresholds),
+        widening_delay=widening_delay,
+        entry_nid=entry.nid,
+        node_ids=tuple(node_map.keys()),
+        make_edge_transform=make_edge_transform,
+        defuse=defuse,
+        ctx=ctx,
+    )
+
+
 def run_dense(
     program: Program,
     pre: PreAnalysis | None = None,
@@ -180,69 +341,33 @@ def run_dense(
             diagnostics=diagnostics,
             watchdog=make_watchdog(pre_state) if watchdog else None,
         )
-    ctx = AnalysisContext(program, pre.site_callees, strict=strict)
-    graph = build_interproc_graph(program, pre.site_callees, localized=localize)
-
-    defuse: DefUseInfo | None = None
-    edge_transform = None
-    if localize:
-        defuse = compute_defuse(program, pre)
-        passed_sets: dict[str, frozenset[AbsLoc]] = {
-            callee: localization_set(program, defuse, callee)
-            for callee in program.procedures()
-        }
-
-        call_edges = graph.call_edges
-        bypass = graph.bypass_edges
-
-        def edge_transform(src: int, dst: int, state: AbsState) -> AbsState:
-            callee = call_edges.get((src, dst))
-            if callee is not None:
-                return state.restrict(passed_sets[callee])
-            if (src, dst) in bypass:
-                # The call node has one outgoing callee at least; the
-                # bypass carries what no callee can access.
-                touched: set[AbsLoc] = set()
-                for (s, _e), c in call_edges.items():
-                    if s == src:
-                        touched |= passed_sets[c]
-                return state.remove(touched)
-            return state
-
-    node_map = program.factory.nodes
-
-    def node_transfer(nid: int, state: AbsState) -> AbsState | None:
-        return transfer(node_map[nid], state, ctx)
-
-    entry = program.entry_node()
-    if strict:
-        entries = {entry.nid: AbsState()}
-    else:
-        # Non-strict: every control point runs at least once on ⊥.
-        entries = {node.nid: AbsState() for node in program.nodes()}
-    space = CfgSpace(
-        graph.succs,
-        graph.preds,
-        entries,
-        edge_transform=edge_transform,
-        roots=[entry.nid],
+    plan = prepare_interval_dense(
+        program,
+        pre,
+        localize=localize,
+        strict=strict,
+        widen=widen,
+        widening_thresholds=widening_thresholds,
+        widening_delay=widening_delay,
     )
-    wto, widening_points = widening_points_for(space, widen)
+    box: dict = {}
+    space = plan.make_program_space(lambda: box["engine"].table)
     engine = FixpointEngine(
         space,
-        node_transfer,
-        widening_points,
-        widening_thresholds=_resolve_thresholds(program, widening_thresholds),
-        widening_delay=widening_delay,
+        plan.transfer,
+        plan.widening_points,
+        widening_thresholds=plan.thresholds,
+        widening_delay=plan.widening_delay,
         narrowing_passes=narrowing_passes,
         budget=resolved_budget,
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
-        priority=wto.priority,
+        priority=plan.wto.priority,
         scheduler=scheduler,
         telemetry=tel,
         checkpointer=checkpoint,
     )
+    box["engine"] = engine
     if resume_from is not None:
         engine.restore(resume_from)
     table = engine.solve()
@@ -256,8 +381,8 @@ def run_dense(
         table,
         engine.stats,
         pre=pre,
-        defuse=defuse,
-        graph=graph,
+        defuse=plan.defuse,
+        graph=plan.graph,
         elapsed=elapsed,
         diagnostics=diagnostics,
         scheduler_stats=engine.scheduler_stats,

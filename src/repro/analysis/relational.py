@@ -25,7 +25,7 @@ from typing import Iterator
 
 from repro.analysis.datadep import generate_datadeps
 from repro.analysis.defuse import DefUseInfo
-from repro.analysis.dense import build_interproc_graph
+from repro.analysis.dense import EnginePlan, build_interproc_graph
 from repro.analysis.engine import (
     CellOps,
     CfgSpace,
@@ -675,6 +675,128 @@ def compute_rel_defuse(
 RelResult = FixpointResult
 
 
+def prepare_rel_dense(
+    program: Program,
+    pre: PreAnalysis,
+    *,
+    packs: PackSet | None = None,
+    localize: bool = False,
+    strict: bool = True,
+    widen: bool = True,
+    widening_delay: int = 0,
+) -> EnginePlan:
+    """Build the plan for ``Octagon_vanilla`` / ``Octagon_base``."""
+    if packs is None:
+        packs = build_packs(program)
+    ctx = RelContext(program, pre, packs, strict=strict)
+    graph = build_interproc_graph(program, pre.site_callees, localized=localize)
+
+    make_edge_transform = None
+    defuse = None
+    if localize:
+        defuse = compute_rel_defuse(program, pre, ctx)
+        passed = {
+            callee: set(defuse.accessed_by(callee))
+            for callee in program.procedures()
+        }
+        call_edges = graph.call_edges
+        bypass = graph.bypass_edges
+        exit_of = {
+            proc: cfg.exit.nid
+            for proc, cfg in program.cfgs.items()
+            if cfg.exit is not None
+        }
+        # exit→retbind edges are folded into the bypass edge's overlay:
+        # with a ⊤-default lattice, joining the two partial states (caller
+        # remainder vs. callee slice) erases both halves — ⊤ ⊔ v = ⊤ — so
+        # the return-site state must be assembled in one place instead.
+        folded_returns = {
+            (exit_of[c], rb)
+            for (call, rb) in bypass
+            for c in pre.site_callees.get(call, ())
+            if c in exit_of
+        }
+
+        def make_edge_transform(get_table):
+            def _overlay_return(call: int, state: PackState) -> PackState | None:
+                """The localized return-site input: per pack, each callee
+                contributes its exit value when it accesses the pack and the
+                caller's pre-call value when it does not (the value survives
+                around that callee); contributions join across callees.
+                Callees whose exit is still unreachable contribute nothing —
+                matching the vanilla engine's reachability timing."""
+                table = get_table()
+                contributions = []
+                for c in pre.site_callees.get(call, ()):
+                    es = table.get(exit_of[c]) if c in exit_of else None
+                    if es is not None:
+                        contributions.append((passed[c], es))
+                if not contributions:
+                    return None
+                cand = {p for p, _ in state.items()}
+                for acc_packs, es in contributions:
+                    for p, _ in es.items():
+                        if p in acc_packs:
+                            cand.add(p)
+                out: dict = {}
+                for p in cand:
+                    joined = None
+                    for acc_packs, es in contributions:
+                        v = es.get(p) if p in acc_packs else state.get(p)
+                        joined = v if joined is None else joined.join(v)
+                    if not joined.is_top():
+                        out[p] = joined
+                return PackState(out)
+
+            def edge_transform(
+                src: int, dst: int, state: PackState
+            ) -> PackState | None:
+                callee = call_edges.get((src, dst))
+                if callee is not None:
+                    return state.restrict(passed[callee])
+                if (src, dst) in bypass:
+                    return _overlay_return(src, state)
+                if (src, dst) in folded_returns:
+                    return None
+                return state
+
+            return edge_transform
+
+    node_map = program.factory.nodes
+
+    def node_transfer(nid: int, state: PackState) -> PackState | None:
+        return rel_transfer(node_map[nid], state, ctx)
+
+    entry = program.entry_node()
+    if strict:
+        entries = {entry.nid: PackState()}
+    else:
+        entries = {n.nid: PackState() for n in program.nodes()}
+    wto, wps = widening_points_for(GraphView((entry.nid,), graph.succs), widen)
+    return EnginePlan(
+        program=program,
+        pre=pre,
+        domain="octagon",
+        mode="base" if localize else "vanilla",
+        strict=strict,
+        widen=widen,
+        graph=graph,
+        entries=entries,
+        transfer=node_transfer,
+        state_factory=PackState,
+        wto=wto,
+        widening_points=wps,
+        thresholds=None,
+        widening_delay=widening_delay,
+        entry_nid=entry.nid,
+        node_ids=tuple(node_map.keys()),
+        make_edge_transform=make_edge_transform,
+        defuse=defuse,
+        packs=packs,
+        ctx=ctx,
+    )
+
+
 def run_rel_dense(
     program: Program,
     pre: PreAnalysis | None = None,
@@ -701,8 +823,6 @@ def run_rel_dense(
     start = time.perf_counter()
     if pre is None:
         pre = run_preanalysis(program, telemetry=tel)
-    if packs is None:
-        packs = build_packs(program)
     resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
     diagnostics = Diagnostics(budget=resolved_budget)
     degrade = (
@@ -710,109 +830,32 @@ def run_rel_dense(
         if on_budget == "degrade"
         else None
     )
-    ctx = RelContext(program, pre, packs, strict=strict)
-    graph = build_interproc_graph(program, pre.site_callees, localized=localize)
-
-    edge_transform = None
-    defuse = None
-    if localize:
-        defuse = compute_rel_defuse(program, pre, ctx)
-        passed = {
-            callee: set(defuse.accessed_by(callee))
-            for callee in program.procedures()
-        }
-        call_edges = graph.call_edges
-        bypass = graph.bypass_edges
-        exit_of = {
-            proc: cfg.exit.nid
-            for proc, cfg in program.cfgs.items()
-            if cfg.exit is not None
-        }
-        # exit→retbind edges are folded into the bypass edge's overlay:
-        # with a ⊤-default lattice, joining the two partial states (caller
-        # remainder vs. callee slice) erases both halves — ⊤ ⊔ v = ⊤ — so
-        # the return-site state must be assembled in one place instead.
-        folded_returns = {
-            (exit_of[c], rb)
-            for (call, rb) in bypass
-            for c in pre.site_callees.get(call, ())
-            if c in exit_of
-        }
-
-        def _overlay_return(call: int, state: PackState) -> PackState | None:
-            """The localized return-site input: per pack, each callee
-            contributes its exit value when it accesses the pack and the
-            caller's pre-call value when it does not (the value survives
-            around that callee); contributions join across callees.
-            Callees whose exit is still unreachable contribute nothing —
-            matching the vanilla engine's reachability timing."""
-            table = space.engine.table
-            contributions = []
-            for c in pre.site_callees.get(call, ()):
-                es = table.get(exit_of[c]) if c in exit_of else None
-                if es is not None:
-                    contributions.append((passed[c], es))
-            if not contributions:
-                return None
-            cand = {p for p, _ in state.items()}
-            for acc_packs, es in contributions:
-                for p, _ in es.items():
-                    if p in acc_packs:
-                        cand.add(p)
-            out: dict = {}
-            for p in cand:
-                joined = None
-                for acc_packs, es in contributions:
-                    v = es.get(p) if p in acc_packs else state.get(p)
-                    joined = v if joined is None else joined.join(v)
-                if not joined.is_top():
-                    out[p] = joined
-            return PackState(out)
-
-        def edge_transform(
-            src: int, dst: int, state: PackState
-        ) -> PackState | None:
-            callee = call_edges.get((src, dst))
-            if callee is not None:
-                return state.restrict(passed[callee])
-            if (src, dst) in bypass:
-                return _overlay_return(src, state)
-            if (src, dst) in folded_returns:
-                return None
-            return state
-
-    node_map = program.factory.nodes
-
-    def node_transfer(nid: int, state: PackState) -> PackState | None:
-        return rel_transfer(node_map[nid], state, ctx)
-
-    entry = program.entry_node()
-    if strict:
-        entries = {entry.nid: PackState()}
-    else:
-        entries = {n.nid: PackState() for n in program.nodes()}
-    space = CfgSpace(
-        graph.succs,
-        graph.preds,
-        entries,
-        edge_transform=edge_transform,
-        roots=[entry.nid],
+    plan = prepare_rel_dense(
+        program,
+        pre,
+        packs=packs,
+        localize=localize,
+        strict=strict,
+        widen=widen,
+        widening_delay=widening_delay,
     )
-    wto, wps = widening_points_for(space, widen)
+    box: dict = {}
+    space = plan.make_program_space(lambda: box["engine"].table)
     engine = FixpointEngine(
         space,
-        node_transfer,
-        wps,
-        widening_delay=widening_delay,
+        plan.transfer,
+        plan.widening_points,
+        widening_delay=plan.widening_delay,
         narrowing_passes=narrowing_passes,
         budget=resolved_budget,
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
-        priority=wto.priority,
+        priority=plan.wto.priority,
         scheduler=scheduler,
         telemetry=tel,
         checkpointer=checkpoint,
     )
+    box["engine"] = engine
     if resume_from is not None:
         engine.restore(resume_from)
     table = engine.solve()
@@ -823,9 +866,9 @@ def run_rel_dense(
         table,
         engine.stats,
         pre=pre,
-        defuse=defuse,
-        graph=graph,
-        packs=packs,
+        defuse=plan.defuse,
+        graph=plan.graph,
+        packs=plan.packs,
         elapsed=time.perf_counter() - start,
         diagnostics=diagnostics,
         scheduler_stats=engine.scheduler_stats,
@@ -880,6 +923,16 @@ class PackCells(CellOps):
 
     def assemble(self, in_edges, table) -> PackState:
         state = PackState()
+        for pack, oct_ in self.assemble_cache(in_edges, table).items():
+            if oct_ is not None:
+                state.set(pack, oct_)
+        return state
+
+    def assemble_cache(self, in_edges, table) -> dict:
+        # Rebuilding from final source states reproduces the sequentially
+        # accumulated cache: states only grow during ascent, so the join
+        # over the push history equals the join of the final values, and a
+        # pack missing from a final state (⊤) was ⊤ on its last push too.
         acc: dict[Pack, Octagon | None] = {}  # None = already ⊤
         for src, packs in in_edges:
             src_state = table.get(src)
@@ -898,10 +951,7 @@ class PackCells(CellOps):
                     acc[pack] = None if joined.is_top() else joined
                 else:
                     acc[pack] = value
-        for pack, oct_ in acc.items():
-            if oct_ is not None:
-                state.set(pack, oct_)
-        return state
+        return acc
 
     def cache_to_wire(self, cache):
         from repro.runtime.checkpoint import octagon_to_wire, pack_to_wire
@@ -924,6 +974,76 @@ class PackCells(CellOps):
             )
             for pack_w, oct_w in wire
         }
+
+
+def prepare_rel_sparse(
+    program: Program,
+    pre: PreAnalysis,
+    *,
+    packs: PackSet | None = None,
+    method: str = "ssa",
+    bypass: bool = True,
+    strict: bool = True,
+    widen: bool = True,
+    widening_delay: int = 0,
+    telemetry=None,
+) -> EnginePlan:
+    """Build the plan for ``Octagon_sparse``: pack-granular D̂/Û and
+    dependency generation over the shared control graph."""
+    tel = Telemetry.coerce(telemetry)
+    if packs is None:
+        packs = build_packs(program)
+    ctx = RelContext(program, pre, packs, strict=strict)
+
+    t_dep = time.perf_counter()
+    with tel.span("dep-gen", method=method, bypass=bypass, domain="octagon"):
+        graph = build_interproc_graph(program, pre.site_callees, localized=False)
+        wto, wps = widening_points_for(
+            GraphView((program.entry_node().nid,), graph.succs), widen
+        )
+        defuse = compute_rel_defuse(program, pre, ctx)
+        dep_result = generate_datadeps(
+            program,
+            pre,
+            defuse,
+            method=method,
+            bypass=bypass,
+            widening_points=wps,
+            telemetry=tel,
+        )
+    time_dep = time.perf_counter() - t_dep
+
+    node_map = program.factory.nodes
+
+    def node_transfer(nid: int, state: PackState) -> PackState | None:
+        return rel_transfer(node_map[nid], state, ctx)
+
+    return EnginePlan(
+        program=program,
+        pre=pre,
+        domain="octagon",
+        mode="sparse",
+        strict=strict,
+        widen=widen,
+        graph=graph,
+        entries={},
+        transfer=node_transfer,
+        state_factory=PackState,
+        wto=wto,
+        widening_points=wps,
+        thresholds=None,
+        widening_delay=widening_delay,
+        entry_nid=program.entry_node().nid,
+        node_ids=tuple(node_map.keys()),
+        deps=dep_result.deps,
+        cells_factory=PackCells,
+        dep_count=len(dep_result.deps),
+        raw_dep_count=dep_result.raw_dep_count,
+        defuse=defuse,
+        packs=packs,
+        ctx=ctx,
+        time_dep=time_dep,
+    )
 
 
 def run_rel_sparse(
@@ -953,9 +1073,6 @@ def run_rel_sparse(
     start = time.perf_counter()
     if pre is None:
         pre = run_preanalysis(program, telemetry=tel)
-    if packs is None:
-        packs = build_packs(program)
-    ctx = RelContext(program, pre, packs, strict=strict)
     resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
     diagnostics = Diagnostics(budget=resolved_budget)
     degrade = (
@@ -963,50 +1080,31 @@ def run_rel_sparse(
         if on_budget == "degrade"
         else None
     )
-
-    t_dep = time.perf_counter()
-    with tel.span("dep-gen", method=method, bypass=bypass, domain="octagon"):
-        graph = build_interproc_graph(program, pre.site_callees, localized=False)
-        wto, wps = widening_points_for(
-            GraphView((program.entry_node().nid,), graph.succs), widen
-        )
-        defuse = compute_rel_defuse(program, pre, ctx)
-        dep_result = generate_datadeps(
-            program,
-            pre,
-            defuse,
-            method=method,
-            bypass=bypass,
-            widening_points=wps,
-            telemetry=tel,
-        )
-    time_dep = time.perf_counter() - t_dep
+    plan = prepare_rel_sparse(
+        program,
+        pre,
+        packs=packs,
+        method=method,
+        bypass=bypass,
+        strict=strict,
+        widen=widen,
+        widening_delay=widening_delay,
+        telemetry=tel,
+    )
 
     t_fix = time.perf_counter()
-    node_map = program.factory.nodes
-
-    def node_transfer(nid: int, state: PackState) -> PackState | None:
-        return rel_transfer(node_map[nid], state, ctx)
-
-    space = DepGraphSpace(
-        dep_result.deps,
-        graph,
-        PackCells(),
-        node_ids=node_map.keys(),
-        entry=program.entry_node().nid,
-        strict=strict,
-    )
+    space = plan.make_program_space()
     engine = FixpointEngine(
         space,
-        node_transfer,
-        wps,
-        widening_delay=widening_delay,
+        plan.transfer,
+        plan.widening_points,
+        widening_delay=plan.widening_delay,
         narrowing_passes=narrowing_passes,
         budget=resolved_budget,
         stage="sparse relational fixpoint",
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
-        priority=wto.priority,
+        priority=plan.wto.priority,
         scheduler=scheduler,
         telemetry=tel,
         checkpointer=checkpoint,
@@ -1017,22 +1115,22 @@ def run_rel_sparse(
     time_fix = time.perf_counter() - t_fix
 
     stats = engine.stats
-    stats.time_dep = time_dep
+    stats.time_dep = plan.time_dep
     stats.time_fix = time_fix
-    stats.dep_count = len(dep_result.deps)
-    stats.raw_dep_count = dep_result.raw_dep_count
+    stats.dep_count = plan.dep_count
+    stats.raw_dep_count = plan.raw_dep_count
     diagnostics.iterations = stats.iterations
-    diagnostics.timings.update(dep=time_dep, fix=time_fix)
+    diagnostics.timings.update(dep=plan.time_dep, fix=time_fix)
     if engine.scheduler_stats is not None:
         diagnostics.scheduler = engine.scheduler_stats.as_dict()
     return FixpointResult(
         table,
         stats,
         pre=pre,
-        defuse=defuse,
-        deps=dep_result.deps,
-        graph=graph,
-        packs=packs,
+        defuse=plan.defuse,
+        deps=plan.deps,
+        graph=plan.graph,
+        packs=plan.packs,
         elapsed=time.perf_counter() - start,
         diagnostics=diagnostics,
         scheduler_stats=engine.scheduler_stats,

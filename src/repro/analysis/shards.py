@@ -1,0 +1,832 @@
+"""The SCC-sharded whole-program driver.
+
+The interprocedural fixpoint is restructured into three explicit stages:
+
+1. **Condensation + scheduling** — the call graph collapses to its SCC DAG
+   (:meth:`repro.ir.callgraph.CallGraph.condense`); a ready-set scheduler
+   activates the dirty shards that have no dirty caller
+   (:meth:`~repro.ir.callgraph.SCCDag.ready_set`), so callee shards always
+   solve against caller summaries that are stable *this wave*.
+2. **Per-SCC solving under a priority ceiling** — each activation runs an
+   ordinary :class:`~repro.analysis.engine.FixpointEngine` over a
+   shard-restricted propagation space, against frozen external boundary
+   states (the frontier). The activation is the *sequential* WTO priority
+   queue restricted to one shard: it stops the moment the next pop's
+   priority reaches the ceiling — the lowest pending priority in any other
+   dirty shard, further lowered live whenever the activation itself creates
+   pending work across a boundary. Because an SCC contains every recursion
+   cycle whole, no summary ever cuts a recursive seam.
+3. **Commit + propagation** — each wave commits exactly one outcome: the
+   shard whose pending work carries the globally lowest priority. Its
+   boundary-source states are diffed against their pre-activation
+   snapshots, and every changed summary channel seeds/dirties its
+   destination shard. The committed pop sequence therefore *is* the
+   sequential engine's pop sequence, batched into priority-contiguous
+   segments — tables are byte-identical to the sequential engines. With
+   ``jobs > 1`` the remaining dirty shards with disjoint descendant cones
+   run concurrently as *speculation* (no ceiling); a speculative outcome is
+   reused at commit time only if its inputs still match and its ceiling
+   condition validates, so ``--jobs 1`` and ``--jobs N`` stay identical.
+
+Narrowing runs globally after convergence over the full-program space, in
+the same sorted-node order as the sequential engine.
+
+Both executors implement :class:`ShardExecutor`; the process-pool one lives
+in :mod:`repro.runtime.shardpool` and ships :class:`ShardTask`/
+:class:`ShardOutcome` messages with the checkpoint wire codecs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.analysis.engine import (
+    CfgSpace,
+    DepGraphSpace,
+    FixpointEngine,
+    FixpointResult,
+    FixpointStats,
+)
+from repro.analysis.summaries import (
+    ShardOutcome,
+    ShardTask,
+    ShardTopology,
+    build_topology,
+    extract_summaries,
+)
+from repro.runtime.degrade import Diagnostics
+from repro.runtime.errors import AnalysisError
+from repro.telemetry.core import Telemetry
+
+if TYPE_CHECKING:
+    from repro.analysis.dense import EnginePlan
+
+#: options accepted alongside ``jobs=`` (everything else is either handled
+#: globally by the driver or incompatible with sharding — see api.analyze)
+SHARD_OPTIONS = (
+    "strict",
+    "widen",
+    "narrowing_passes",
+    "widening_thresholds",
+    "widening_delay",
+    "method",
+    "bypass",
+)
+
+
+class _GraphStub:
+    """A shard's view of the control graph for :class:`DepGraphSpace`:
+    internal successors only, so reachability and degraded-state absorption
+    never leak onto foreign nodes."""
+
+    def __init__(self, succs) -> None:
+        self.succs = succs
+
+
+class _Ceiling:
+    """The activation's priority ceiling, shared between shard space and
+    engine: starts at the task's static ceiling (the lowest pending
+    priority in any other dirty shard) and is lowered whenever this
+    activation creates pending work across a shard boundary. The engine
+    stops before popping any node at or above it — the sequential priority
+    queue would drain the foreign work first."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+    def lower(self, p: float) -> None:
+        if p < self.value:
+            self.value = p
+
+
+class _ShardCfgSpace(CfgSpace):
+    """CFG propagation restricted to one shard: internal successors drive
+    propagation, but inputs still pull from the *global* predecessor map —
+    external predecessor states are preloaded into the engine table as the
+    frontier, so ``input_for`` sees exactly what the sequential engine sees
+    at the seam. A state change at a boundary source creates pending work
+    in the successor's shard, so it lowers the ceiling to the earliest
+    external successor priority."""
+
+    def __init__(
+        self,
+        succs,
+        preds,
+        entries,
+        edge_transform,
+        seeds,
+        ext_succs,
+        nprio,
+        ceiling,
+    ) -> None:
+        super().__init__(succs, preds, entries, edge_transform, roots=seeds)
+        self._seed_list = list(seeds)
+        self._ext_succs = ext_succs
+        self._nprio = nprio
+        self.ceiling = ceiling
+
+    def seeds(self):
+        return list(self._seed_list)
+
+    def propagate(self, nid, out, changed, work):
+        super().propagate(nid, out, changed, work)
+        for dst in self._ext_succs.get(nid, ()):
+            self.ceiling.lower(self._nprio(dst))
+
+
+class _LazyCaches(dict):
+    """``in_cache`` that reconstitutes a consumer's push cache on first
+    touch instead of eagerly for every internal node. A ceiling-limited
+    activation visits a handful of nodes; assembling the whole shard's
+    caches up front made cache assembly dominate wall clock on wave-heavy
+    programs. Assembly reads the *pristine* task states (the parent's
+    merged table, never mutated during the activation), so a lazily
+    assembled cache is byte-identical to one assembled before the engine
+    started."""
+
+    __slots__ = ("_assemble",)
+
+    def __init__(self, assemble) -> None:
+        super().__init__()
+        self._assemble = assemble
+
+    def __missing__(self, nid):
+        cache = self._assemble(nid)
+        self[nid] = cache
+        return cache
+
+
+class _ShardDepSpace(DepGraphSpace):
+    """Dependency propagation restricted to one shard. The dependency graph
+    stays global — pushes to external consumers land in caches that are
+    never popped (``runnable`` gates on the shard-local ``reached`` set) —
+    while the control graph is the internal-only stub. Seeds come from the
+    task: nodes newly reached across a control seam (marked + enqueued) and
+    dependency consumers whose external producer changed (enqueued only;
+    reachability decides whether they run, same as a sequential cache
+    push). Boundary crossings — a push that grows an external consumer's
+    cache, or the first output of a node with external control successors —
+    lower the ceiling to the crossing's destination priority."""
+
+    def __init__(
+        self,
+        deps,
+        graph,
+        cells,
+        node_ids,
+        entry,
+        strict,
+        *,
+        first,
+        seed_reach,
+        seed_enqueue,
+        reached,
+        ext_succs,
+        nprio,
+        ceiling,
+        pristine,
+    ) -> None:
+        super().__init__(deps, graph, cells, node_ids, entry, strict)
+        #: frozen activation inputs (table slice ∪ frontier) — read-only
+        #: source for lazy cache assembly
+        self._pristine = pristine
+        self.in_cache = _LazyCaches(self._assemble_lazy)
+        self._first = first
+        self._seed_reach = list(seed_reach)
+        self._seed_enqueue = list(seed_enqueue)
+        self.reached = set(reached)
+        self._internal = frozenset(node_ids)
+        self._ext_succs = ext_succs
+        self._nprio = nprio
+        self.ceiling = ceiling
+        #: sources whose control export the parent already knows about — a
+        #: node holding a table state produced output in some earlier
+        #: activation, so re-exporting cannot create new foreign pending
+        self._exported: set[int] = set()
+
+    def _assemble_lazy(self, nid):
+        # Reconstitute an internal consumer's push cache from the merged
+        # table: states only grow during ascent, so a cache rebuilt from
+        # final producer values equals the sequentially accumulated one
+        # (see CellOps.assemble_cache). External consumers start empty —
+        # their caches exist only so a growing push can lower the ceiling.
+        if nid in self._internal:
+            edges = self._deps.in_edges(nid)
+            if edges:
+                return self._cells.assemble_cache(edges, self._pristine)
+        return self._cells.new_cache()
+
+    def input_for(self, nid):
+        return self._cells.input_state(self.in_cache[nid])
+
+    def seeds(self):
+        enq = set(self._seed_enqueue)
+        if self._first and not self._strict:
+            # Non-strict (paper) mode: every shard control point runs.
+            self.reached.update(self._node_ids)
+            enq.update(self._node_ids)
+        self.reached.update(self._seed_reach)
+        enq.update(self._seed_reach)
+        return sorted(enq)
+
+    def after_transfer(self, nid, work):
+        super().after_transfer(nid, work)
+        if nid not in self._exported:
+            self._exported.add(nid)
+            for dst in self._ext_succs.get(nid, ()):
+                self.ceiling.lower(self._nprio(dst))
+
+    def propagate(self, nid, out, changed, work):
+        # Reimplements DepGraphSpace.propagate (the shard path injects no
+        # faults) so a push that grows an *external* consumer's cache can
+        # lower the ceiling — that consumer is now pending in its shard.
+        cells = self._cells
+        for dst, locs in self._deps.out_edges(nid):
+            touched = locs if changed is None else (locs & changed)
+            if not touched:
+                continue
+            if cells.push(self.in_cache[dst], touched, out):
+                if dst in self.reached:
+                    work.add(dst)
+                elif dst not in self._internal:
+                    self.ceiling.lower(self._nprio(dst))
+
+
+def solve_shard(
+    plan: "EnginePlan",
+    topo: ShardTopology,
+    task: ShardTask,
+    *,
+    telemetry=None,
+) -> ShardOutcome:
+    """Run one shard activation up to its priority ceiling and return the
+    updated internal slice. Engines are rebuilt per activation from the
+    plan — the carried state is exactly the task payload (table slice,
+    reachability, widening counters, ceiling), which is what makes
+    activations executor-agnostic, retry-safe, and speculation-safe: the
+    task's own states are copied before the engine mutates anything, so the
+    driver can compare a cached task against a rebuilt one at commit time.
+    """
+    tel = Telemetry.coerce(telemetry)
+    s = task.shard
+    t0 = time.perf_counter()
+    c0 = time.process_time()
+    with tel.span("shard", shard=s, wave=task.wave):
+        init_table = {nid: st.copy() for nid, st in task.table.items()}
+        for nid, st in task.frontier.items():
+            init_table[nid] = st.copy()
+        prio_map = plan.wto.priority
+        base = len(prio_map)
+
+        def nprio(nid: int) -> int:
+            p = prio_map.get(nid)
+            return base + nid if p is None else p
+
+        ceiling = _Ceiling(
+            float("inf") if task.ceiling is None else task.ceiling
+        )
+        box: dict = {}
+        if plan.sparse:
+            cells = plan.cells_factory()
+            # The lazy caches assemble from the *task* states, not the
+            # engine's working copies — the task payload stays unmutated
+            # for the whole activation, so first-touch assembly sees the
+            # same values eager assembly at engine start would have.
+            pristine = dict(task.table)
+            pristine.update(task.frontier)
+            space = _ShardDepSpace(
+                plan.deps,
+                _GraphStub(topo.int_succs[s]),
+                cells,
+                node_ids=topo.nodes_of[s],
+                entry=plan.entry_nid,
+                strict=plan.strict,
+                first=task.first,
+                seed_reach=task.reach,
+                seed_enqueue=task.enqueue,
+                reached=task.reached,
+                ext_succs=topo.ext_ctrl_succs[s],
+                nprio=nprio,
+                ceiling=ceiling,
+                pristine=pristine,
+            )
+            # A node already holding a table state exported its output in an
+            # earlier activation; only *first* outputs cross the boundary.
+            space._exported.update(
+                nid for nid in topo.nodes_of[s] if nid in init_table
+            )
+        else:
+            entries = {
+                nid: st
+                for nid, st in plan.entries.items()
+                if topo.node_shard.get(nid) == s
+            }
+            seeds = set(task.seeds)
+            if task.first:
+                seeds.update(entries)
+            space = _ShardCfgSpace(
+                topo.int_succs[s],
+                plan.graph.preds,
+                entries,
+                plan.edge_transform_for(lambda: box["engine"].table),
+                sorted(seeds),
+                topo.ext_ctrl_succs[s],
+                nprio,
+                ceiling,
+            )
+        engine = FixpointEngine(
+            space,
+            plan.transfer,
+            plan.widening_points,
+            widening_thresholds=plan.thresholds,
+            widening_delay=plan.widening_delay,
+            priority=plan.wto.priority,
+            scheduler="wto",
+            stage="shard",
+            telemetry=tel,
+            ceiling=ceiling,
+        )
+        box["engine"] = engine
+        engine.preload_table(init_table, growth=task.growth)
+        table = engine.solve()
+    internal = {
+        nid: table[nid] for nid in topo.nodes_of[s] if nid in table
+    }
+    reached = (
+        tuple(sorted(space.reached)) if plan.sparse else ()
+    )
+    growth = {
+        nid: c
+        for nid, c in engine._growth.items()
+        if topo.node_shard.get(nid) == s
+    }
+    return ShardOutcome(
+        shard=s,
+        wave=task.wave,
+        table=internal,
+        reached=reached,
+        growth=growth,
+        deferred=tuple(engine.stopped_pending),
+        iterations=engine.stats.iterations,
+        visited=tuple(sorted(engine.stats.visited)),
+        max_worklist=engine.stats.max_worklist,
+        max_pop=engine.max_pop,
+        wall=time.perf_counter() - t0,
+        cpu=time.process_time() - c0,
+    )
+
+
+# --------------------------------------------------------------------------
+# Executors
+# --------------------------------------------------------------------------
+
+
+class ShardExecutor:
+    """How a wave of shard activations is executed. Implementations must
+    return one outcome per task (order irrelevant; the driver commits by
+    shard id) and must not share mutable state between tasks beyond what
+    the tasks themselves carry."""
+
+    name = "abstract"
+
+    def start(self, plan, topo, *, telemetry=None) -> None:
+        raise NotImplementedError
+
+    def run_wave(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def events(self) -> list[str]:
+        return []
+
+
+class SerialShardExecutor(ShardExecutor):
+    """In-process reference executor — the refactored default path. Shard
+    engines run one after another against the same task payloads a parallel
+    executor would ship, so its results define the expected output of every
+    other executor."""
+
+    name = "serial"
+
+    def start(self, plan, topo, *, telemetry=None) -> None:
+        self._plan = plan
+        self._topo = topo
+        self._telemetry = Telemetry.coerce(telemetry)
+
+    def run_wave(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
+        return [
+            solve_shard(
+                self._plan,
+                self._topo,
+                task,
+                telemetry=self._telemetry,
+            )
+            for task in tasks
+        ]
+
+
+# --------------------------------------------------------------------------
+# The wave driver
+# --------------------------------------------------------------------------
+
+
+def _state_changed(old, new) -> bool:
+    if old is None and new is None:
+        return False
+    if old is None or new is None:
+        return True
+    return old != new
+
+
+def _locs_changed(old, new, locs) -> bool:
+    if new is None:
+        return False
+    if old is None:
+        return True
+    return any(old.get(loc) != new.get(loc) for loc in locs)
+
+
+def _prepare_plan(program, pre, domain, mode, options, tel) -> "EnginePlan":
+    strict = options.get("strict", True)
+    widen = options.get("widen", True)
+    delay = options.get("widening_delay", 0)
+    thresholds = options.get("widening_thresholds")
+    if domain == "interval":
+        if mode == "sparse":
+            from repro.analysis.sparse import prepare_interval_sparse
+
+            return prepare_interval_sparse(
+                program,
+                pre,
+                method=options.get("method", "ssa"),
+                bypass=options.get("bypass", True),
+                strict=strict,
+                widen=widen,
+                widening_thresholds=thresholds,
+                widening_delay=delay,
+                telemetry=tel,
+            )
+        from repro.analysis.dense import prepare_interval_dense
+
+        return prepare_interval_dense(
+            program,
+            pre,
+            localize=(mode == "base"),
+            strict=strict,
+            widen=widen,
+            widening_thresholds=thresholds,
+            widening_delay=delay,
+        )
+    if domain == "octagon":
+        if mode == "sparse":
+            from repro.analysis.relational import prepare_rel_sparse
+
+            return prepare_rel_sparse(
+                program,
+                pre,
+                method=options.get("method", "ssa"),
+                bypass=options.get("bypass", True),
+                strict=strict,
+                widen=widen,
+                widening_delay=delay,
+                telemetry=tel,
+            )
+        from repro.analysis.relational import prepare_rel_dense
+
+        return prepare_rel_dense(
+            program,
+            pre,
+            localize=(mode == "base"),
+            strict=strict,
+            widen=widen,
+            widening_delay=delay,
+        )
+    raise ValueError(f"unknown domain {domain!r}")
+
+
+def run_sharded(
+    program,
+    pre=None,
+    domain: str = "interval",
+    mode: str = "sparse",
+    *,
+    jobs: int = 1,
+    telemetry=None,
+    executor: ShardExecutor | None = None,
+    **options,
+) -> FixpointResult:
+    """Solve the whole-program fixpoint via SCC shards and summary commits.
+
+    ``jobs`` selects the executor: 1 runs shards serially in-process, >1
+    uses the process pool (:class:`repro.runtime.shardpool.
+    ProcessShardExecutor`). Results are independent of ``jobs`` — every
+    wave commits exactly one outcome, the globally lowest-priority dirty
+    shard run under its priority ceiling; extra jobs only *speculate* on
+    cone-disjoint shards and their cached outcomes are validated before
+    reuse. Unsupported option keys raise ``ValueError`` (the caller —
+    ``api.analyze`` — vets resilience knobs that cannot be sharded)."""
+    unknown = set(options) - set(SHARD_OPTIONS)
+    if unknown:
+        raise ValueError(
+            f"options not supported with sharded execution: {sorted(unknown)}"
+        )
+    tel = Telemetry.coerce(telemetry)
+    start = time.perf_counter()
+    t_pre = 0.0
+    if pre is None:
+        t0 = time.perf_counter()
+        from repro.analysis.preanalysis import run_preanalysis
+
+        pre = run_preanalysis(program, telemetry=tel)
+        t_pre = time.perf_counter() - t0
+
+    plan = _prepare_plan(program, pre, domain, mode, options, tel)
+    topo = build_topology(plan)
+    n = len(topo)
+    narrowing_passes = options.get("narrowing_passes", 0)
+
+    if executor is None:
+        if jobs > 1:
+            from repro.runtime.shardpool import ProcessShardExecutor
+
+            executor = ProcessShardExecutor(jobs)
+        else:
+            executor = SerialShardExecutor()
+    executor.start(plan, topo, telemetry=tel)
+
+    table: dict[int, object] = {}
+    reached: list[set[int]] = [set() for _ in range(n)]
+    growth: list[dict[int, int]] = [dict() for _ in range(n)]
+    first: list[bool] = [True] * n
+    pending_seeds: list[set[int]] = [set() for _ in range(n)]
+    pending_reach: list[set[int]] = [set() for _ in range(n)]
+    pending_enqueue: list[set[int]] = [set() for _ in range(n)]
+
+    stats = FixpointStats()
+    dirty: set[int] = set()
+    if plan.strict:
+        s0 = topo.node_shard[plan.entry_nid]
+        dirty.add(s0)
+        if plan.sparse:
+            pending_reach[s0].add(plan.entry_nid)
+    else:
+        dirty.update(range(n))
+
+    # Implicit seeds of a first activation (they carry no pending entry but
+    # still anchor the shard's earliest priority): the plan's entry seeds
+    # for dense spaces, every member for non-strict sparse.
+    if plan.sparse:
+        first_nodes = (
+            topo.nodes_of if not plan.strict else ((),) * n
+        )
+    else:
+        first_nodes = tuple(
+            tuple(nid for nid in topo.nodes_of[s] if nid in plan.entries)
+            for s in range(n)
+        )
+    prio_map = plan.wto.priority
+    base = len(prio_map)
+
+    def nprio(nid: int) -> int:
+        # Same fallback as PriorityWorklist._prio: unmapped nodes sort
+        # after every mapped one, injectively.
+        p = prio_map.get(nid)
+        return base + nid if p is None else p
+
+    def _min_prio(s: int) -> float:
+        pending = pending_seeds[s] | pending_reach[s] | pending_enqueue[s]
+        if first[s]:
+            pending = pending.union(first_nodes[s])
+        return min((nprio(nid) for nid in pending), default=float("inf"))
+
+    def _build_task(s: int, ceiling: int | None) -> ShardTask:
+        # Live references are safe: solve_shard copies every state before
+        # its engine mutates anything, and commits *replace* table entries
+        # rather than mutating them — so a cached speculative task still
+        # holds the values it ran against, and comparing it against a
+        # freshly built task compares abstract values, not identities.
+        return ShardTask(
+            shard=s,
+            wave=waves,
+            first=first[s],
+            ceiling=ceiling,
+            frontier={
+                src: table[src] for src in topo.in_srcs[s] if src in table
+            },
+            table={
+                nid: table[nid] for nid in topo.nodes_of[s] if nid in table
+            },
+            seeds=tuple(sorted(pending_seeds[s])),
+            reach=tuple(sorted(pending_reach[s])),
+            enqueue=tuple(sorted(pending_enqueue[s])),
+            reached=tuple(sorted(reached[s])),
+            growth=dict(growth[s]),
+        )
+
+    def _spec_valid(cached: ShardTask, out: ShardOutcome, new: ShardTask) -> bool:
+        # A speculative run (static ceiling = ∞, dynamic lowering still
+        # active) replayed exactly what a committed run would do iff the
+        # inputs are unchanged and the commit-time static ceiling would not
+        # have blocked any pop the cached run made — popped priorities are
+        # tracked as out.max_pop, including pops the runnable gate skipped.
+        if (
+            cached.first != new.first
+            or cached.seeds != new.seeds
+            or cached.reach != new.reach
+            or cached.enqueue != new.enqueue
+            or cached.reached != new.reached
+            or cached.growth != new.growth
+            or cached.frontier != new.frontier
+            or cached.table != new.table
+        ):
+            return False
+        return new.ceiling is None or new.ceiling > out.max_pop
+
+    #: shard → (task it ran against, its outcome), from speculative runs
+    spec: dict[int, tuple[ShardTask, ShardOutcome]] = {}
+    spec_runs = 0
+    spec_hits = 0
+    waves = 0
+    idle = 0
+    t_fix = time.perf_counter()
+    try:
+        with tel.span("fixpoint", stage="sharded", jobs=jobs, shards=n):
+            while dirty:
+                order = sorted(dirty, key=lambda s: (_min_prio(s), s))
+                s0 = order[0]
+                # Static ceiling: the earliest pending priority anywhere
+                # else — the sequential queue would switch shards there.
+                ceiling0 = (
+                    min(_min_prio(s) for s in order[1:])
+                    if len(order) > 1
+                    else None
+                )
+                if ceiling0 is not None and ceiling0 == float("inf"):
+                    ceiling0 = None
+                task0 = _build_task(s0, ceiling0)
+
+                outcome = None
+                entry = spec.pop(s0, None)
+                if entry is not None and _spec_valid(entry[0], entry[1], task0):
+                    outcome = entry[1]
+                    spec_hits += 1
+                if outcome is None:
+                    tasks = [task0]
+                    if jobs > 1:
+                        # Speculate on the next dirty shards in pending-
+                        # priority order (no static ceiling — dynamic
+                        # boundary crossings still stop them, which is what
+                        # usually makes the cached outcome validate).
+                        # Cone-disjoint candidates go first: no shared
+                        # control point downstream, so their inputs are the
+                        # least likely to shift before their commit.
+                        covered = set(topo.cones[s0])
+                        near, far = [], []
+                        for s in order[1:]:
+                            disjoint = covered.isdisjoint(topo.cones[s])
+                            covered |= topo.cones[s]
+                            if s in spec:
+                                continue
+                            (near if disjoint else far).append(s)
+                        for s in (near + far)[: jobs - 1]:
+                            tasks.append(_build_task(s, None))
+                    outs = {o.shard: o for o in executor.run_wave(tasks)}
+                    outcome = outs[s0]
+                    for t in tasks[1:]:
+                        o = outs.get(t.shard)
+                        if o is not None:
+                            spec[t.shard] = (t, o)
+                            spec_runs += 1
+
+                # -- commit s0 (and only s0) --
+                snap = {
+                    src: (table[src].copy() if src in table else None)
+                    for src in topo.out_srcs[s0]
+                }
+                pending_seeds[s0].clear()
+                pending_reach[s0].clear()
+                pending_enqueue[s0].clear()
+                table.update(outcome.table)
+                reached[s0] = set(outcome.reached)
+                growth[s0] = dict(outcome.growth)
+                first[s0] = False
+                dirty.discard(s0)
+                if outcome.deferred:
+                    # Work the ceiling cut off: still pending, still ours.
+                    if plan.sparse:
+                        pending_enqueue[s0].update(outcome.deferred)
+                    else:
+                        pending_seeds[s0].update(outcome.deferred)
+                    dirty.add(s0)
+                stats.iterations += outcome.iterations
+                stats.visited.update(outcome.visited)
+                stats.max_worklist = max(
+                    stats.max_worklist, outcome.max_worklist
+                )
+
+                # Diff s0's summary channels, dirty downstream shards.
+                for src, dst in topo.ext_control_out[s0]:
+                    ds = topo.node_shard[dst]
+                    if plan.sparse:
+                        # Control seams carry reachability only: a node
+                        # that produced output reaches its successors
+                        # (src ∈ table ⇔ its transfer ran and returned a
+                        # state, the after_transfer condition).
+                        if (
+                            src in table
+                            and dst not in reached[ds]
+                            and dst not in pending_reach[ds]
+                        ):
+                            pending_reach[ds].add(dst)
+                            dirty.add(ds)
+                            spec.pop(ds, None)
+                    elif _state_changed(snap.get(src), table.get(src)):
+                        pending_seeds[ds].add(dst)
+                        dirty.add(ds)
+                        spec.pop(ds, None)
+                for src, dst, locs in topo.ext_dep_out[s0]:
+                    ds = topo.node_shard[dst]
+                    # Unreached consumers need no pending entry: when they
+                    # are reached later, their cache is rebuilt from the
+                    # table at activation start and already includes this
+                    # change.
+                    if dst in reached[ds] and _locs_changed(
+                        snap.get(src), table.get(src), locs
+                    ):
+                        pending_enqueue[ds].add(dst)
+                        dirty.add(ds)
+                        spec.pop(ds, None)
+
+                waves += 1
+                idle = idle + 1 if outcome.iterations == 0 else 0
+                if idle > 10_000:
+                    raise AnalysisError(
+                        "sharded driver stalled: "
+                        f"{idle} consecutive empty activations "
+                        f"after {waves} waves"
+                    )
+    finally:
+        executor.close()
+
+    # Global narrowing over the full-program space, in the sequential
+    # engine's sorted-node order, against the merged ascending table.
+    if narrowing_passes:
+        box: dict = {}
+        space = plan.make_program_space(lambda: box["engine"].table)
+        narrow_engine = FixpointEngine(
+            space,
+            plan.transfer,
+            plan.widening_points,
+            widening_thresholds=plan.thresholds,
+            priority=plan.wto.priority,
+            telemetry=tel,
+        )
+        box["engine"] = narrow_engine
+        narrow_engine.preload_table(table)
+        before = narrow_engine.stats.iterations
+        with tel.span("narrowing", passes=narrowing_passes) as sp:
+            narrow_engine.narrow(narrowing_passes)
+            sp.set(iterations=narrow_engine.stats.iterations - before)
+        table = narrow_engine.table
+        stats.iterations += narrow_engine.stats.iterations
+
+    stats.time_pre = t_pre
+    stats.time_dep = plan.time_dep
+    stats.time_fix = time.perf_counter() - t_fix
+    stats.dep_count = plan.dep_count
+    stats.raw_dep_count = plan.raw_dep_count
+    if plan.sparse:
+        stats.reachable_nodes = sum(len(r) for r in reached)
+
+    diagnostics = Diagnostics()
+    diagnostics.iterations = stats.iterations
+    diagnostics.timings.update(
+        pre=stats.time_pre, dep=stats.time_dep, fix=stats.time_fix
+    )
+    diagnostics.events.append(
+        f"sharded fixpoint: {n} shards, {waves} waves, jobs={jobs}, "
+        f"executor={executor.name}, speculative={spec_hits}/{spec_runs}"
+    )
+    diagnostics.events.extend(executor.events())
+
+    return FixpointResult(
+        table,
+        stats,
+        pre=pre,
+        defuse=plan.defuse,
+        deps=plan.deps,
+        graph=plan.graph,
+        packs=plan.packs,
+        elapsed=time.perf_counter() - start,
+        diagnostics=diagnostics,
+        bottom=plan.state_factory,
+        summaries=extract_summaries(program, table),
+    )

@@ -27,7 +27,11 @@ import time
 
 from repro.analysis.datadep import DataDepResult, generate_datadeps
 from repro.analysis.defuse import DefUseInfo, compute_defuse
-from repro.analysis.dense import _resolve_thresholds, build_interproc_graph
+from repro.analysis.dense import (
+    EnginePlan,
+    _resolve_thresholds,
+    build_interproc_graph,
+)
 from repro.analysis.engine import (
     DepGraphSpace,
     FixpointEngine,
@@ -47,6 +51,82 @@ from repro.telemetry.core import Telemetry
 #: Legacy aliases — the sparse engine shares the unified result surface.
 SparseStats = FixpointStats
 SparseResult = FixpointResult
+
+
+def prepare_interval_sparse(
+    program: Program,
+    pre: PreAnalysis,
+    *,
+    method: str = "ssa",
+    bypass: bool = True,
+    strict: bool = True,
+    widen: bool = True,
+    widening_thresholds: tuple[int, ...] | str | None = None,
+    widening_delay: int = 0,
+    defuse: DefUseInfo | None = None,
+    dep_result: DataDepResult | None = None,
+    telemetry=None,
+) -> EnginePlan:
+    """Build the plan for ``Interval_sparse``: control graph, WTO, D̂/Û,
+    and dependency generation (the Dep phase) — everything up to, but not
+    including, fixpoint iteration."""
+    tel = Telemetry.coerce(telemetry)
+    t1 = time.perf_counter()
+    with tel.span("dep-gen", method=method, bypass=bypass):
+        graph = build_interproc_graph(program, pre.site_callees, localized=False)
+        # Widening points come from the *control* graph's WTO (shared with
+        # the dense engine) and must exist before dependency generation,
+        # which cuts dependency chains at them.
+        wto, widening_points = widening_points_for(
+            GraphView((program.entry_node().nid,), graph.succs), widen
+        )
+        if defuse is None:
+            defuse = compute_defuse(program, pre)
+        if dep_result is None:
+            dep_result = generate_datadeps(
+                program,
+                pre,
+                defuse,
+                method=method,
+                bypass=bypass,
+                widening_points=widening_points,
+                telemetry=tel,
+            )
+    time_dep = time.perf_counter() - t1
+
+    ctx = AnalysisContext(program, pre.site_callees, strict=strict)
+    node_map = program.factory.nodes
+
+    def node_transfer(nid, state):
+        return transfer(node_map[nid], state, ctx)
+
+    from repro.domains.state import AbsState
+
+    return EnginePlan(
+        program=program,
+        pre=pre,
+        domain="interval",
+        mode="sparse",
+        strict=strict,
+        widen=widen,
+        graph=graph,
+        entries={},
+        transfer=node_transfer,
+        state_factory=AbsState,
+        wto=wto,
+        widening_points=widening_points,
+        thresholds=_resolve_thresholds(program, widening_thresholds),
+        widening_delay=widening_delay,
+        entry_nid=program.entry_node().nid,
+        node_ids=tuple(node_map.keys()),
+        deps=dep_result.deps,
+        cells_factory=IntervalCells,
+        dep_count=len(dep_result.deps),
+        raw_dep_count=dep_result.raw_dep_count,
+        defuse=defuse,
+        ctx=ctx,
+        time_dep=time_dep,
+    )
 
 
 def run_sparse(
@@ -90,31 +170,21 @@ def run_sparse(
         pre = run_preanalysis(program, telemetry=tel)
     time_pre = time.perf_counter() - t0
 
-    t1 = time.perf_counter()
-    with tel.span("dep-gen", method=method, bypass=bypass):
-        graph = build_interproc_graph(program, pre.site_callees, localized=False)
-        # Widening points come from the *control* graph's WTO (shared with
-        # the dense engine) and must exist before dependency generation,
-        # which cuts dependency chains at them.
-        wto, widening_points = widening_points_for(
-            GraphView((program.entry_node().nid,), graph.succs), widen
-        )
-        if defuse is None:
-            defuse = compute_defuse(program, pre)
-        if dep_result is None:
-            dep_result = generate_datadeps(
-                program,
-                pre,
-                defuse,
-                method=method,
-                bypass=bypass,
-                widening_points=widening_points,
-                telemetry=tel,
-            )
-    time_dep = time.perf_counter() - t1
+    plan = prepare_interval_sparse(
+        program,
+        pre,
+        method=method,
+        bypass=bypass,
+        strict=strict,
+        widen=widen,
+        widening_thresholds=widening_thresholds,
+        widening_delay=widening_delay,
+        defuse=defuse,
+        dep_result=dep_result,
+        telemetry=tel,
+    )
 
     t2 = time.perf_counter()
-    ctx = AnalysisContext(program, pre.site_callees, strict=strict)
     resolved_budget = Budget.coerce(budget, max_iterations=max_iterations)
     diagnostics = Diagnostics(budget=resolved_budget)
     degrade = None
@@ -127,31 +197,19 @@ def run_sparse(
             watchdog=make_watchdog(pre_state) if watchdog else None,
         )
 
-    node_map = program.factory.nodes
-
-    def node_transfer(nid, state):
-        return transfer(node_map[nid], state, ctx)
-
-    space = DepGraphSpace(
-        dep_result.deps,
-        graph,
-        IntervalCells(),
-        node_ids=node_map.keys(),
-        entry=program.entry_node().nid,
-        strict=strict,
-    )
+    space = plan.make_program_space()
     engine = FixpointEngine(
         space,
-        node_transfer,
-        widening_points,
-        widening_thresholds=_resolve_thresholds(program, widening_thresholds),
-        widening_delay=widening_delay,
+        plan.transfer,
+        plan.widening_points,
+        widening_thresholds=plan.thresholds,
+        widening_delay=plan.widening_delay,
         narrowing_passes=narrowing_passes,
         budget=resolved_budget,
         stage="sparse fixpoint",
         faults=FaultInjector.coerce(faults),
         degrade=degrade,
-        priority=wto.priority,
+        priority=plan.wto.priority,
         scheduler=scheduler,
         telemetry=tel,
         checkpointer=checkpoint,
@@ -161,10 +219,10 @@ def run_sparse(
     table = engine.solve()
     stats = engine.stats
     stats.time_pre = time_pre
-    stats.time_dep = time_dep
+    stats.time_dep = plan.time_dep
     stats.time_fix = time.perf_counter() - t2
-    stats.dep_count = len(dep_result.deps)
-    stats.raw_dep_count = dep_result.raw_dep_count
+    stats.dep_count = plan.dep_count
+    stats.raw_dep_count = plan.raw_dep_count
     diagnostics.iterations = stats.iterations
     diagnostics.timings.update(
         pre=stats.time_pre, dep=stats.time_dep, fix=stats.time_fix
@@ -176,9 +234,9 @@ def run_sparse(
         table,
         stats,
         pre=pre,
-        defuse=defuse,
-        deps=dep_result.deps,
-        graph=graph,
+        defuse=plan.defuse,
+        deps=plan.deps,
+        graph=plan.graph,
         elapsed=stats.time_total,
         diagnostics=diagnostics,
         scheduler_stats=engine.scheduler_stats,

@@ -1,0 +1,407 @@
+"""Procedure summaries and shard topology for the SCC-sharded pipeline.
+
+The sharded driver (:mod:`repro.analysis.shards`) decomposes the
+whole-program fixpoint along the call graph's SCC DAG
+(:meth:`repro.ir.callgraph.CallGraph.condense`). The *interface* between two
+shards is exactly the paper's localization seam: states entering a callee at
+call edges (entry summaries) and states leaving it at exit→return-site edges
+(exit summaries). This module owns everything that describes or crosses that
+seam:
+
+* :class:`ShardTopology` — the static partition: which control point lives
+  in which shard, which control/dependency edges stay internal, and which
+  cross shard boundaries (the summary channels);
+* :class:`ShardTask` / :class:`ShardOutcome` — one shard activation's input
+  (frozen boundary-source states, seeds, carried solver state) and output
+  (updated internal table slice, reachability, widening counters, stats);
+* wire codecs for both, built on the checkpoint state codecs
+  (:func:`repro.runtime.checkpoint.state_to_wire`) so the process-pool
+  executor ships plain JSON-able structures between workers — the same
+  format a crash-resume checkpoint uses;
+* :class:`ProcSummary` / :func:`extract_summaries` — the per-procedure
+  entry/exit view of a fixpoint table, the unit the scheduler freezes for
+  callees and the artifact reported on the sharded result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.ir.callgraph import SCCDag
+
+if TYPE_CHECKING:
+    from repro.analysis.dense import EnginePlan
+
+
+@dataclass
+class ProcSummary:
+    """A procedure's boundary view of a fixpoint table: the state at its
+    entry node (what callers established) and at its exit node (what the
+    procedure guarantees back). ``None`` means the node has no state yet —
+    an unreached procedure in strict mode. Recursion seams: all members of
+    one SCC are solved *together* in one shard, so a summary is only ever
+    frozen for procedures whose SCC has already stabilized — summaries never
+    cut a recursive cycle (see DESIGN.md §14)."""
+
+    proc: str
+    entry_state: object | None = None
+    exit_state: object | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "proc": self.proc,
+            "entry": self.entry_state is not None,
+            "exit": self.exit_state is not None,
+        }
+
+
+def extract_summaries(
+    program, table: Mapping[int, object], procs: Iterable[str] | None = None
+) -> dict[str, "ProcSummary"]:
+    """Read per-procedure entry/exit summaries out of a fixpoint table."""
+    out: dict[str, ProcSummary] = {}
+    for proc in sorted(procs if procs is not None else program.cfgs.keys()):
+        cfg = program.cfgs.get(proc)
+        if cfg is None:
+            continue
+        entry_state = (
+            table.get(cfg.entry.nid) if cfg.entry is not None else None
+        )
+        exit_state = table.get(cfg.exit.nid) if cfg.exit is not None else None
+        out[proc] = ProcSummary(proc, entry_state, exit_state)
+    return out
+
+
+@dataclass
+class ShardTopology:
+    """The static shard partition of one :class:`~repro.analysis.dense.
+    EnginePlan`: node→shard assignment plus the classification of every
+    control and dependency edge as shard-internal or boundary-crossing.
+    Boundary-crossing edges are the summary channels — their source states
+    are what the driver snapshots, diffs, and ships as frontiers."""
+
+    dag: SCCDag
+    node_shard: dict[int, int]
+    #: shard → sorted member control points
+    nodes_of: tuple[tuple[int, ...], ...]
+    #: shard → internal-only control successor map (what a shard engine may
+    #: propagate along; external successors are the parent's business)
+    int_succs: tuple[dict[int, tuple[int, ...]], ...]
+    #: shard → control edges arriving from other shards (src external)
+    ext_control_in: tuple[tuple[tuple[int, int], ...], ...]
+    #: shard → control edges leaving to other shards (dst external)
+    ext_control_out: tuple[tuple[tuple[int, int], ...], ...]
+    #: shard → dependency edges arriving from other shards (sparse modes)
+    ext_dep_in: tuple[tuple[tuple[int, int, frozenset], ...], ...]
+    #: shard → dependency edges leaving to other shards (sparse modes)
+    ext_dep_out: tuple[tuple[tuple[int, int, frozenset], ...], ...]
+    #: shard → external sources whose states form the activation frontier
+    in_srcs: tuple[tuple[int, ...], ...]
+    #: shard → internal sources of boundary-out edges (snapshot+diff set)
+    out_srcs: tuple[tuple[int, ...], ...]
+    #: shard → external control successors per internal source (the edges a
+    #: shard activation cannot propagate along itself). The shard spaces use
+    #: these to lower their dynamic priority ceiling the moment an
+    #: activation creates pending work in another shard — the sequential
+    #: priority queue would drain that work before continuing past it.
+    ext_ctrl_succs: tuple[dict[int, tuple[int, ...]], ...]
+    #: shard → its closed descendant cone in the SCC DAG (itself plus every
+    #: transitively callable shard). Two shards whose cones intersect can
+    #: influence a common control point, so the scheduler never runs them in
+    #: the same wave — the lower-priority one goes first, exactly as the
+    #: sequential engine's priority queue would drain it first.
+    cones: tuple[frozenset, ...]
+
+    def __len__(self) -> int:
+        return len(self.dag)
+
+
+def build_topology(plan: "EnginePlan", dag: SCCDag | None = None) -> ShardTopology:
+    """Partition a plan's graphs along the condensed call graph."""
+    if dag is None:
+        from repro.ir.callgraph import build_callgraph
+
+        pre = plan.pre
+        graph = build_callgraph(
+            plan.program,
+            resolve=lambda node: pre.site_callees.get(node.nid, ()),
+        )
+        dag = graph.condense()
+
+    n = len(dag)
+    node_map = plan.program.factory.nodes
+    node_shard: dict[int, int] = {}
+    members: list[list[int]] = [[] for _ in range(n)]
+    for nid in plan.node_ids:
+        shard = dag.shard_of.get(node_map[nid].proc)
+        if shard is None:
+            continue  # nodes of undefined/external procedures, if any
+        node_shard[nid] = shard
+        members[shard].append(nid)
+
+    int_succs: list[dict[int, tuple[int, ...]]] = [{} for _ in range(n)]
+    ctrl_in: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    ctrl_out: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for src, dsts in plan.graph.succs.items():
+        s1 = node_shard.get(src)
+        if s1 is None:
+            continue
+        internal: list[int] = []
+        for dst in dsts:
+            s2 = node_shard.get(dst)
+            if s2 is None:
+                continue
+            if s2 == s1:
+                internal.append(dst)
+            else:
+                ctrl_out[s1].append((src, dst))
+                ctrl_in[s2].append((src, dst))
+        if internal:
+            int_succs[s1][src] = tuple(internal)
+
+    dep_in: list[list[tuple[int, int, frozenset]]] = [[] for _ in range(n)]
+    dep_out: list[list[tuple[int, int, frozenset]]] = [[] for _ in range(n)]
+    if plan.deps is not None:
+        for src in plan.node_ids:
+            s1 = node_shard.get(src)
+            if s1 is None:
+                continue
+            for dst, locs in plan.deps.out_edges(src):
+                s2 = node_shard.get(dst)
+                if s2 is None or s2 == s1:
+                    continue
+                dep_out[s1].append((src, dst, locs))
+                dep_in[s2].append((src, dst, locs))
+
+    in_srcs = []
+    out_srcs = []
+    ext_succs: list[dict[int, tuple[int, ...]]] = []
+    for s in range(n):
+        in_srcs.append(
+            tuple(
+                sorted(
+                    {src for src, _ in ctrl_in[s]}
+                    | {src for src, _, _ in dep_in[s]}
+                )
+            )
+        )
+        out_srcs.append(
+            tuple(
+                sorted(
+                    {src for src, _ in ctrl_out[s]}
+                    | {src for src, _, _ in dep_out[s]}
+                )
+            )
+        )
+        by_src: dict[int, list[int]] = {}
+        for src, dst in ctrl_out[s]:
+            by_src.setdefault(src, []).append(dst)
+        ext_succs.append(
+            {src: tuple(sorted(dsts)) for src, dsts in by_src.items()}
+        )
+
+    # Closed descendant cones: shards are numbered callers-first, so every
+    # successor has a higher index and one reverse sweep suffices.
+    cones: list[frozenset] = [frozenset()] * n
+    for s in range(n - 1, -1, -1):
+        cone = {s}
+        for t in dag.succs[s]:
+            cone |= cones[t]
+        cones[s] = frozenset(cone)
+
+    return ShardTopology(
+        dag=dag,
+        node_shard=node_shard,
+        nodes_of=tuple(tuple(sorted(m)) for m in members),
+        int_succs=tuple(int_succs),
+        ext_control_in=tuple(tuple(sorted(e)) for e in ctrl_in),
+        ext_control_out=tuple(tuple(sorted(e)) for e in ctrl_out),
+        ext_dep_in=tuple(
+            tuple(sorted(e, key=lambda t: (t[0], t[1]))) for e in dep_in
+        ),
+        ext_dep_out=tuple(
+            tuple(sorted(e, key=lambda t: (t[0], t[1]))) for e in dep_out
+        ),
+        in_srcs=tuple(in_srcs),
+        out_srcs=tuple(out_srcs),
+        ext_ctrl_succs=tuple(ext_succs),
+        cones=tuple(cones),
+    )
+
+
+# --------------------------------------------------------------------------
+# Shard activation messages
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ShardTask:
+    """One shard activation: everything a worker needs to continue the
+    shard's fixpoint against frozen external state. Tasks are
+    self-contained — the parent owns all solver state between waves — so a
+    lost worker costs one re-run, never lost progress."""
+
+    shard: int
+    wave: int
+    #: first activation: seed the shard's own entry states too
+    first: bool
+    #: static priority ceiling: the lowest pending WTO priority in any
+    #: *other* dirty shard at schedule time. The activation must not
+    #: process nodes at or above it — the sequential priority queue would
+    #: drain the foreign work first. ``None`` = unbounded (no other dirty
+    #: shard, or a speculative run validated at commit time).
+    ceiling: int | None = None
+    #: frozen external boundary-source states (the summary frontier)
+    frontier: dict[int, object] = field(default_factory=dict)
+    #: the shard's internal table slice from previous activations
+    table: dict[int, object] = field(default_factory=dict)
+    #: control points to (re-)enqueue because an external input changed
+    seeds: tuple[int, ...] = ()
+    #: sparse: control points newly reached from another shard
+    reach: tuple[int, ...] = ()
+    #: sparse: dependency consumers whose external producer changed
+    enqueue: tuple[int, ...] = ()
+    #: sparse: the shard's reachability set so far
+    reached: tuple[int, ...] = ()
+    #: per-widening-head join-before-widen counters carried across
+    #: activations (widening_delay continuity)
+    growth: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class ShardOutcome:
+    """What a shard activation sends back: the updated internal table slice
+    plus the solver state the parent must carry to the next activation."""
+
+    shard: int
+    wave: int
+    table: dict[int, object] = field(default_factory=dict)
+    reached: tuple[int, ...] = ()
+    growth: dict[int, int] = field(default_factory=dict)
+    #: worklist left pending by a priority-ceiling stop, in pop order — the
+    #: parent re-seeds these once the lower-priority foreign work drained,
+    #: which keeps the global visit order (and so every widening stream)
+    #: identical to the sequential engine's
+    deferred: tuple[int, ...] = ()
+    iterations: int = 0
+    visited: tuple[int, ...] = ()
+    max_worklist: int = 0
+    #: highest priority the activation actually popped — a cached
+    #: speculative outcome is reusable only under a commit-time static
+    #: ceiling strictly above it
+    max_pop: int = -1
+    #: worker-measured timings, folded into the parent's telemetry
+    wall: float = 0.0
+    cpu: float = 0.0
+    worker: int | None = None
+
+
+def _states_to_wire(states: Mapping[int, object]) -> list:
+    from repro.runtime.checkpoint import state_to_wire
+
+    return [
+        [nid, state_to_wire(state)] for nid, state in sorted(states.items())
+    ]
+
+
+def _states_from_wire(wire: list) -> dict[int, object]:
+    from repro.runtime.checkpoint import state_from_wire
+
+    return {int(nid): state_from_wire(w) for nid, w in wire}
+
+
+def task_to_wire(
+    task: ShardTask,
+    *,
+    skip_table: frozenset[int] | set[int] = frozenset(),
+    skip_frontier: frozenset[int] | set[int] = frozenset(),
+) -> dict:
+    """Encode a task with the checkpoint state codecs — the inter-worker
+    message format of the process-pool executor.
+
+    ``skip_table``/``skip_frontier`` omit state entries the receiver is
+    known to hold already (sticky-worker delta shipping): every message is
+    a delta onto the worker's per-shard cache, and a full task is just the
+    delta from an empty cache."""
+    return {
+        "shard": task.shard,
+        "wave": task.wave,
+        "first": task.first,
+        "ceiling": task.ceiling,
+        "frontier": _states_to_wire(
+            task.frontier
+            if not skip_frontier
+            else {
+                nid: st
+                for nid, st in task.frontier.items()
+                if nid not in skip_frontier
+            }
+        ),
+        "table": _states_to_wire(
+            task.table
+            if not skip_table
+            else {
+                nid: st
+                for nid, st in task.table.items()
+                if nid not in skip_table
+            }
+        ),
+        "seeds": list(task.seeds),
+        "reach": list(task.reach),
+        "enqueue": list(task.enqueue),
+        "reached": list(task.reached),
+        "growth": sorted(task.growth.items()),
+    }
+
+
+def task_from_wire(wire: dict) -> ShardTask:
+    return ShardTask(
+        shard=int(wire["shard"]),
+        wave=int(wire["wave"]),
+        first=bool(wire["first"]),
+        ceiling=(None if wire["ceiling"] is None else int(wire["ceiling"])),
+        frontier=_states_from_wire(wire["frontier"]),
+        table=_states_from_wire(wire["table"]),
+        seeds=tuple(int(n) for n in wire["seeds"]),
+        reach=tuple(int(n) for n in wire["reach"]),
+        enqueue=tuple(int(n) for n in wire["enqueue"]),
+        reached=tuple(int(n) for n in wire["reached"]),
+        growth={int(n): int(c) for n, c in wire["growth"]},
+    )
+
+
+def outcome_to_wire(outcome: ShardOutcome) -> dict:
+    return {
+        "shard": outcome.shard,
+        "wave": outcome.wave,
+        "table": _states_to_wire(outcome.table),
+        "reached": list(outcome.reached),
+        "growth": sorted(outcome.growth.items()),
+        "deferred": list(outcome.deferred),
+        "iterations": outcome.iterations,
+        "visited": list(outcome.visited),
+        "max_worklist": outcome.max_worklist,
+        "max_pop": outcome.max_pop,
+        "wall": outcome.wall,
+        "cpu": outcome.cpu,
+        "worker": outcome.worker,
+    }
+
+
+def outcome_from_wire(wire: dict) -> ShardOutcome:
+    return ShardOutcome(
+        shard=int(wire["shard"]),
+        wave=int(wire["wave"]),
+        table=_states_from_wire(wire["table"]),
+        reached=tuple(int(n) for n in wire["reached"]),
+        growth={int(n): int(c) for n, c in wire["growth"]},
+        deferred=tuple(int(n) for n in wire["deferred"]),
+        iterations=int(wire["iterations"]),
+        visited=tuple(int(n) for n in wire["visited"]),
+        max_worklist=int(wire["max_worklist"]),
+        max_pop=int(wire.get("max_pop", -1)),
+        wall=float(wire["wall"]),
+        cpu=float(wire["cpu"]),
+        worker=wire.get("worker"),
+    )

@@ -80,6 +80,10 @@ class JobOutcome:
     path: str
     status: str = "failed"  # "ok" | "degraded" | "failed"
     attempts: int = 1
+    #: wall-clock seconds of the final (successful or giving-up) attempt
+    wall_s: float = 0.0
+    #: OS pid of the worker that produced the final verdict
+    worker: int | None = None
     #: successful resume-from-checkpoint events across retries
     resumed: int = 0
     retries: int = 0
@@ -138,7 +142,10 @@ class BatchReport:
 
     def text(self) -> str:
         width = max((len(os.path.basename(o.path)) for o in self.outcomes), default=4)
-        lines = [f"{'file':<{width}}  {'outcome':<12} {'tries':>5} {'alarms':>6}  note"]
+        lines = [
+            f"{'file':<{width}}  {'outcome':<12} {'tries':>5} "
+            f"{'wall':>8} {'worker':>7} {'alarms':>6}  note"
+        ]
         for o in self.outcomes:
             parts = []
             if o.error:
@@ -150,9 +157,11 @@ class BatchReport:
             if o.quarantined:
                 parts.append("quarantined: " + ", ".join(o.quarantined))
             note = "; ".join(parts)
+            worker = "-" if o.worker is None else str(o.worker)
             lines.append(
                 f"{os.path.basename(o.path):<{width}}  {o.label:<12} "
-                f"{o.attempts:>5} {o.alarms:>6}  {note}"
+                f"{o.attempts:>5} {o.wall_s:>7.2f}s {worker:>7} "
+                f"{o.alarms:>6}  {note}"
             )
         done = sum(1 for o in self.outcomes if o.status != "failed")
         lines.append(
@@ -275,6 +284,8 @@ class _Active:
     proc: multiprocessing.process.BaseProcess
     deadline: float | None
     resumed: bool
+    #: perf_counter at launch — the per-job wall clock's zero
+    started: float = 0.0
 
 
 @dataclass
@@ -400,8 +411,10 @@ def run_batch(
             proc=proc,
             deadline=(now + job_timeout) if job_timeout else None,
             resumed=resume_flag,
+            started=now,
         )
         outcomes[index].attempts = attempt
+        outcomes[index].worker = proc.pid
 
     def requeue(entry: _Active, cause: str) -> bool:
         """Schedule a retry; False when the retry budget is exhausted."""
@@ -411,6 +424,7 @@ def run_batch(
         if entry.attempt > max_retries:
             outcome.status = "failed"
             outcome.error = f"gave up after {entry.attempt} attempts ({cause})"
+            outcome.wall_s = time.perf_counter() - entry.started
             return False
         outcome.retries += 1
         tel.count("worker.retries")
@@ -432,6 +446,7 @@ def run_batch(
     def finalize(entry: _Active, result: dict) -> None:
         index = entry.index
         outcome = outcomes[index]
+        outcome.wall_s = time.perf_counter() - entry.started
         if result.get("resumed"):
             outcome.resumed += 1
             tel.count("worker.restores")

@@ -1,0 +1,324 @@
+"""The process-pool shard executor (``analyze(..., jobs=N)``).
+
+Workers are persistent subprocesses forked after the driver has built the
+:class:`~repro.analysis.dense.EnginePlan` and shard topology — a fork
+child inherits both for free, so only the per-activation payload crosses
+the process boundary. Tasks and outcomes travel as JSON strings produced
+by the :mod:`repro.analysis.summaries` wire codecs (the same state
+encoding the checkpoint subsystem uses), which keeps the message path
+byte-stable and independently testable.
+
+Supervision follows :mod:`repro.runtime.pool`'s idiom scaled down to a
+synchronous wave: a worker that dies mid-task (crash, OOM-kill) or stops
+touching its heartbeat file is stopped SIGTERM-then-SIGKILL, its task is
+re-solved serially in the parent (activations are pure functions of their
+task, so a re-run is always safe), and a fresh worker is spawned in its
+place. Every recovery is recorded as a diagnostics event. Platforms
+without the ``fork`` start method degrade to in-parent serial execution
+with an explanatory event rather than failing.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+
+from repro.runtime.errors import AnalysisError
+from repro.runtime.pool import _TERM_GRACE, _stop_worker
+from repro.telemetry.core import Telemetry
+
+#: seconds between liveness polls while awaiting a worker's result
+_POLL = 0.01
+
+#: plan/topology handed to fork children by inheritance — kept set for the
+#: executor's lifetime so respawned workers inherit it too; cleared in close()
+_FORK_STATE: dict = {}
+
+
+def _states_equal(a, b) -> bool:
+    """Structural state equality where available (``AbsState.__eq__``
+    compares per-location values); identity otherwise (``PackState`` —
+    octagon slices are conservatively re-shipped)."""
+    if a is b:
+        return True
+    if a is None or b is None:
+        return False
+    return a == b
+
+
+def _worker_loop(conn, worker_id: int, hb_path: str) -> None:
+    """Subprocess entry: serve shard activations until told to stop.
+
+    Receives wire-encoded tasks, returns wire-encoded outcomes. Messages
+    are *deltas*: the worker keeps a per-shard cache of the table slice
+    and frontier it last saw, the parent omits entries the cache already
+    holds (it tracks exactly what each worker received and produced), and
+    the outcome ships only entries that changed relative to the task. An
+    activation that raises sends an ``error`` frame instead of dying, so
+    one poisoned task cannot cost the pool a worker.
+    """
+    from repro.analysis.shards import solve_shard
+    from repro.analysis.summaries import outcome_to_wire, task_from_wire
+
+    plan = _FORK_STATE["plan"]
+    topo = _FORK_STATE["topo"]
+    tcache: dict[int, dict[int, object]] = {}
+    fcache: dict[int, dict[int, object]] = {}
+    _touch(hb_path)
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            return
+        try:
+            task = task_from_wire(json.loads(msg))
+            # The cache holds exactly what the parent shipped — never the
+            # worker's own outputs, which the parent may discard (rejected
+            # speculation) and whose keys it would then not know to evict.
+            tc = tcache.setdefault(task.shard, {})
+            fc = fcache.setdefault(task.shard, {})
+            tc.update(task.table)
+            fc.update(task.frontier)
+            task.table = dict(tc)
+            task.frontier = dict(fc)
+            outcome = solve_shard(plan, topo, task)
+            outcome.worker = worker_id
+            outcome.table = {
+                nid: st
+                for nid, st in outcome.table.items()
+                if not _states_equal(tc.get(nid), st)
+            }
+            reply = json.dumps(outcome_to_wire(outcome))
+        except Exception as exc:  # noqa: BLE001 — shipped to the parent
+            reply = json.dumps(
+                {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        _touch(hb_path)
+        conn.send(reply)
+
+
+def _touch(path: str) -> None:
+    with open(path, "w") as f:
+        f.write(str(time.time()))
+
+
+class ProcessShardExecutor:
+    """Run shard activations on a pool of forked workers.
+
+    Implements the :class:`repro.analysis.shards.ShardExecutor` interface.
+    ``jobs`` bounds concurrent activations; ``heartbeat_timeout`` (seconds)
+    optionally declares a silent busy worker dead and falls back to the
+    parent for its task.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, jobs: int, *, heartbeat_timeout: float | None = None):
+        if jobs < 2:
+            raise ValueError("ProcessShardExecutor needs jobs >= 2")
+        self._jobs = jobs
+        self._heartbeat_timeout = heartbeat_timeout
+        self._events: list[str] = []
+        self._workers: list[tuple] = []  # (proc, parent_conn, hb_path)
+        self._plan = None
+        self._topo = None
+        self._tel = Telemetry.coerce(None)
+        self._tmpdir = None
+        self._serial_fallback = False
+        self._recoveries = 0
+        #: shard → preferred slot (sticky affinity keeps a shard's state
+        #: cached in one worker so deltas stay small)
+        self._affinity: dict[int, int] = {}
+        #: per slot: shard → {nid: state} the worker's caches hold, by
+        #: parent-object identity where the parent shipped or merged the
+        #: object itself, value-equal otherwise
+        self._shipped_t: list[dict[int, dict[int, object]]] = []
+        self._shipped_f: list[dict[int, dict[int, object]]] = []
+
+    # -- ShardExecutor interface --------------------------------------------
+
+    def start(self, plan, topo, *, telemetry=None) -> None:
+        self._plan = plan
+        self._topo = topo
+        self._tel = Telemetry.coerce(telemetry)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            self._serial_fallback = True
+            self._events.append(
+                "shard pool: fork start method unavailable, "
+                "running activations serially in the parent"
+            )
+            return
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-shardpool-")
+        ctx = multiprocessing.get_context("fork")
+        # Kept set for the executor's lifetime: respawns after worker loss
+        # fork new children that must inherit the same plan/topology.
+        _FORK_STATE["plan"] = plan
+        _FORK_STATE["topo"] = topo
+        self._ctx = ctx
+        for wid in range(self._jobs):
+            self._workers.append(self._spawn(ctx, wid))
+            self._shipped_t.append({})
+            self._shipped_f.append({})
+
+    def run_wave(self, tasks):
+        from repro.analysis.shards import solve_shard
+        from repro.analysis.summaries import task_to_wire
+
+        if self._serial_fallback or not self._workers:
+            return [solve_shard(self._plan, self._topo, t) for t in tasks]
+
+        outcomes = []
+        # Waves are at most ``jobs`` tasks wide (the driver sizes them), but
+        # chunk defensively so an oversized wave still completes.
+        for i in range(0, len(tasks), len(self._workers)):
+            chunk = tasks[i : i + len(self._workers)]
+            sent = []
+            for slot, task in self._assign(chunk):
+                proc, conn, hb = self._workers[slot]
+                conn.send(self._encode_task(slot, task))
+                sent.append((slot, task))
+            for slot, task in sent:
+                outcomes.append(self._collect(slot, task))
+        for o in outcomes:
+            self._tel.record_span(
+                "shard",
+                o.wall,
+                cpu=o.cpu,
+                shard=o.shard,
+                wave=o.wave,
+                worker=o.worker,
+            )
+        return outcomes
+
+    def close(self) -> None:
+        for proc, conn, _hb in self._workers:
+            try:
+                if proc.is_alive():
+                    conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.perf_counter() + _TERM_GRACE
+        for proc, conn, _hb in self._workers:
+            proc.join(max(0.0, deadline - time.perf_counter()))
+            _stop_worker(proc)
+            conn.close()
+        self._workers.clear()
+        _FORK_STATE.clear()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def events(self) -> list[str]:
+        out = list(self._events)
+        if self._recoveries:
+            out.append(
+                f"shard pool: {self._recoveries} activation(s) recovered "
+                "in the parent after worker loss"
+            )
+        return out
+
+    # -- internals ----------------------------------------------------------
+
+    def _spawn(self, ctx, worker_id: int):
+        hb_path = os.path.join(self._tmpdir.name, f"worker-{worker_id}.hb")
+        _touch(hb_path)
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_loop,
+            args=(child_conn, worker_id, hb_path),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return (proc, parent_conn, hb_path)
+
+    def _assign(self, chunk):
+        """Pair each task with a worker slot, honoring shard→slot affinity
+        when that slot is free this wave — the sticky worker still holds
+        the shard's slices, so the delta message stays minimal."""
+        free = set(range(len(self._workers)))
+        placed, rest = [], []
+        for task in chunk:
+            pref = self._affinity.get(task.shard)
+            if pref is not None and pref in free:
+                free.discard(pref)
+                placed.append((pref, task))
+            else:
+                rest.append(task)
+        for task in rest:
+            slot = min(free)
+            free.discard(slot)
+            self._affinity[task.shard] = slot
+            placed.append((slot, task))
+        return placed
+
+    def _encode_task(self, slot: int, task) -> str:
+        """Wire-encode a task as a delta against what the slot's worker
+        already caches, then record the full payload as shipped."""
+        from repro.analysis.summaries import task_to_wire
+
+        shipped_t = self._shipped_t[slot].setdefault(task.shard, {})
+        shipped_f = self._shipped_f[slot].setdefault(task.shard, {})
+        skip_t = {
+            nid for nid, st in task.table.items() if shipped_t.get(nid) is st
+        }
+        skip_f = {
+            nid
+            for nid, st in task.frontier.items()
+            if shipped_f.get(nid) is st
+        }
+        wire = json.dumps(
+            task_to_wire(task, skip_table=skip_t, skip_frontier=skip_f)
+        )
+        shipped_t.update(task.table)
+        shipped_f.update(task.frontier)
+        return wire
+
+    def _collect(self, slot: int, task):
+        """Await one worker's reply; on worker loss, recover in the parent."""
+        from repro.analysis.summaries import outcome_from_wire
+
+        proc, conn, hb = self._workers[slot]
+        while True:
+            if conn.poll(_POLL):
+                try:
+                    reply = json.loads(conn.recv())
+                except (EOFError, OSError):
+                    return self._recover(slot, task, "pipe closed")
+                if "error" in reply:
+                    raise AnalysisError(
+                        f"shard {task.shard} activation failed in worker: "
+                        f"{reply['error']}"
+                    )
+                return outcome_from_wire(reply)
+            if not proc.is_alive():
+                return self._recover(
+                    slot, task, f"crash(exit {proc.exitcode})"
+                )
+            if self._heartbeat_timeout is not None:
+                try:
+                    age = time.time() - os.path.getmtime(hb)
+                except OSError:
+                    age = None
+                if age is not None and age > self._heartbeat_timeout:
+                    return self._recover(slot, task, "heartbeat")
+
+    def _recover(self, slot: int, task, cause: str):
+        """A worker died mid-task: solve its activation in the parent (they
+        are pure functions of the task) and respawn the slot."""
+        proc, conn, _hb = self._workers[slot]
+        _stop_worker(proc)
+        conn.close()
+        self._shipped_t[slot] = {}
+        self._shipped_f[slot] = {}
+        self._recoveries += 1
+        self._events.append(
+            f"shard pool: worker {slot} lost on shard {task.shard} "
+            f"({cause}); re-solved in parent"
+        )
+        self._workers[slot] = self._spawn(self._ctx, slot)
+        from repro.analysis.shards import solve_shard
+
+        return solve_shard(self._plan, self._topo, task)

@@ -1,0 +1,232 @@
+"""The SCC-sharded driver must reproduce the sequential engines exactly.
+
+The sharded driver's contract (ISSUE 8) is byte-identity: for every
+engine×domain combination the merged shard table must equal the sequential
+fixpoint table — same bounds, same points-to sets, same octagon entries —
+under the canonical serialization of ``golden_tables.py``. The priority-
+ceiling scheduler makes the committed pop order *be* the sequential WTO
+order, so this is an equality test, not a soundness-only test.
+
+``jobs=2`` runs the same commits through the process-pool executor with
+wire-codec task/outcome round-trips plus validated speculation, and must
+match ``jobs=1`` digest-for-digest.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.shards import (
+    SerialShardExecutor,
+    run_sharded,
+)
+from repro.api import analyze
+from repro.ir.program import build_program
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+from golden_tables import COMBOS, table_digest  # noqa: E402
+from record_golden_tables import example_sources  # noqa: E402
+
+#: call-shaped stress sources beyond the goldens: mutual recursion (one
+#: SCC), a callee shared by two widening loops (the case that breaks any
+#: run-to-local-fixpoint sharding), and self recursion
+STRESS_SOURCES = {
+    "mutual_rec": """
+int dec(int n);
+int pump(int n) { if (n <= 0) { return 0; } return dec(n - 1); }
+int dec(int n) { if (n <= 0) { return 0; } return pump(n - 1); }
+int main() { int r; r = pump(40); return r; }
+""",
+    "shared_callee": """
+int clamp(int v) {
+  if (v > 100) { v = 100; }
+  if (v < -100) { v = -100; }
+  return v;
+}
+int a(int x) {
+  int i; int s; s = 0;
+  for (i = 0; i < x; i = i + 1) { s = clamp(s + i); }
+  return s;
+}
+int b(int y) {
+  int j; int t; t = 0;
+  for (j = 0; j < y; j = j + 1) { t = clamp(t - j); }
+  return t;
+}
+int main() { int u; int v; u = a(9); v = b(7); return u + v; }
+""",
+    "self_rec": """
+int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+int main() { return fact(12); }
+""",
+}
+
+#: the sequential sparse engines do not terminate on this source (a
+#: pre-existing engine behavior, not a sharding artifact) — there is no
+#: sequential table to compare against
+SEQUENTIAL_HANGS = {("shared_callee", "interval", "sparse")}
+
+
+def _sequential_digest(src, domain, mode, **options):
+    run = analyze(src, domain=domain, mode=mode, **options)
+    return table_digest(run.result.table)
+
+
+def _sharded_digest(src, domain, mode, **options):
+    result = run_sharded(build_program(src), domain=domain, mode=mode, **options)
+    return table_digest(result.table)
+
+
+def _all_sources():
+    out = dict(example_sources())
+    out.update(STRESS_SOURCES)
+    return out
+
+
+class TestDigestIdentity:
+    @pytest.mark.parametrize("domain,mode", COMBOS)
+    def test_examples_match_sequential(self, domain, mode):
+        for name, src in example_sources().items():
+            assert _sharded_digest(src, domain, mode) == _sequential_digest(
+                src, domain, mode
+            ), f"sharded table diverged on {name} ({domain}/{mode})"
+
+    @pytest.mark.parametrize("domain,mode", COMBOS)
+    def test_stress_sources_match_sequential(self, domain, mode):
+        for name, src in STRESS_SOURCES.items():
+            if (name, domain, mode) in SEQUENTIAL_HANGS:
+                continue
+            assert _sharded_digest(src, domain, mode) == _sequential_digest(
+                src, domain, mode
+            ), f"sharded table diverged on {name} ({domain}/{mode})"
+
+    def test_option_sets_match_sequential(self):
+        src = STRESS_SOURCES["shared_callee"]
+        for options in (
+            {"narrowing_passes": 2},
+            {"strict": False},
+            {"widening_delay": 2},
+        ):
+            for domain, mode in COMBOS:
+                if ("shared_callee", domain, mode) in SEQUENTIAL_HANGS:
+                    continue
+                assert _sharded_digest(
+                    src, domain, mode, **options
+                ) == _sequential_digest(src, domain, mode, **options), (
+                    f"diverged under {options} ({domain}/{mode})"
+                )
+
+    def test_nowiden_matches_sequential(self):
+        # widen=False only terminates sequentially on finite-chain sources
+        src = example_sources()["framework_instances"]
+        for domain, mode in COMBOS:
+            assert _sharded_digest(
+                src, domain, mode, widen=False
+            ) == _sequential_digest(src, domain, mode, widen=False)
+
+
+class TestJobsEquivalence:
+    @pytest.mark.parametrize("domain,mode", COMBOS)
+    def test_pool_matches_serial(self, domain, mode):
+        src = STRESS_SOURCES["shared_callee"]
+        if ("shared_callee", domain, mode) in SEQUENTIAL_HANGS:
+            src = STRESS_SOURCES["mutual_rec"]
+        assert _sharded_digest(src, domain, mode, jobs=1) == _sharded_digest(
+            src, domain, mode, jobs=2
+        )
+
+    def test_analyze_jobs_matches_sequential(self):
+        src = example_sources()["quickstart"]
+        for domain, mode in COMBOS:
+            run = analyze(src, domain=domain, mode=mode, jobs=2)
+            assert table_digest(run.result.table) == _sequential_digest(
+                src, domain, mode
+            )
+            assert any(
+                "sharded fixpoint" in e for e in run.diagnostics.events
+            )
+
+
+class TestDriverSurface:
+    def test_unknown_option_rejected(self):
+        src = example_sources()["quickstart"]
+        with pytest.raises(ValueError, match="not supported"):
+            run_sharded(build_program(src), budget=object())
+
+    def test_serial_executor_explicit(self):
+        src = example_sources()["quickstart"]
+        result = run_sharded(
+            build_program(src), executor=SerialShardExecutor()
+        )
+        assert table_digest(result.table) == _sequential_digest(
+            src, "interval", "sparse"
+        )
+
+    def test_summaries_exposed(self):
+        src = STRESS_SOURCES["shared_callee"]
+        result = run_sharded(build_program(src), domain="interval", mode="base")
+        assert result.summaries is not None
+        assert "clamp" in result.summaries
+
+
+class TestAnalyzeValidation:
+    SRC = "int main() { return 0; }"
+
+    def test_jobs_zero_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            analyze(self.SRC, jobs=0)
+
+    def test_fifo_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="wto"):
+            analyze(self.SRC, jobs=2, scheduler="fifo")
+
+    def test_fallback_rejected(self):
+        with pytest.raises(ValueError, match="fallback"):
+            analyze(self.SRC, jobs=2, fallback=("sparse", "base"))
+
+    def test_checkpoint_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint"):
+            analyze(self.SRC, jobs=2, checkpoint_path=str(tmp_path / "c.ckpt"))
+
+    def test_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            analyze(self.SRC, jobs=2, budget_seconds=10.0)
+
+    def test_max_iterations_rejected(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            analyze(self.SRC, jobs=2, max_iterations=100)
+
+    def test_faults_rejected(self):
+        from repro.runtime.faults import FaultPlan
+
+        with pytest.raises(ValueError, match="faults"):
+            analyze(self.SRC, jobs=2, faults=FaultPlan())
+
+    def test_on_budget_degrade_rejected(self):
+        with pytest.raises(ValueError, match="on_budget"):
+            analyze(self.SRC, jobs=2, on_budget="degrade")
+
+
+class TestCli:
+    def test_jobs_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "prog.c"
+        path.write_text(STRESS_SOURCES["self_rec"])
+        assert main(["analyze", str(path), "--jobs", "2"]) == 0
+
+    def test_jobs_conflict_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "prog.c"
+        path.write_text(self_rec := STRESS_SOURCES["self_rec"])
+        code = main(
+            ["analyze", str(path), "--jobs", "2", "--scheduler", "fifo"]
+        )
+        assert code == 2
+        assert "wto" in capsys.readouterr().err

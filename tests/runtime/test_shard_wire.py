@@ -1,0 +1,259 @@
+"""Shard message path round-trips for payload-carrying states.
+
+The process-pool executor ships :class:`ShardTask`/:class:`ShardOutcome`
+as JSON built on the checkpoint state codecs. The values that stress that
+path are exactly the ones the array store backend cannot keep in its
+int64 bound rows — pointers, array blocks, and out-of-range interval
+bounds all live in the :class:`ArrayAbsState` payload side table — so
+these tests pin that every such value survives the wire byte-for-value,
+under both store backends and across a backend switch mid-flight (a task
+encoded by an array-backend parent must decode on a scalar-backend
+worker, and vice versa).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.summaries import (
+    ShardOutcome,
+    ShardTask,
+    outcome_from_wire,
+    outcome_to_wire,
+    task_from_wire,
+    task_to_wire,
+)
+from repro.domains.absloc import AllocLoc, FuncLoc, VarLoc
+from repro.domains.interval import Interval
+from repro.domains.state import AbsState, ArrayAbsState, set_store_backend
+from repro.domains.value import AbsValue, ArrayBlock
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "analysis"))
+
+from golden_tables import table_digest  # noqa: E402
+from record_golden_tables import example_sources  # noqa: E402
+
+
+@pytest.fixture(params=["array", "scalar"])
+def backend(request):
+    previous = set_store_backend(request.param)
+    yield request.param
+    set_store_backend(previous)
+
+
+def _block() -> ArrayBlock:
+    return ArrayBlock(
+        base=AllocLoc("buf@12"),
+        offset=Interval.range(0, 7),
+        size=Interval.const(32),
+    )
+
+
+def _payload_values() -> dict[str, AbsValue]:
+    """Values the array backend's int64 rows cannot represent — each one
+    must take the payload side-table path and still cross the wire."""
+    return {
+        "pointers": AbsValue.of_locs(
+            frozenset({VarLoc("p", "main"), AllocLoc("node@3"), FuncLoc("cb")})
+        ),
+        "array_block": AbsValue.of_block(_block()),
+        "huge_bound": AbsValue.of_interval(Interval.const(1 << 62)),
+        "neg_out_of_range": AbsValue.of_interval(
+            Interval.range(-(1 << 70), -(1 << 62))
+        ),
+        "mixed": AbsValue(
+            itv=Interval.range(-3, 1 << 63),
+            ptsto=frozenset({FuncLoc("handler")}),
+            arrays=(_block(),),
+        ),
+    }
+
+
+def _payload_state() -> AbsState:
+    state = AbsState()
+    for idx, value in enumerate(_payload_values().values()):
+        state.set(VarLoc(f"v{idx}", "f"), value)
+    # a plain row-representable entry alongside, so decoding exercises
+    # both storage paths in one state
+    state.set(VarLoc("plain", "f"), AbsValue.of_interval(Interval.range(0, 9)))
+    return state
+
+
+def _round_trip_task(task: ShardTask) -> ShardTask:
+    # through real JSON text, exactly like the pool's pipe frames
+    return task_from_wire(json.loads(json.dumps(task_to_wire(task))))
+
+
+def _round_trip_outcome(outcome: ShardOutcome) -> ShardOutcome:
+    return outcome_from_wire(json.loads(json.dumps(outcome_to_wire(outcome))))
+
+
+class TestPayloadSideTable:
+    def test_values_land_in_payload_table(self):
+        """White-box: the test values really do take the side-table path
+        (otherwise these tests would not cover what they claim to)."""
+        previous = set_store_backend("array")
+        try:
+            state = AbsState()
+            assert isinstance(state, ArrayAbsState)
+            for idx, value in enumerate(_payload_values().values()):
+                state.set(VarLoc(f"v{idx}", "f"), value)
+            assert len(state._payload) == len(_payload_values())
+        finally:
+            set_store_backend(previous)
+
+    def test_task_round_trip(self, backend):
+        task = ShardTask(
+            shard=3,
+            wave=7,
+            first=False,
+            ceiling=41,
+            frontier={2: _payload_state()},
+            table={5: _payload_state(), 9: _payload_state()},
+            seeds=(5, 9),
+            reach=(11,),
+            enqueue=(5,),
+            reached=(5, 9, 11),
+            growth={5: 2, 9: 1},
+        )
+        back = _round_trip_task(task)
+        assert back.shard == 3 and back.wave == 7 and back.first is False
+        assert back.ceiling == 41
+        assert back.seeds == (5, 9) and back.reach == (11,)
+        assert back.enqueue == (5,) and back.reached == (5, 9, 11)
+        assert back.growth == {5: 2, 9: 1}
+        assert set(back.frontier) == {2} and set(back.table) == {5, 9}
+        for nid, state in task.table.items():
+            assert back.table[nid] == state
+        assert back.frontier[2] == task.frontier[2]
+
+    def test_outcome_round_trip(self, backend):
+        outcome = ShardOutcome(
+            shard=4,
+            wave=2,
+            table={8: _payload_state()},
+            reached=(8, 13),
+            growth={8: 3},
+            deferred=(13, 8),
+            iterations=17,
+            visited=(8, 13, 8),
+            max_worklist=5,
+            max_pop=29,
+            wall=0.25,
+            cpu=0.125,
+            worker=2,
+        )
+        back = _round_trip_outcome(outcome)
+        assert back.deferred == (13, 8) and back.max_pop == 29
+        assert back.iterations == 17 and back.worker == 2
+        assert back.table[8] == outcome.table[8]
+
+    def test_unbounded_ceiling_round_trip(self, backend):
+        task = ShardTask(shard=0, wave=0, first=True, ceiling=None)
+        assert _round_trip_task(task).ceiling is None
+
+    def test_delta_encoding_skips_known_entries(self, backend):
+        """The pool's delta shipping: entries the worker already caches
+        are omitted from the wire, everything else round-trips intact."""
+        s1, s2, s3 = _payload_state(), _payload_state(), _payload_state()
+        task = ShardTask(
+            shard=2,
+            wave=5,
+            first=False,
+            table={10: s1, 11: s2},
+            frontier={20: s3},
+        )
+        wire = task_to_wire(task, skip_table={10}, skip_frontier={20})
+        back = task_from_wire(json.loads(json.dumps(wire)))
+        assert set(back.table) == {11} and back.table[11] == s2
+        assert back.frontier == {}
+        # non-state fields always ship in full
+        assert back.shard == 2 and back.wave == 5 and back.first is False
+
+    def test_value_fields_exact(self, backend):
+        """Field-level check: points-to sets, block bounds, and
+        out-of-range interval bounds come back exactly, not just
+        lattice-equal."""
+        state = _payload_state()
+        task = ShardTask(shard=0, wave=0, first=True, table={1: state})
+        back = _round_trip_task(task).table[1]
+        values = _payload_values()
+        assert back.get(VarLoc("v0", "f")).ptsto == values["pointers"].ptsto
+        blk = back.get(VarLoc("v1", "f")).arrays[0]
+        assert blk.base == AllocLoc("buf@12")
+        assert blk.offset == Interval.range(0, 7)
+        assert blk.size == Interval.const(32)
+        assert back.get(VarLoc("v2", "f")).itv == Interval.const(1 << 62)
+        assert back.get(VarLoc("v3", "f")).itv == Interval.range(
+            -(1 << 70), -(1 << 62)
+        )
+        mixed = back.get(VarLoc("v4", "f"))
+        assert mixed.itv == Interval.range(-3, 1 << 63)
+        assert mixed.ptsto == frozenset({FuncLoc("handler")})
+        assert mixed.arrays == (_block(),)
+
+
+class TestMixedBackends:
+    """The parent and a worker may run different store backends (e.g. a
+    REPRO_STORE override in the child environment); the wire format is
+    backend-neutral, so each side decodes into its own active backend."""
+
+    @pytest.mark.parametrize(
+        "sender,receiver", [("array", "scalar"), ("scalar", "array")]
+    )
+    def test_cross_backend_task(self, sender, receiver):
+        previous = set_store_backend(sender)
+        try:
+            task = ShardTask(
+                shard=1, wave=0, first=True, table={4: _payload_state()}
+            )
+            wire = json.dumps(task_to_wire(task))
+            original = task.table[4]
+            set_store_backend(receiver)
+            back = task_from_wire(json.loads(wire))
+            decoded = back.table[4]
+            assert decoded == original
+            assert (
+                isinstance(decoded, ArrayAbsState) == (receiver == "array")
+            )
+        finally:
+            set_store_backend(previous)
+
+    def test_wire_bytes_backend_independent(self):
+        """Identical content under either backend serializes to identical
+        wire bytes — the digest-identity contract does not depend on which
+        backend built the states."""
+        previous = set_store_backend("array")
+        try:
+            task_a = ShardTask(
+                shard=0, wave=0, first=True, table={1: _payload_state()}
+            )
+            wire_a = json.dumps(task_to_wire(task_a), sort_keys=True)
+            set_store_backend("scalar")
+            task_s = ShardTask(
+                shard=0, wave=0, first=True, table={1: _payload_state()}
+            )
+            wire_s = json.dumps(task_to_wire(task_s), sort_keys=True)
+            assert wire_a == wire_s
+        finally:
+            set_store_backend(previous)
+
+
+class TestShardedArrayWorkload:
+    def test_jobs2_matches_sequential_on_array_program(self, backend):
+        """End-to-end: the pool executor ships real array/pointer states
+        (the overrun example's globals and smashed blocks) and the merged
+        table still matches the sequential engine under either backend."""
+        from repro.api import analyze
+
+        src = example_sources()["overrun_checker"]
+        sequential = analyze(src, domain="interval", mode="sparse")
+        sharded = analyze(src, domain="interval", mode="sparse", jobs=2)
+        assert table_digest(sharded.result.table) == table_digest(
+            sequential.result.table
+        )
