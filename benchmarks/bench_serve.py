@@ -1,0 +1,224 @@
+"""Serve-mode latency gate: warm point queries vs fresh full analysis.
+
+Loads a workload into a resident :class:`ServeSession` once, then measures
+
+* the **cold** first query (demand/global solve + facade walk),
+* the **median warm** query over a rotating set of point queries against
+  the resident tables, and
+* one **edit + requery** round trip (incremental invalidation + re-solve).
+
+The gate is the PR's acceptance bar: the median warm query must be at
+least ``GATE_FACTOR`` (5) times faster than a from-scratch full analysis of
+the same program — the whole point of keeping state resident.
+
+Two workloads run: the largest real-corpus example (``gzip_window.c``,
+widening mode) and a loop-free generated program large enough to exercise
+the exact-mode cone path across an edit.
+
+Usage::
+
+    python benchmarks/bench_serve.py            # full run
+    python benchmarks/bench_serve.py --quick    # CI-sized warm-query count
+
+Emits ``BENCH_serve.json`` next to the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import analyze  # noqa: E402
+from repro.bench.codegen import WorkloadSpec, generate_source  # noqa: E402
+from repro.server.session import ServeSession  # noqa: E402
+
+#: median warm query must beat a fresh full analysis by this factor
+GATE_FACTOR = 5.0
+
+CORPUS_FILE = ROOT / "examples" / "corpus" / "gzip_window.c"
+CORPUS_QUERIES = [
+    ("main", "strstart"),
+    ("update_hash", "v"),
+    ("insert_string", "prev"),
+    ("longest_match", "len"),
+    ("main", "h"),
+]
+CORPUS_EDIT = (
+    "update_hash",
+    "  int v = (h * 5 + c) % HSIZE;\n"
+    "  if (v < 0) {\n"
+    "    v = -v;\n"
+    "  }\n"
+    "  return v;",
+)
+
+
+def generated_workload() -> tuple[str, str]:
+    spec = WorkloadSpec(
+        name="serve-bench",
+        n_functions=24,
+        n_globals=10,
+        n_arrays=2,
+        array_len=16,
+        stmts_per_function=8,
+        loops_per_function=0,
+        calls_per_function=2,
+        pointer_ops_per_function=1,
+        recursion_cycle=0,
+        funcptr_sites=0,
+        unique_callees=True,
+        seed=7,
+    )
+    return generate_source(spec), spec.name
+
+
+def bench_workload(
+    name: str,
+    source: str,
+    filename: str,
+    *,
+    preprocess: bool,
+    exact: bool,
+    queries: list[tuple[str, str]],
+    edit: tuple[str, str],
+    n_warm: int,
+) -> dict:
+    strict = widen = not exact
+
+    t0 = time.perf_counter()
+    analyze(
+        source,
+        filename=filename,
+        preprocess_source=preprocess,
+        strict=strict,
+        widen=widen,
+    )
+    t_fresh = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    session = ServeSession(
+        source,
+        filename,
+        preprocess_source=preprocess,
+        strict=strict,
+        widen=widen,
+    )
+    t_load = time.perf_counter() - t0
+
+    proc, var = queries[0]
+    t0 = time.perf_counter()
+    session.query_interval(proc, var)
+    t_cold = time.perf_counter() - t0
+
+    warm = []
+    for i in range(n_warm):
+        proc, var = queries[i % len(queries)]
+        t0 = time.perf_counter()
+        q = session.query_interval(proc, var)
+        warm.append(time.perf_counter() - t0)
+        assert q.interval is not None
+    t_warm_median = statistics.median(warm)
+
+    func, body = edit
+    t0 = time.perf_counter()
+    session.edit(function=func, body=body)
+    t_edit = time.perf_counter() - t0
+    proc, var = queries[0]
+    t0 = time.perf_counter()
+    requery = session.query_interval(proc, var)
+    t_requery = time.perf_counter() - t0
+
+    failures = []
+    if t_warm_median * GATE_FACTOR > t_fresh:
+        failures.append(
+            f"{name}: median warm query {t_warm_median * 1e3:.3f}ms not "
+            f"{GATE_FACTOR}x faster than fresh analysis "
+            f"{t_fresh * 1e3:.1f}ms"
+        )
+
+    speedup = t_fresh / t_warm_median if t_warm_median else float("inf")
+    print(
+        f"  {name}: fresh {t_fresh * 1e3:7.1f}ms  "
+        f"cold {t_cold * 1e3:7.1f}ms  "
+        f"warm median {t_warm_median * 1e3:7.3f}ms  "
+        f"({speedup:,.0f}x)  edit+requery "
+        f"{(t_edit + t_requery) * 1e3:7.1f}ms [{requery.solve}]"
+    )
+    return {
+        "workload": name,
+        "fresh_ms": round(t_fresh * 1e3, 3),
+        "load_ms": round(t_load * 1e3, 3),
+        "cold_query_ms": round(t_cold * 1e3, 3),
+        "warm_median_ms": round(t_warm_median * 1e3, 4),
+        "warm_queries": len(warm),
+        "warm_vs_fresh_speedup": round(speedup, 1),
+        "edit_ms": round(t_edit * 1e3, 3),
+        "requery_ms": round(t_requery * 1e3, 3),
+        "requery_solve": requery.solve,
+        "queries_by_solve": dict(session.counters),
+        "failures": failures,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized warm-query count"
+    )
+    args = parser.parse_args()
+    n_warm = 20 if args.quick else 60
+
+    print(f"serve latency gate (gate {GATE_FACTOR}x, warm n={n_warm})")
+    gen_source, gen_name = generated_workload()
+    rows = [
+        bench_workload(
+            "gzip_window",
+            CORPUS_FILE.read_text(),
+            str(CORPUS_FILE),
+            preprocess=True,
+            exact=False,
+            queries=CORPUS_QUERIES,
+            edit=CORPUS_EDIT,
+            n_warm=n_warm,
+        ),
+        bench_workload(
+            gen_name,
+            gen_source,
+            f"<{gen_name}>",
+            preprocess=False,
+            exact=True,
+            queries=[("main", "acc"), ("f0", "v0"), ("f7", "v1"),
+                     ("f15", "p0"), ("main", "g0")],
+            edit=("f7", "{\n    int v0 = 2;\n    int v1 = p0 + 5;\n"
+                        "    return v0 + v1;\n}"),
+            n_warm=n_warm,
+        ),
+    ]
+
+    failures = [f for row in rows for f in row["failures"]]
+    report = {
+        "gate_factor": GATE_FACTOR,
+        "workloads": rows,
+        "failures": failures,
+    }
+    out = ROOT / "BENCH_serve.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("serve gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ from repro.analysis.dense import run_dense
 from repro.analysis.preanalysis import run_preanalysis
 from repro.analysis.relational import run_rel_dense, run_rel_sparse
 from repro.analysis.sparse import run_sparse
-from repro.api import AnalysisRun, analyze
+from repro.api import AnalysisRun, QueryResult, analyze, serve_session
 from repro.checkers.overrun import check_overruns
 from repro.domains.interval import Interval
 from repro.frontend import parse
@@ -47,6 +47,8 @@ __version__ = "1.1.0"
 __all__ = [
     "analyze",
     "AnalysisRun",
+    "QueryResult",
+    "serve_session",
     "parse",
     "build_program",
     "Program",

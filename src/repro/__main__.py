@@ -14,6 +14,8 @@ Analyze a C file and report analysis facts or checker findings::
     python -m repro file.c --checkpoint run.ckpt --resume
     python -m repro batch a.c b.c --checkpoint-dir ckpt # multi-process driver
     python -m repro tables table2 --quick               # paper tables
+    python -m repro serve file.c                        # query server (JSON
+                                                        # lines on stdin/stdout)
 
 Exit codes are a stable contract::
 
@@ -254,6 +256,67 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.protocol import serve_stdio, serve_unix_socket
+    from repro.server.session import ServeSession
+
+    try:
+        with open(args.file) as f:
+            source = f.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    tel = None
+    if args.report is not None:
+        tel = Telemetry(enabled=True)
+    session = ServeSession(
+        source,
+        args.file,
+        domain=args.domain,
+        mode=args.mode,
+        strict=not args.exact,
+        widen=not args.exact,
+        narrowing_passes=args.narrow,
+        preprocess_source=args.cpp,
+        query_budget_seconds=args.query_budget_seconds,
+        query_max_iterations=args.query_max_iterations,
+        telemetry=tel,
+    )
+    if args.preload:
+        # Eagerly compute the default combo's global fixpoint so the first
+        # query is already a warm read.
+        session.resident()
+        session._ensure_solved(
+            session.resident(),
+            frozenset(session.resident().plan.node_ids),
+        )
+    try:
+        # SIGINT/SIGTERM raise AnalysisInterrupted even mid-query; main()
+        # maps it to the documented 128+signum exit code.
+        with raising_signal_handlers():
+            if args.socket is not None:
+                serve_unix_socket(
+                    session,
+                    args.socket,
+                    max_request_bytes=args.max_request_bytes,
+                )
+            else:
+                serve_stdio(
+                    session,
+                    sys.stdin,
+                    sys.stdout,
+                    max_request_bytes=args.max_request_bytes,
+                )
+    finally:
+        if tel is not None and args.report is not None:
+            from repro.telemetry import write_phase_report
+
+            write_phase_report(tel, args.report)
+            print(f"phase report written to {args.report}", file=sys.stderr)
+    return EXIT_OK
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.bench import harness
 
@@ -446,6 +509,62 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_batch.set_defaults(fn=_cmd_batch)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running query server: load once, answer point queries "
+        "demand-driven, reanalyze incrementally on edit (line-oriented "
+        "JSON on stdin/stdout or a Unix socket)",
+    )
+    p_serve.add_argument("file")
+    p_serve.add_argument(
+        "--domain", choices=["interval", "octagon"], default="interval"
+    )
+    p_serve.add_argument(
+        "--mode", choices=["sparse", "base", "vanilla"], default="sparse"
+    )
+    p_serve.add_argument(
+        "--cpp", action="store_true",
+        help="run the mini preprocessor (#define/#if/#include) first",
+    )
+    p_serve.add_argument(
+        "--exact", action="store_true",
+        help="exact mode (strict=False, widen=False): order-independent "
+        "least fixpoints, the setting under which cone-restricted solves "
+        "are provably identical to global ones",
+    )
+    p_serve.add_argument(
+        "--narrow", type=int, default=0, metavar="N",
+        help="narrowing passes after widening (default 0; narrowing "
+        "disables cone solving — every query uses the cached global solve)",
+    )
+    p_serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="serve on a Unix domain socket instead of stdin/stdout",
+    )
+    p_serve.add_argument(
+        "--max-request-bytes", type=int, default=1 << 20, metavar="N",
+        help="reject request lines larger than N bytes (default 1 MiB)",
+    )
+    p_serve.add_argument(
+        "--query-budget-seconds", type=float, default=None, metavar="S",
+        help="per-query wall-clock budget for cone solves; exceeding it "
+        "degrades that query to the global-solve fallback",
+    )
+    p_serve.add_argument(
+        "--query-max-iterations", type=int, default=None, metavar="N",
+        help="per-query iteration budget for cone solves (same fallback)",
+    )
+    p_serve.add_argument(
+        "--preload", action="store_true",
+        help="solve the default combo's global fixpoint at startup so the "
+        "first query is already a warm read",
+    )
+    p_serve.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the served-queries phase report as JSON at shutdown",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
     p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
     p_tables.add_argument("table", choices=["table1", "table2", "table3", "all"])
     p_tables.add_argument("--quick", action="store_true")
@@ -460,7 +579,7 @@ def main(argv: list[str] | None = None) -> int:
     # Shorthand: ``python -m repro file.c …`` == ``python -m repro analyze
     # file.c …`` — anything that is not a subcommand or a flag is a file.
     if argv and not argv[0].startswith("-") and argv[0] not in (
-        "analyze", "batch", "tables"
+        "analyze", "batch", "tables", "serve"
     ):
         argv = ["analyze", *argv]
     args = parser.parse_args(argv)

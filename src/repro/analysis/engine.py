@@ -441,6 +441,16 @@ class DepGraphSpace(PropagationSpace):
         self.in_cache: dict[int, object] = {}
         self.reached: set[int] = set()
 
+    @property
+    def cells(self) -> CellOps:
+        """The cell strategy (exposed for warm-starting restricted runs)."""
+        return self._cells
+
+    @property
+    def deps(self) -> "DataDeps":
+        """The dependency graph the pushes follow."""
+        return self._deps
+
     def seeds(self) -> Sequence[int]:
         if self._strict:
             self.reached.add(self._entry)

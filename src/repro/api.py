@@ -188,6 +188,91 @@ class AnalysisRun:
         )
 
 
+@dataclass
+class QueryResult:
+    """One answer from a :class:`repro.server.ServeSession` point query.
+
+    ``solve`` records how the answer was produced — ``"resident"`` (pure
+    table read), ``"cone"`` (demand-driven restricted solve),
+    ``"global"`` (whole-program solve, now cached), or
+    ``"global-fallback"`` (a cone attempt blew its per-query budget and
+    degraded to the global solve). Whatever the path, the value is
+    byte-identical to a fresh ``analyze()`` of the current program text.
+    """
+
+    kind: str
+    domain: str
+    mode: str
+    solve: str
+    generation: int
+    proc: str | None = None
+    var: str | None = None
+    nid: int | None = None
+    line: int | None = None
+    interval: Interval | None = None
+    reports: list[AccessReport] | None = None
+    #: control points the engine actually popped for this answer
+    visited: int = 0
+    elapsed: float = 0.0
+
+    def as_dict(self) -> dict:
+        """A JSON-ready rendering (the serve protocol's response body)."""
+        out: dict = {
+            "kind": self.kind,
+            "domain": self.domain,
+            "mode": self.mode,
+            "solve": self.solve,
+            "generation": self.generation,
+            "visited": self.visited,
+            "elapsed_ms": round(self.elapsed * 1000.0, 3),
+        }
+        if self.proc is not None:
+            out["proc"] = self.proc
+        if self.var is not None:
+            out["var"] = self.var
+        if self.nid is not None:
+            out["nid"] = self.nid
+        if self.line is not None:
+            out["line"] = self.line
+        if self.kind == "interval":
+            itv = self.interval if self.interval is not None else Interval.bottom()
+            out["interval"] = {
+                "lo": itv.lo,
+                "hi": itv.hi,
+                "bottom": itv.is_bottom(),
+                "repr": str(itv),
+            }
+        if self.reports is not None:
+            out["reports"] = [
+                {
+                    "nid": r.nid,
+                    "line": r.line,
+                    "proc": r.proc,
+                    "access": str(r.access),
+                    "verdict": getattr(r.verdict, "value", str(r.verdict)),
+                    "offset": str(r.offset),
+                    "size": str(r.size),
+                }
+                for r in self.reports
+            ]
+        return out
+
+
+def serve_session(
+    source: str,
+    filename: str = "<serve>",
+    **options,
+):
+    """Create a :class:`repro.server.ServeSession` — the resident-state
+    query/edit server behind ``repro serve``. Options mirror the session
+    constructor (``domain``, ``mode``, ``strict``, ``widen``,
+    ``narrowing_passes``, ``preprocess_source``, ``query_budget_seconds``,
+    ``query_max_iterations``, ``cone_threshold``, ``telemetry``)."""
+    from repro.server.session import ServeSession
+
+    return ServeSession(source, filename, **options)
+
+
 def _run_engine(
     program: Program,
     pre: PreAnalysis,

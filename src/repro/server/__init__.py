@@ -1,0 +1,27 @@
+"""Long-running demand-driven query server (``repro serve``).
+
+:mod:`repro.server.protocol` — line-oriented JSON request/response codec.
+:mod:`repro.server.session` — resident analysis state, cone-restricted
+queries, incremental edits.
+"""
+
+from repro.server.protocol import (
+    MAX_REQUEST_BYTES,
+    ProtocolError,
+    decode_request,
+    encode_response,
+    error_response,
+    serve_lines,
+)
+from repro.server.session import ResidentAnalysis, ServeSession
+
+__all__ = [
+    "MAX_REQUEST_BYTES",
+    "ProtocolError",
+    "ResidentAnalysis",
+    "ServeSession",
+    "decode_request",
+    "encode_response",
+    "error_response",
+    "serve_lines",
+]

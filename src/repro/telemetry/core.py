@@ -44,6 +44,10 @@ PHASES = (
     "fixpoint",
     "narrowing",
     "checkers",
+    #: serve-mode phases: one span per served query / applied edit (the
+    #: engine's nested fixpoint spans stay inside them)
+    "query",
+    "edit",
 )
 
 

@@ -96,6 +96,17 @@ def write_phase_report(tel: Telemetry, path) -> int:
 #: counters/gauges shown next to the phase they describe
 _PHASE_DETAILS = {
     "pre-analysis": ("pre.rounds",),
+    "query": (
+        "query.resident",
+        "query.cone",
+        "query.global",
+        "query.global-fallback",
+    ),
+    "edit": (
+        "edit.edits",
+        "edit.retained_nodes",
+        "edit.dirty_nodes",
+    ),
     "dep-gen": (
         "dep.generated",
         "dep.bypassed",

@@ -1,0 +1,146 @@
+"""Query/edit equivalence harness (the PR's correctness spine).
+
+Seeded random programs from the PR 4 fuzz generator are loaded into a
+``ServeSession`` in exact mode (``strict=False, widen=False`` — the unique
+least-fixpoint regime where answers are order-independent), then driven
+through random interleavings of point queries and whole-program edits
+across all six engine x domain combos.  Every demand-driven answer must be
+byte-identical to a from-scratch global fixpoint of the post-edit program,
+and at the end every resident table cell the server claims to have solved
+must match the from-scratch table bit for bit.
+
+Failures print the generating seed so a run is replayable with e.g.
+``REPRO_SERVE_SEEDS=1 PYTHONPATH=src python -m pytest
+tests/server/test_equivalence.py -k 17``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.api import analyze
+from repro.bench.codegen import WorkloadSpec, generate_source
+from repro.server.session import ServeSession
+from tests.analysis.golden_tables import COMBOS, canonical_state
+
+N_SEEDS = int(os.environ.get("REPRO_SERVE_SEEDS", "3"))
+SEEDS = [13 * i + 17 for i in range(N_SEEDS)]
+
+#: edits per interleaving (each switches to a freshly generated program
+#: with the same function names but different bodies and call edges)
+N_VERSIONS = 3
+N_OPS = 14
+
+
+def spec(seed: int) -> WorkloadSpec:
+    # Loop-free so exact mode (no widening) converges; the shape mirrors
+    # tests/analysis/test_fuzz_differential.py.
+    return WorkloadSpec(
+        name="serve",
+        n_functions=5,
+        n_globals=4,
+        n_arrays=1,
+        array_len=8,
+        stmts_per_function=6,
+        loops_per_function=0,
+        calls_per_function=2,
+        pointer_ops_per_function=1,
+        recursion_cycle=0,
+        funcptr_sites=0,
+        unique_callees=True,
+        seed=seed,
+    )
+
+
+QUERY_VARS = ["g0", "g1", "g2", "g3", "v0", "v1", "p0", "acc"]
+
+
+class Reference:
+    """From-scratch exact-mode analyses of the current program, per combo."""
+
+    def __init__(self):
+        self.runs = {}
+
+    def run(self, source, domain, mode):
+        key = (source, domain, mode)
+        if key not in self.runs:
+            self.runs[key] = analyze(
+                source, domain=domain, mode=mode, strict=False, widen=False
+            )
+        return self.runs[key]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_interleaved_queries_match_from_scratch(seed):
+    rng = random.Random(seed)
+    sources = [
+        generate_source(spec(seed + 1000 * k)) for k in range(N_VERSIONS)
+    ]
+    session = ServeSession(sources[0], strict=False, widen=False)
+    reference = Reference()
+    current = sources[0]
+    version = 0
+    procs = sorted(session.program.analyzed_functions())
+
+    for step in range(N_OPS):
+        ctx = f"seed={seed} step={step} version={version}"
+        if step and rng.random() < 0.3 and version + 1 < N_VERSIONS:
+            version += 1
+            current = sources[version]
+            info = session.edit(source=current)
+            assert info["generation"] == version, ctx
+            continue
+        domain, mode = rng.choice(COMBOS)
+        proc = rng.choice(procs)
+        var = rng.choice(QUERY_VARS)
+        got = session.query_interval(proc, var, domain=domain, mode=mode)
+        want = reference.run(current, domain, mode).interval_at_exit(proc, var)
+        assert str(got.interval) == str(want), (
+            f"{ctx} combo={domain}/{mode} proc={proc} var={var} "
+            f"solve={got.solve}: served {got.interval} != fresh {want}"
+        )
+
+    # Every cell the server claims solved must be byte-identical to the
+    # from-scratch table of the *current* (post-edit) program.
+    for (domain, mode), res in sorted(session.residents.items()):
+        fresh = reference.run(current, domain, mode).result.table
+        for nid in sorted(res.solved):
+            ctx = f"seed={seed} combo={domain}/{mode} nid={nid}"
+            assert (nid in res.table) == (nid in fresh), (
+                f"{ctx}: cell presence diverged "
+                f"(served={nid in res.table}, fresh={nid in fresh})"
+            )
+            if nid in fresh:
+                assert canonical_state(res.table[nid]) == canonical_state(
+                    fresh[nid]
+                ), f"{ctx}: resident cell diverged from from-scratch table"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_function_body_edits_match_from_scratch(seed):
+    """The splice path (``edit(function=..., body=...)``) must land on the
+    same fixpoint as a from-scratch analysis of the spliced source."""
+    rng = random.Random(seed ^ 0xBEEF)
+    source = generate_source(spec(seed))
+    session = ServeSession(source, strict=False, widen=False)
+    reference = Reference()
+
+    target = f"f{rng.randrange(5)}"
+    body = "{\n    int v0 = 3;\n    int v1 = p0 + 4;\n    return v0 + v1;\n}"
+    session.edit(function=target, body=body)
+    current = session.source
+
+    for domain, mode in COMBOS:
+        for proc in sorted(session.program.analyzed_functions()):
+            var = rng.choice(QUERY_VARS)
+            got = session.query_interval(proc, var, domain=domain, mode=mode)
+            want = reference.run(current, domain, mode).interval_at_exit(
+                proc, var
+            )
+            assert str(got.interval) == str(want), (
+                f"seed={seed} combo={domain}/{mode} proc={proc} var={var} "
+                f"after splicing {target}: {got.interval} != {want}"
+            )

@@ -1,0 +1,154 @@
+"""Invalidation precision (satellite 3): an edit to ``h`` must not
+recompute cells outside ``h``'s downstream dependency cone.
+
+The scenario is a call chain ``main -> f -> gg -> h`` with a sibling ``k``
+(also called from ``main``).  After warming every procedure and editing
+``h``, a query on ``k`` must answer straight from the resident table (zero
+engine visits), and re-solving ``f`` must stay inside the dirty closure of
+``h``'s nodes — asserted against the engine's ``visited`` telemetry, which
+the cone membrane guarantees is a subset of the pending cone.
+
+The quarantine case checks the PR 6 contract: an edit that makes ``h``
+unparseable quarantines exactly ``h``, and every served answer still
+matches a from-scratch analysis of the broken source (havoc included).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.incremental import dirty_closure
+from repro.api import analyze
+from repro.server.session import ServeSession
+
+SRC = """int g;
+int h(int a) {
+    int r;
+    r = a + 1;
+    return r;
+}
+int gg(int a) {
+    int r;
+    r = h(a) + 1;
+    return r;
+}
+int f(int a) {
+    int r;
+    r = gg(a) + 1;
+    return r;
+}
+int k(int a) {
+    int r;
+    r = a * 2;
+    return r;
+}
+int main(void) {
+    int x; int y;
+    x = f(1);
+    y = k(5);
+    g = x + y;
+    return g;
+}
+"""
+
+H_EDIT = "    int r;\n    r = a + 3;\n    return r;"
+H_BROKEN = "    int r = ((;\n    return r;"
+
+PROCS = ("k", "f", "h", "gg", "main")
+
+
+def proc_nids(program, proc):
+    return {n.nid for n in program.cfgs[proc].nodes}
+
+
+def warm_session(**kwargs):
+    """An exact-mode session with every procedure's exit already solved."""
+    session = ServeSession(SRC, strict=False, widen=False, **kwargs)
+    for proc in PROCS:
+        session.query_interval(proc, "r" if proc != "main" else "g")
+    return session
+
+
+@pytest.mark.parametrize("domain", ["interval", "octagon"])
+def test_edit_does_not_touch_siblings(domain):
+    session = warm_session(domain=domain)
+    session.edit(function="h", body=H_EDIT)
+
+    res = session.resident()
+    k_nids = proc_nids(session.program, "k")
+    h_nids = proc_nids(session.program, "h")
+    dirty = dirty_closure(res.plan, h_nids)
+
+    # k is outside h's downstream cone: answered resident, zero visits.
+    q_k = session.query_interval("k", "r")
+    assert q_k.solve == "resident", q_k
+    assert q_k.visited == 0
+    assert session.last_stats is None
+
+    # f *is* downstream: re-solved, but strictly inside the dirty closure
+    # and never touching k.
+    q_f = session.query_interval("f", "r")
+    assert q_f.solve == "cone", q_f
+    visited = set(session.last_stats.visited)
+    assert visited, "the edit must actually dirty f's cells"
+    assert visited <= dirty, (
+        f"engine visited nodes outside h's dirty closure: "
+        f"{sorted(visited - dirty)}"
+    )
+    assert not (visited & k_nids), (
+        f"engine recomputed sibling cells: {sorted(visited & k_nids)}"
+    )
+
+    # And the incremental answers are the from-scratch answers.
+    fresh = analyze(session.source, domain=domain, strict=False, widen=False)
+    for proc in PROCS:
+        var = "g" if proc == "main" else "r"
+        got = session.query_interval(proc, var)
+        assert str(got.interval) == str(fresh.interval_at_exit(proc, var))
+
+
+def test_edit_reports_retention_per_resident():
+    session = warm_session()
+    info = session.edit(function="h", body=H_EDIT)
+    assert info["changed_procs"] == ["h"]
+    assert info["quarantined"] == []
+    stats = info["residents"]["interval/sparse"]
+    # something survived, something was invalidated
+    assert 0 < stats["retained"] < stats["nodes"]
+
+
+def test_unrelated_proc_edit_keeps_main_resident():
+    session = warm_session()
+    session.edit(function="k", body="    int r;\n    r = a * 4;\n    return r;")
+    # h and its callers don't depend on k...
+    for proc in ("h", "gg", "f"):
+        q = session.query_interval(proc, "r")
+        assert q.solve == "resident", (proc, q.solve)
+    # ...but main reads k's return value, so it must be re-solved.
+    q = session.query_interval("main", "g")
+    assert q.solve != "resident"
+    fresh = analyze(session.source, strict=False, widen=False)
+    assert str(q.interval) == str(fresh.interval_at_exit("main", "g"))
+
+
+def test_quarantining_edit_follows_the_recovery_contract():
+    session = warm_session()
+    info = session.edit(function="h", body=H_BROKEN)
+    assert info["quarantined"] == ["h"]
+    assert "h" in session.program.quarantined
+
+    fresh = analyze(session.source, strict=False, widen=False)
+    assert sorted(fresh.program.quarantined) == ["h"]
+    for proc in ("k", "f", "gg", "main"):
+        var = "g" if proc == "main" else "r"
+        got = session.query_interval(proc, var)
+        assert str(got.interval) == str(fresh.interval_at_exit(proc, var)), (
+            f"post-quarantine {proc}.{var} diverged from from-scratch havoc"
+        )
+
+    # un-quarantining via a good edit restores precise answers
+    session.edit(function="h", body=H_EDIT)
+    assert session.program.quarantined == {}
+    fresh = analyze(session.source, strict=False, widen=False)
+    got = session.query_interval("main", "g")
+    assert str(got.interval) == str(fresh.interval_at_exit("main", "g"))

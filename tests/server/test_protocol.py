@@ -1,0 +1,198 @@
+"""Protocol units: request decoding, error responses, the serve loop, and
+snapshot/restore through the PR 5 checkpoint codec."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runtime.errors import CheckpointError
+from repro.server.protocol import (
+    ProtocolError,
+    decode_request,
+    encode_response,
+    error_response,
+    serve_lines,
+)
+from repro.server.session import ServeSession
+
+SRC = """int g;
+int f(int a) {
+    int r;
+    r = a + 1;
+    return r;
+}
+int main(void) {
+    g = f(41);
+    return g;
+}
+"""
+
+
+def drive(session, requests):
+    out = []
+    serve_lines(session, requests, out.append)
+    return [json.loads(line) for line in out]
+
+
+# -- decoding ---------------------------------------------------------------
+
+
+def test_decode_valid_request():
+    req = decode_request('{"op": "ping", "id": 7}')
+    assert req["op"] == "ping"
+    assert req["id"] == 7
+
+
+def test_decode_rejects_oversized():
+    line = json.dumps({"op": "query", "blob": "x" * 100})
+    with pytest.raises(ProtocolError) as exc:
+        decode_request(line, max_bytes=64)
+    assert exc.value.code == "oversized"
+
+
+def test_decode_rejects_bad_json():
+    with pytest.raises(ProtocolError) as exc:
+        decode_request("{not json")
+    assert exc.value.code == "bad-json"
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError) as exc:
+        decode_request("[1, 2, 3]")
+    assert exc.value.code == "bad-request"
+
+
+def test_decode_rejects_missing_and_unknown_op():
+    with pytest.raises(ProtocolError) as exc:
+        decode_request('{"id": 1}')
+    assert exc.value.code == "bad-request"
+    with pytest.raises(ProtocolError) as exc:
+        decode_request('{"op": "frobnicate"}')
+    assert exc.value.code == "unknown-op"
+
+
+def test_encode_response_is_one_line():
+    line = encode_response(error_response("bad-json", "multi\nline\nmessage"))
+    assert "\n" not in line
+    assert json.loads(line)["ok"] is False
+
+
+# -- serve loop -------------------------------------------------------------
+
+
+def test_serve_loop_answers_and_echoes_ids():
+    session = ServeSession(SRC, strict=False, widen=False)
+    replies = drive(
+        session,
+        [
+            '{"id": 1, "op": "ping"}',
+            '{"id": 2, "op": "query", "kind": "interval",'
+            ' "proc": "main", "var": "g"}',
+            '{"id": 3, "op": "stats"}',
+        ],
+    )
+    assert [r["id"] for r in replies] == [1, 2, 3]
+    assert all(r["ok"] for r in replies)
+    assert replies[1]["interval"]["lo"] == 42
+    assert replies[1]["interval"]["hi"] == 42
+    assert replies[2]["queries"]["edits"] == 0
+
+
+def test_serve_loop_skips_blank_lines():
+    session = ServeSession(SRC, strict=False, widen=False)
+    replies = drive(session, ["", "   ", '{"op": "ping"}'])
+    assert len(replies) == 1
+
+
+def test_shutdown_stops_the_loop():
+    session = ServeSession(SRC, strict=False, widen=False)
+    replies = drive(
+        session,
+        ['{"id": 1, "op": "shutdown"}', '{"id": 2, "op": "ping"}'],
+    )
+    assert len(replies) == 1
+    assert replies[0] == {"id": 1, "ok": True, "op": "shutdown"}
+    assert session.shutdown_requested
+
+
+def test_check_query_is_json_serializable():
+    # overrun reports embed Interval/Verdict values; the wire rendering
+    # must flatten every one of them (regression: `size` leaked raw)
+    session = ServeSession(
+        "int a[4];\nint main(void) {\n    int i;\n    i = 9;\n"
+        "    a[i] = 1;\n    return 0;\n}\n",
+        strict=False,
+        widen=False,
+    )
+    (reply,) = drive(
+        session,
+        ['{"id": 1, "op": "query", "kind": "check", "proc": "main"}'],
+    )
+    assert reply["ok"] is True
+    assert reply["reports"], "the out-of-bounds write must be reported"
+    report = reply["reports"][0]
+    assert report["verdict"] == "alarm"
+    assert isinstance(report["offset"], str)
+    assert isinstance(report["size"], str)
+
+
+def test_unknown_query_kind_is_an_error_response():
+    session = ServeSession(SRC, strict=False, widen=False)
+    (reply,) = drive(
+        session, ['{"id": 1, "op": "query", "kind": "vibes"}']
+    )
+    assert reply["ok"] is False
+    assert reply["id"] == 1
+
+
+def test_edit_requires_source_or_function_body():
+    session = ServeSession(SRC, strict=False, widen=False)
+    (reply,) = drive(session, ['{"id": 1, "op": "edit"}'])
+    assert reply["ok"] is False
+    assert "source" in reply["message"]
+
+
+# -- snapshot / restore -----------------------------------------------------
+
+
+def test_snapshot_restore_roundtrip_answers_without_solving(tmp_path):
+    path = str(tmp_path / "resident.ckpt")
+    first = ServeSession(SRC, strict=False, widen=False)
+    q = first.query_interval("main", "g")
+    assert q.solve in ("cone", "global")
+    info = first.snapshot(path)
+    assert info["residents"] == 1
+
+    second = ServeSession(SRC, strict=False, widen=False)
+    second.restore(path)
+    q2 = second.query_interval("main", "g")
+    assert q2.solve == "resident"
+    assert q2.visited == 0
+    assert str(q2.interval) == str(q.interval)
+
+
+def test_restore_fails_closed_on_other_program(tmp_path):
+    path = str(tmp_path / "resident.ckpt")
+    first = ServeSession(SRC, strict=False, widen=False)
+    first.query_interval("main", "g")
+    first.snapshot(path)
+
+    other = ServeSession(SRC.replace("a + 1", "a + 2"), strict=False, widen=False)
+    with pytest.raises(CheckpointError):
+        other.restore(path)
+
+
+def test_restore_error_does_not_kill_the_session(tmp_path):
+    path = str(tmp_path / "missing.ckpt")
+    session = ServeSession(SRC, strict=False, widen=False)
+    replies = drive(
+        session,
+        [
+            json.dumps({"id": 1, "op": "restore", "path": path}),
+            '{"id": 2, "op": "ping"}',
+        ],
+    )
+    assert replies[0]["ok"] is False
+    assert replies[1]["ok"] is True

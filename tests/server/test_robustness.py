@@ -1,0 +1,162 @@
+"""Server robustness: malformed/oversized input, per-query budgets, and
+signal behavior — the session must degrade, never die.
+
+Exit-code contract for ``repro serve`` (same table as the batch CLI):
+SIGTERM mid-session exits ``128 + 15 = 143`` after replying to nothing
+further; protocol-level garbage produces one-line JSON errors and the loop
+keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import analyze
+from repro.server.session import ServeSession
+
+REPO = Path(__file__).resolve().parents[2]
+
+SRC = """int g;
+int f(int a) {
+    int r;
+    r = a + 1;
+    return r;
+}
+int main(void) {
+    g = f(41);
+    return g;
+}
+"""
+
+
+@pytest.fixture
+def src_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _serve(src_file, *extra, stdin_text):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "serve", src_file, *extra],
+        input=stdin_text,
+        capture_output=True,
+        text=True,
+        env=_env(),
+        cwd=str(REPO),
+        timeout=120,
+    )
+
+
+class TestMalformedInput:
+    def test_garbage_gets_one_line_errors_and_session_survives(self, src_file):
+        lines = [
+            "{this is not json",
+            '["an", "array"]',
+            '{"op": "frobnicate", "id": 3}',
+            '{"op": "query", "kind": "interval", "id": 4,'
+            ' "proc": "main", "var": "g"}',
+            '{"op": "shutdown", "id": 5}',
+        ]
+        proc = _serve(src_file, stdin_text="\n".join(lines) + "\n")
+        assert proc.returncode == 0, proc.stderr
+        replies = [json.loads(ln) for ln in proc.stdout.splitlines() if ln]
+        assert len(replies) == len(lines)
+        assert [r.get("ok") for r in replies] == [
+            False, False, False, True, True,
+        ]
+        assert replies[0]["error"] == "bad-json"
+        assert replies[1]["error"] == "bad-request"
+        assert replies[2]["error"] == "unknown-op"
+        assert replies[3]["interval"]["lo"] == 42
+        # every error is a single line of JSON, nothing leaked to stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_oversized_request_rejected_without_killing_session(self, src_file):
+        big = json.dumps({"op": "query", "padding": "x" * 4096})
+        lines = [big, '{"op": "ping", "id": 2}', '{"op": "shutdown", "id": 3}']
+        proc = _serve(
+            src_file,
+            "--max-request-bytes", "512",
+            stdin_text="\n".join(lines) + "\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+        replies = [json.loads(ln) for ln in proc.stdout.splitlines() if ln]
+        assert replies[0]["ok"] is False
+        assert replies[0]["error"] == "oversized"
+        assert replies[1] == {"id": 2, "ok": True, "op": "ping",
+                              "generation": 0}
+
+    def test_eof_without_shutdown_exits_cleanly(self, src_file):
+        proc = _serve(src_file, stdin_text='{"op": "ping"}\n')
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestSignals:
+    def test_sigterm_mid_session_exits_143(self, src_file):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", src_file],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=_env(),
+            cwd=str(REPO),
+        )
+        try:
+            proc.stdin.write('{"op": "ping", "id": 1}\n')
+            proc.stdin.flush()
+            reply = json.loads(proc.stdout.readline())
+            assert reply["ok"] is True  # the server is up and answering
+            time.sleep(0.1)
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=60)
+        assert proc.returncode == 128 + signal.SIGTERM
+        assert "interrupted" in proc.stderr.read()
+
+
+class TestQueryBudget:
+    # Budgets only gate the cone path, and cone solving requires exact
+    # mode (strict plans grant reachability on control edges the cone
+    # membrane cannot replay) — so both tests run strict=False/widen=False.
+
+    def test_tiny_budget_degrades_to_global_fallback(self):
+        session = ServeSession(
+            SRC, strict=False, widen=False, query_max_iterations=1
+        )
+        q = session.query_interval("main", "g")
+        assert q.solve == "global-fallback"
+        assert session.counters["fallback"] == 1
+        # the fallback is a *complete* global solve: correct answer now...
+        want = analyze(SRC, strict=False, widen=False)
+        assert str(q.interval) == str(want.interval_at_exit("main", "g"))
+        # ...and every later query on the combo is resident.
+        q2 = session.query_interval("f", "r")
+        assert q2.solve == "resident"
+        assert str(q2.interval) == str(want.interval_at_exit("f", "r"))
+
+    def test_generous_budget_stays_on_the_cone_path(self):
+        session = ServeSession(
+            SRC, strict=False, widen=False, query_max_iterations=100_000
+        )
+        q = session.query_interval("main", "g")
+        assert q.solve == "cone"
+        assert session.counters["fallback"] == 0
