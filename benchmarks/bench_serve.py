@@ -38,6 +38,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.api import analyze  # noqa: E402
 from repro.bench.codegen import WorkloadSpec, generate_source  # noqa: E402
 from repro.server.session import ServeSession  # noqa: E402
+from repro.server.supervisor import Supervisor  # noqa: E402
 
 #: median warm query must beat a fresh full analysis by this factor
 GATE_FACTOR = 5.0
@@ -167,6 +168,79 @@ def bench_workload(
     }
 
 
+def bench_supervised(
+    name: str,
+    source: str,
+    filename: str,
+    *,
+    preprocess: bool,
+    exact: bool,
+    queries: list[tuple[str, str]],
+    n_warm: int,
+    t_fresh: float,
+) -> dict:
+    """Warm-query round trips through the supervised runtime (worker
+    child + pipes + watchdog polling). Supervision overhead must not eat
+    the resident-state win: the same ``GATE_FACTOR`` bar applies."""
+    strict = widen = not exact
+    sup = Supervisor(
+        source,
+        filename,
+        preprocess_source=preprocess,
+        strict=strict,
+        widen=widen,
+    )
+    try:
+        sup.start()
+        proc, var = queries[0]
+        request = {"op": "query", "kind": "interval", "proc": proc, "var": var}
+        t0 = time.perf_counter()
+        cold = sup.ask({**request, "id": 0})
+        t_cold = time.perf_counter() - t0
+        assert cold.get("ok"), cold
+
+        warm = []
+        for i in range(n_warm):
+            proc, var = queries[i % len(queries)]
+            t0 = time.perf_counter()
+            resp = sup.ask(
+                {
+                    "op": "query",
+                    "kind": "interval",
+                    "proc": proc,
+                    "var": var,
+                    "id": i + 1,
+                }
+            )
+            warm.append(time.perf_counter() - t0)
+            assert resp.get("ok"), resp
+        t_warm_median = statistics.median(warm)
+    finally:
+        sup.stop()
+
+    failures = []
+    if t_warm_median * GATE_FACTOR > t_fresh:
+        failures.append(
+            f"{name} (supervised): median warm query "
+            f"{t_warm_median * 1e3:.3f}ms not {GATE_FACTOR}x faster than "
+            f"fresh analysis {t_fresh * 1e3:.1f}ms"
+        )
+    speedup = t_fresh / t_warm_median if t_warm_median else float("inf")
+    print(
+        f"  {name} (supervised): cold {t_cold * 1e3:7.1f}ms  "
+        f"warm median {t_warm_median * 1e3:7.3f}ms  ({speedup:,.0f}x)"
+    )
+    return {
+        "workload": f"{name}-supervised",
+        "fresh_ms": round(t_fresh * 1e3, 3),
+        "cold_query_ms": round(t_cold * 1e3, 3),
+        "warm_median_ms": round(t_warm_median * 1e3, 4),
+        "warm_queries": len(warm),
+        "warm_vs_fresh_speedup": round(speedup, 1),
+        "failures": failures,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -201,6 +275,19 @@ def main() -> int:
             n_warm=n_warm,
         ),
     ]
+
+    rows.append(
+        bench_supervised(
+            "gzip_window",
+            CORPUS_FILE.read_text(),
+            str(CORPUS_FILE),
+            preprocess=True,
+            exact=False,
+            queries=CORPUS_QUERIES,
+            n_warm=n_warm,
+            t_fresh=rows[0]["fresh_ms"] / 1e3,
+        )
+    )
 
     failures = [f for row in rows for f in row["failures"]]
     report = {

@@ -257,9 +257,6 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.server.protocol import serve_stdio, serve_unix_socket
-    from repro.server.session import ServeSession
-
     try:
         with open(args.file) as f:
             source = f.read()
@@ -270,9 +267,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     tel = None
     if args.report is not None:
         tel = Telemetry(enabled=True)
-    session = ServeSession(
-        source,
-        args.file,
+    session_options = dict(
         domain=args.domain,
         mode=args.mode,
         strict=not args.exact,
@@ -281,8 +276,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         preprocess_source=args.cpp,
         query_budget_seconds=args.query_budget_seconds,
         query_max_iterations=args.query_max_iterations,
-        telemetry=tel,
+        max_resident_bytes=args.max_resident_bytes,
     )
+
+    if args.supervised:
+        return _serve_supervised(args, source, session_options, tel)
+
+    from repro.server.protocol import serve_stdio, serve_unix_socket
+    from repro.server.session import ServeSession
+
+    session = ServeSession(source, args.file, telemetry=tel, **session_options)
     if args.preload:
         # Eagerly compute the default combo's global fixpoint so the first
         # query is already a warm read.
@@ -309,6 +312,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     max_request_bytes=args.max_request_bytes,
                 )
     finally:
+        if tel is not None and args.report is not None:
+            from repro.telemetry import write_phase_report
+
+            write_phase_report(tel, args.report)
+            print(f"phase report written to {args.report}", file=sys.stderr)
+    return EXIT_OK
+
+
+def _serve_supervised(
+    args: argparse.Namespace, source: str, session_options: dict, tel
+) -> int:
+    from repro.server.supervisor import (
+        Supervisor,
+        SupervisorConfig,
+        serve_supervised_stdio,
+        serve_supervised_socket,
+    )
+
+    config = SupervisorConfig(
+        request_deadline=args.request_deadline,
+        heartbeat_timeout=args.heartbeat_timeout,
+        snapshot_every=args.snapshot_every,
+        max_pending=args.max_pending,
+        max_restarts=args.max_restarts,
+    )
+    sup = Supervisor(
+        source,
+        args.file,
+        state_dir=args.state_dir,
+        config=config,
+        max_request_bytes=args.max_request_bytes,
+        preload=args.preload,
+        telemetry=tel,
+        **session_options,
+    )
+    sup.start()
+    try:
+        # SIGINT/SIGTERM raise AnalysisInterrupted in the consumer loop;
+        # the handlers below forward the same signal to the worker and
+        # reap it before main() exits 128+signum.
+        with raising_signal_handlers():
+            if args.socket is not None:
+                serve_supervised_socket(sup, args.socket)
+            else:
+                serve_supervised_stdio(sup, sys.stdin, sys.stdout)
+    except AnalysisInterrupted as exc:
+        sup.stop(exc.signum)
+        raise
+    finally:
+        sup.stop()
         if tel is not None and args.report is not None:
             from repro.telemetry import write_phase_report
 
@@ -562,6 +615,49 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument(
         "--report", metavar="FILE", default=None,
         help="write the served-queries phase report as JSON at shutdown",
+    )
+    p_serve.add_argument(
+        "--supervised", action="store_true",
+        help="run the session in a supervised worker child: crashes and "
+        "hangs are detected, the worker is respawned with backoff and "
+        "restored from its latest snapshot, and the in-flight request is "
+        "answered with a one-line retry error instead of the server dying",
+    )
+    p_serve.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="supervised: where the durable source record and resident "
+        "snapshots live (default: a private temporary directory)",
+    )
+    p_serve.add_argument(
+        "--request-deadline", type=float, default=60.0, metavar="S",
+        help="supervised: hard per-request wall-clock ceiling; a worker "
+        "that exceeds it is killed and respawned (default 60)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="S",
+        help="supervised: treat the worker as hung when its heartbeat "
+        "goes stale for S seconds mid-request",
+    )
+    p_serve.add_argument(
+        "--snapshot-every", type=int, default=16, metavar="N",
+        help="supervised: auto-snapshot resident state every N requests "
+        "(edits always snapshot; default 16)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="supervised: admission-control cap; requests beyond N queued "
+        "ones are shed immediately with an 'overloaded' error (default 64)",
+    )
+    p_serve.add_argument(
+        "--max-restarts", type=int, default=8, metavar="N",
+        help="supervised: consecutive worker startup failures before the "
+        "supervisor gives up and answers 'unavailable' (default 8)",
+    )
+    p_serve.add_argument(
+        "--max-resident-bytes", type=int, default=None, metavar="N",
+        help="evict least-recently-used per-combo resident analyses when "
+        "their estimated footprint exceeds N bytes (queries on evicted "
+        "combos fall back to a lazy re-solve)",
     )
     p_serve.set_defaults(fn=_cmd_serve)
 

@@ -267,10 +267,35 @@ def serve_session(
     query/edit server behind ``repro serve``. Options mirror the session
     constructor (``domain``, ``mode``, ``strict``, ``widen``,
     ``narrowing_passes``, ``preprocess_source``, ``query_budget_seconds``,
-    ``query_max_iterations``, ``cone_threshold``, ``telemetry``)."""
+    ``query_max_iterations``, ``cone_threshold``, ``max_resident_bytes`` —
+    the LRU eviction budget for resident per-combo state — and
+    ``telemetry``)."""
     from repro.server.session import ServeSession
 
     return ServeSession(source, filename, **options)
+
+
+def supervised_session(
+    source: str,
+    filename: str = "<serve>",
+    *,
+    config=None,
+    state_dir: str | None = None,
+    **options,
+):
+    """Create (without starting) a :class:`repro.server.Supervisor` — the
+    crash-recovering runtime behind ``repro serve --supervised``. The
+    session lives in a worker child; crashes, hangs past the per-request
+    deadline, and lost heartbeats are answered with ``retry`` errors while
+    the worker is respawned (with backoff) and restored from its latest
+    snapshot. ``options`` are the :func:`serve_session` options; ``config``
+    is a :class:`repro.server.SupervisorConfig`. Call ``.start()`` before
+    ``.ask()`` and ``.stop()`` when done."""
+    from repro.server.supervisor import Supervisor
+
+    return Supervisor(
+        source, filename, config=config, state_dir=state_dir, **options
+    )
 
 
 def _run_engine(

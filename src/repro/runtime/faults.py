@@ -46,6 +46,25 @@ class FaultPlan:
     * ``corrupt_checkpoint`` — not fired in-process: the batch driver reads
       this flag and flips bytes in the job's checkpoint file before the
       first retry, exercising the fail-closed restore path.
+
+    Serve-worker faults (read by :mod:`repro.server.supervisor`'s session
+    worker; the supervisor applies them to the worker's *first* incarnation
+    only, so a respawned worker does not re-fire the same fault forever):
+
+    * ``kill_request_at`` — SIGKILL the serve worker while it is handling
+      the Nth (1-based) protocol request, after the request was read but
+      before any response is written (kill-mid-query from the client's
+      point of view);
+    * ``hang_request_at`` — hang the worker (sleep ``hang_seconds``)
+      inside the Nth request, exercising the supervisor's hard deadline /
+      lost-heartbeat watchdog rather than any cooperative budget;
+    * ``kill_edit_at`` — SIGKILL the worker *between* applying the Nth
+      edit to the in-memory session and durably recording the new source
+      text: the crash-mid-edit atomicity window. After restart the edit
+      must be invisible (the client saw no ack and retries);
+    * ``corrupt_snapshot`` — supervisor-side: flip bytes in the worker's
+      resident-state snapshot before the first respawn, so the restore
+      must fail closed and the worker falls back to lazy re-solving.
     """
 
     crash_transfer_at: int | None = None
@@ -54,6 +73,11 @@ class FaultPlan:
     drop_dep_edge: tuple[int, int] | None = None
     kill_worker_at: int | None = None
     corrupt_checkpoint: bool = False
+    kill_request_at: int | None = None
+    hang_request_at: int | None = None
+    hang_seconds: float = 600.0
+    kill_edit_at: int | None = None
+    corrupt_snapshot: bool = False
     seed: int | None = None
 
     @classmethod
@@ -123,6 +147,25 @@ class FaultInjector:
                 limit=iteration,
             )
 
+    def before_request(self, n: int) -> None:
+        """Serve-worker hook: fire kill/hang faults scheduled for the Nth
+        protocol request (1-based)."""
+        if self.plan.hang_request_at == n:
+            self.fired.append("hang_request")
+            import time
+
+            time.sleep(self.plan.hang_seconds)
+        if self.plan.kill_request_at == n:
+            self.fired.append("kill_request")
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def after_edit_applied(self, n: int) -> None:
+        """Serve-worker hook: fire between the Nth edit's in-memory
+        application and its durable source record (the atomicity window)."""
+        if self.plan.kill_edit_at == n:
+            self.fired.append("kill_edit")
+            os.kill(os.getpid(), signal.SIGKILL)
+
     def keep_dep_push(self, src: int, dst: int) -> bool:
         """False when the push along ``src → dst`` should be dropped."""
         if self.plan.drop_dep_edge == (src, dst):
@@ -133,3 +176,17 @@ class FaultInjector:
             self.fired.append("drop_dep_push")
             return False
         return True
+
+
+def corrupt_file_tail(path: str, nbytes: int = 16) -> None:
+    """Flip the last ``nbytes`` of ``path`` (the payload region, past any
+    header), so a digest-protected read of it must fail closed. Used by
+    the batch driver (``corrupt_checkpoint``) and the serve supervisor
+    (``corrupt_snapshot``)."""
+    with open(path, "r+b") as f:
+        f.seek(0, os.SEEK_END)
+        size = f.tell()
+        f.seek(max(0, size - nbytes))
+        tail = f.read()
+        f.seek(max(0, size - nbytes))
+        f.write(bytes(b ^ 0xFF for b in tail))

@@ -50,8 +50,9 @@ import time
 from dataclasses import dataclass, field
 
 from repro.runtime.atomicio import atomic_write_json
+from repro.runtime.backoff import BackoffPolicy
 from repro.runtime.errors import AnalysisInterrupted, ReproError
-from repro.runtime.faults import FaultPlan
+from repro.runtime.faults import FaultPlan, corrupt_file_tail
 from repro.telemetry.core import Telemetry
 
 #: seconds between SIGTERM and SIGKILL when stopping a worker
@@ -302,16 +303,9 @@ def _job_paths(checkpoint_dir: str, job: BatchJob) -> tuple[str, str]:
     return base + ".ckpt", base + ".result.json"
 
 
-def _corrupt_file(path: str) -> None:
-    """Flip bytes in the tail of ``path`` (the payload region, past the
-    header) so the digest check must fail."""
-    with open(path, "r+b") as f:
-        f.seek(0, os.SEEK_END)
-        size = f.tell()
-        f.seek(max(0, size - 16))
-        tail = f.read()
-        f.seek(max(0, size - 16))
-        f.write(bytes(b ^ 0xFF for b in tail))
+#: back-compat alias — the byte-flipper now lives in runtime.faults so the
+#: serve supervisor's ``corrupt_snapshot`` fault shares it
+_corrupt_file = corrupt_file_tail
 
 
 def _stop_worker(proc) -> None:
@@ -344,7 +338,8 @@ def run_batch(
 
     ``resume=True`` lets *first* attempts pick up checkpoints left by a
     previous batch invocation (the default treats them as stale). Retries
-    always resume when a checkpoint exists. Backoff before retry ``k`` is
+    always resume when a checkpoint exists. Backoff before retry ``k``
+    follows :class:`repro.runtime.backoff.BackoffPolicy` —
     ``backoff_base * backoff_factor**(k-1) * (1 + jitter*rng.random())``
     with a seeded PRNG, so batch schedules are reproducible.
     """
@@ -355,6 +350,9 @@ def run_batch(
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
     rng = random.Random(seed)
+    backoff = BackoffPolicy(
+        base=backoff_base, factor=backoff_factor, jitter=jitter
+    )
     if max_workers is None:
         max_workers = min(4, os.cpu_count() or 1)
 
@@ -436,8 +434,7 @@ def run_batch(
             and os.path.exists(paths[index][0])
         ):
             _corrupt_file(paths[index][0])
-        delay = backoff_base * backoff_factor ** (entry.attempt - 1)
-        delay *= 1.0 + jitter * rng.random()
+        delay = backoff.delay(entry.attempt, rng)
         queue.append(
             _Queued(index, entry.attempt + 1, time.perf_counter() + delay)
         )

@@ -91,6 +91,13 @@ def error_response(
     return resp
 
 
+def dispatch_request(session, request: dict[str, Any]) -> dict[str, Any]:
+    """Dispatch one decoded request against a session and return the
+    response body (without the echoed ``id``). Shared by the in-process
+    loop below and the supervised session worker."""
+    return _dispatch(session, request)
+
+
 def _dispatch(session, request: dict[str, Any]) -> dict[str, Any]:
     op = request["op"]
     if op == "ping":
@@ -204,29 +211,75 @@ def serve_stdio(session, stdin, stdout, **kwargs) -> int:
     return serve_lines(session, stdin, write, **kwargs)
 
 
+def probe_unix_socket(path: str, timeout: float = 0.5) -> dict[str, Any] | None:
+    """Is a live server listening on ``path``? Returns its ``ping``
+    response (or ``{}`` when something accepted the connection but did
+    not answer in time — still live), ``None`` when nothing is listening
+    (connection refused / not a socket: the path is stale)."""
+    try:
+        with socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM) as probe:
+            probe.settimeout(timeout)
+            probe.connect(path)
+            try:
+                probe.sendall(b'{"op": "ping"}\n')
+                with probe.makefile("r", encoding="utf-8") as stream:
+                    line = stream.readline().strip()
+                return json.loads(line) if line else {}
+            except (OSError, ValueError):
+                # connected but mute/garbled: someone owns the path — the
+                # connect succeeding is what makes it live
+                return {}
+    except OSError:
+        return None
+
+
+def prepare_socket_path(path: str) -> None:
+    """Make ``path`` safe to bind: refuse (one-line :class:`ReproError`)
+    when a live server already answers there, silently remove a genuinely
+    stale socket file left by a crashed or killed predecessor."""
+    import os
+
+    if not os.path.exists(path):
+        return
+    alive = probe_unix_socket(path)
+    if alive is not None:
+        detail = (
+            f" (generation {alive['generation']})" if "generation" in alive else ""
+        )
+        raise ReproError(
+            f"a live repro serve already answers on {path}{detail}; "
+            "refusing to replace it — shut it down or pick another path"
+        )
+    os.unlink(path)
+
+
 def serve_unix_socket(session, path: str, **kwargs) -> int:
     """Serve sequential client connections on a Unix domain socket. Each
     accepted connection is one line-oriented conversation; a ``shutdown``
-    request (or interrupt) ends the server, EOF just ends that client."""
+    request (or interrupt) ends the server, EOF just ends that client.
+    A live server on ``path`` is never clobbered (see
+    :func:`prepare_socket_path`), and the socket file is unlinked even on
+    abnormal exit."""
     import os
 
-    if os.path.exists(path):
-        os.unlink(path)
+    prepare_socket_path(path)
     total = 0
-    with socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM) as srv:
-        srv.bind(path)
-        srv.listen(1)
-        while not session.shutdown_requested:
-            conn, _ = srv.accept()
-            with conn, conn.makefile("rw", encoding="utf-8") as stream:
-
-                def write(line: str) -> None:
-                    stream.write(line + "\n")
-                    stream.flush()
-
-                total += serve_lines(session, stream, write, **kwargs)
     try:
-        os.unlink(path)
-    except OSError:
-        pass
+        with socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM) as srv:
+            srv.bind(path)
+            srv.listen(1)
+            while not session.shutdown_requested:
+                conn, _ = srv.accept()
+                with conn, conn.makefile("rw", encoding="utf-8") as stream:
+
+                    def write(line: str) -> None:
+                        stream.write(line + "\n")
+                        stream.flush()
+
+                    total += serve_lines(session, stream, write, **kwargs)
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
     return total

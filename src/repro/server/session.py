@@ -96,6 +96,10 @@ class ResidentAnalysis:
     #: cached AnalysisRun facade over the current table (its reaching-walk
     #: memo must be dropped whenever the table changes)
     facade: object = None
+    #: LRU clock tick of the last query that touched this combo
+    last_used: int = 0
+    #: memoized :meth:`approx_bytes` (``None`` = table changed, recompute)
+    bytes_cache: int | None = None
 
     def cone(self, nid: int) -> frozenset[int]:
         hit = self.cone_cache.get(nid)
@@ -103,6 +107,23 @@ class ResidentAnalysis:
             hit = frozenset(backward_cone(self.plan, (nid,)))
             self.cone_cache[nid] = hit
         return hit
+
+    def mark_table_changed(self) -> None:
+        self.facade = None
+        self.bytes_cache = None
+
+    def approx_bytes(self) -> int:
+        """Resident footprint estimate: the wire-encoded size of every
+        table cell (backend-independent, and exactly what a snapshot of
+        this combo would cost). Memoized until the table changes."""
+        if self.bytes_cache is None:
+            total = 0
+            for state in self.table.values():
+                total += len(
+                    json.dumps(state_to_wire(state), separators=(",", ":"))
+                )
+            self.bytes_cache = total
+        return self.bytes_cache
 
 
 class ServeSession:
@@ -123,6 +144,7 @@ class ServeSession:
         query_budget_seconds: float | None = None,
         query_max_iterations: int | None = None,
         cone_threshold: float = DEFAULT_CONE_THRESHOLD,
+        max_resident_bytes: int | None = None,
         telemetry=None,
     ) -> None:
         if domain not in DOMAINS:
@@ -140,15 +162,19 @@ class ServeSession:
         self.query_budget_seconds = query_budget_seconds
         self.query_max_iterations = query_max_iterations
         self.cone_threshold = cone_threshold
+        self.max_resident_bytes = max_resident_bytes
         self.telemetry = Telemetry.coerce(telemetry)
         self.generation = 0
         self.shutdown_requested = False
+        self._use_clock = 0
         self.counters = {
             "resident": 0,
             "cone": 0,
             "global": 0,
             "fallback": 0,
             "edits": 0,
+            "evictions": 0,
+            "snapshots": 0,
         }
         #: stats of the most recent engine run (None for pure table reads)
         self.last_stats: FixpointStats | None = None
@@ -265,7 +291,36 @@ class ServeSession:
         if res is None:
             res = ResidentAnalysis(domain, mode, self._prepare(domain, mode))
             self.residents[key] = res
+        self._use_clock += 1
+        res.last_used = self._use_clock
         return res
+
+    # -- memory-pressure degradation -------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Estimated bytes held by all resident tables (wire-encoded)."""
+        return sum(res.approx_bytes() for res in self.residents.values())
+
+    def maybe_evict(self) -> list[str]:
+        """Graceful degradation under memory pressure: while the resident
+        footprint exceeds ``max_resident_bytes``, drop whole per-combo
+        resident analyses least-recently-used first. Evicted combos fall
+        back to a lazy re-solve on their next query — strictly a
+        performance loss, never a precision or correctness one."""
+        if self.max_resident_bytes is None or not self.residents:
+            return []
+        evicted: list[str] = []
+        total = self.resident_bytes()
+        while total > self.max_resident_bytes and self.residents:
+            key, res = min(
+                self.residents.items(), key=lambda kv: kv[1].last_used
+            )
+            total -= res.approx_bytes()
+            del self.residents[key]
+            evicted.append("/".join(key))
+            self.counters["evictions"] += 1
+            self.telemetry.count("serve.evictions")
+        return evicted
 
     # -- solving ---------------------------------------------------------------
 
@@ -287,7 +342,7 @@ class ServeSession:
         )
         res.table = table
         res.solved = set(res.plan.node_ids)
-        res.facade = None
+        res.mark_table_changed()
         self.last_stats = stats
 
     def _ensure_solved(self, res: ResidentAnalysis, need: frozenset[int]) -> str:
@@ -322,7 +377,7 @@ class ServeSession:
                 else:
                     res.table.pop(nid, None)
             res.solved |= pending
-            res.facade = None
+            res.mark_table_changed()
             self.last_stats = stats
             return "cone"
         self._solve_globally(res)
@@ -427,6 +482,7 @@ class ServeSession:
             visited = len(self.last_stats.visited) if self.last_stats else 0
             sp.set(solve=solve, visited=visited)
         self.last_solve = solve
+        self.maybe_evict()
         return QueryResult(
             kind="interval",
             domain=res.domain,
@@ -478,6 +534,7 @@ class ServeSession:
             visited = len(self.last_stats.visited) if self.last_stats else 0
             sp.set(solve=solve, alarms=len(reports), visited=visited)
         self.last_solve = solve
+        self.maybe_evict()
         return QueryResult(
             kind="check",
             domain=res.domain,
@@ -574,7 +631,7 @@ class ServeSession:
                 res.table = table
                 res.solved = solved
                 res.cone_cache.clear()
-                res.facade = None
+                res.mark_table_changed()
                 per_resident["/".join(key)] = {
                     "retained": len(solved),
                     "seed_dirty": n_dirty,
@@ -586,6 +643,7 @@ class ServeSession:
                 changed_procs=len(diff.changed_procs),
                 generation=self.generation,
             )
+        self.maybe_evict()
         return {
             "generation": self.generation,
             "changed_procs": sorted(diff.changed_procs),
@@ -626,6 +684,8 @@ class ServeSession:
             "residents": residents,
         }
         nbytes = save_checkpoint(path, payload)
+        self.counters["snapshots"] += 1
+        self.telemetry.count("serve.snapshots")
         return {
             "path": path,
             "bytes": nbytes,
@@ -647,23 +707,29 @@ class ServeSession:
             }
             res.solved = set(wire["solved"])
             res.cone_cache.clear()
-            res.facade = None
+            res.mark_table_changed()
             restored.append(key)
         return {"path": path, "residents": sorted(restored)}
 
     # -- introspection ---------------------------------------------------------
 
     def stats(self) -> dict:
-        return {
+        residents = {}
+        for (domain, mode), res in self.residents.items():
+            row = {
+                "solved": len(res.solved),
+                "nodes": len(res.plan.node_ids),
+            }
+            if self.max_resident_bytes is not None:
+                row["bytes"] = res.approx_bytes()
+            residents[f"{domain}/{mode}"] = row
+        out = {
             "generation": self.generation,
             "procedures": len(self.program.cfgs),
             "quarantined": sorted(self.program.quarantined),
             "queries": dict(self.counters),
-            "residents": {
-                f"{domain}/{mode}": {
-                    "solved": len(res.solved),
-                    "nodes": len(res.plan.node_ids),
-                }
-                for (domain, mode), res in self.residents.items()
-            },
+            "residents": residents,
         }
+        if self.max_resident_bytes is not None:
+            out["max_resident_bytes"] = self.max_resident_bytes
+        return out

@@ -1,0 +1,66 @@
+"""Unit tests for the shared exponential-backoff-with-jitter policy.
+
+The policy is the single source of retry/respawn delays for both the
+batch driver (:mod:`repro.runtime.pool`) and the serve supervisor
+(:mod:`repro.server.supervisor`), so its determinism contract — one RNG
+draw per delay, same seed ⇒ same schedule — is what makes fault-injection
+runs replayable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.runtime.backoff import BackoffPolicy
+
+
+def test_same_seed_same_schedule():
+    policy = BackoffPolicy(base=0.25, factor=2.0, jitter=0.5)
+    assert policy.schedule(6, seed=42) == policy.schedule(6, seed=42)
+
+
+def test_different_seeds_differ():
+    policy = BackoffPolicy(base=0.25, factor=2.0, jitter=0.5)
+    assert policy.schedule(6, seed=1) != policy.schedule(6, seed=2)
+
+
+def test_exponential_growth_within_jitter_bounds():
+    policy = BackoffPolicy(base=0.1, factor=3.0, jitter=0.5)
+    for attempt, delay in enumerate(policy.schedule(7, seed=7), start=1):
+        floor = 0.1 * 3.0 ** (attempt - 1)
+        assert floor <= delay <= floor * 1.5, (attempt, delay)
+
+
+def test_zero_jitter_is_pure_exponential():
+    policy = BackoffPolicy(base=0.5, factor=2.0, jitter=0.0)
+    assert policy.schedule(4, seed=0) == [0.5, 1.0, 2.0, 4.0]
+
+
+def test_max_delay_caps_the_tail():
+    policy = BackoffPolicy(base=1.0, factor=10.0, jitter=0.5, max_delay=3.0)
+    schedule = policy.schedule(5, seed=3)
+    assert all(d <= 3.0 for d in schedule)
+    assert schedule[-1] == 3.0  # far past the cap: clamped exactly
+
+
+def test_one_rng_draw_per_delay():
+    """The policy must consume exactly one ``rng.random()`` per delay —
+    that is what keeps the batch driver's seeded retry schedules
+    byte-identical to the pre-extraction implementation."""
+    policy = BackoffPolicy(base=0.25, factor=2.0, jitter=0.5)
+    rng = random.Random(99)
+    got = [policy.delay(k, rng) for k in range(1, 5)]
+    ref_rng = random.Random(99)
+    want = [
+        0.25 * 2.0 ** (k - 1) * (1.0 + 0.5 * ref_rng.random())
+        for k in range(1, 5)
+    ]
+    assert got == want
+
+
+def test_attempts_are_one_based():
+    policy = BackoffPolicy()
+    with pytest.raises(ValueError):
+        policy.delay(0, random.Random(0))

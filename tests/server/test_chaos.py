@@ -1,0 +1,151 @@
+"""The recovery invariant, property-tested.
+
+A supervised serve runtime driven through seeded fault schedules must
+(1) answer every request with one line of JSON — possibly a bounded
+number of ``retry`` rounds — and (2) give answers byte-identical in
+their semantic fields to a never-crashed reference session that
+processed exactly the acked requests. Exact mode (``strict=False,
+widen=False``) on loop-free generated programs makes the fixpoints
+order-independent, so "byte-identical" is meaningful across restarts.
+
+The crash-mid-edit test is the atomicity half: a SIGKILL landing between
+the in-memory edit application and its durable record must roll the edit
+back entirely (the client saw no ack and retries), and the post-restart
+answers across **all six engine×domain combos** must equal the
+uncrashed session's, with the edit applied exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime.faults import FaultPlan
+from repro.server.chaos import generated_workload, run_chaos, semantic
+from repro.server.protocol import dispatch_request
+from repro.server.session import ServeSession
+from repro.server.supervisor import (
+    BackoffPolicy,
+    Supervisor,
+    SupervisorConfig,
+)
+from tests.analysis.golden_tables import COMBOS
+
+N_SEEDS = int(os.environ.get("REPRO_SERVE_SEEDS", "2"))
+SEEDS = [29 * i + 5 for i in range(N_SEEDS)]
+
+EXACT = {"strict": False, "widen": False}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", ["kill", "corrupt-snapshot"])
+def test_chaos_recovery_invariant(scenario, seed):
+    source, queries, edits = generated_workload(seed=seed)
+    report = run_chaos(
+        source,
+        f"<chaos-{seed}>",
+        scenario=scenario,
+        seed=seed,
+        queries=queries,
+        edits=edits,
+        session_kwargs=dict(EXACT),
+    )
+    assert report["ok"], "\n".join(report["violations"])
+    assert report["supervisor"]["restarts"] >= 1
+    assert report["answered"] > 0
+
+
+def test_chaos_hang_deadline(tmp_path):
+    source, queries, edits = generated_workload(seed=3)
+    report = run_chaos(
+        source,
+        "<chaos-hang>",
+        scenario="hang",
+        seed=3,
+        queries=queries,
+        edits=edits,
+        session_kwargs=dict(EXACT),
+    )
+    assert report["ok"], "\n".join(report["violations"])
+    assert report["supervisor"]["deadline_kills"] >= 1
+
+
+def test_crash_mid_edit_atomicity_all_six_combos():
+    """Deterministic schedule: query every combo, crash inside the first
+    edit's atomicity window, retry the edit, query every combo again —
+    each answer must match the never-crashed reference byte for byte."""
+    source, _, edits = generated_workload(seed=11)
+    edit_payload = edits[0]
+    queries = [("main", "g0"), ("f1", "g1"), ("f3", "acc")]
+
+    sup = Supervisor(
+        source,
+        "<atomicity>",
+        config=SupervisorConfig(
+            request_deadline=30.0,
+            snapshot_every=1,
+            backoff=BackoffPolicy(base=0.01, jitter=0.0, max_delay=0.1),
+            faults=FaultPlan(kill_edit_at=1),
+        ),
+        **EXACT,
+    )
+    reference = ServeSession(source, "<atomicity>", **EXACT)
+    try:
+        sup.start()
+        rid = 0
+
+        def both(request: dict) -> None:
+            nonlocal rid
+            rid += 1
+            got = sup.ask({**request, "id": rid})
+            assert got.get("ok"), (request, got)
+            want = dispatch_request(reference, dict(request))
+            want["id"] = rid
+            assert semantic(got) == semantic(want), (
+                f"request {request} diverged:\n  got  {semantic(got)}"
+                f"\n  want {semantic(want)}"
+            )
+
+        for domain, mode in COMBOS:
+            for proc, var in queries:
+                both(
+                    {
+                        "op": "query",
+                        "kind": "interval",
+                        "proc": proc,
+                        "var": var,
+                        "domain": domain,
+                        "mode": mode,
+                    }
+                )
+
+        # the faulted edit: killed after the in-memory application but
+        # before the durable record — no ack, so nothing happened
+        rid += 1
+        lost = sup.ask({"op": "edit", "id": rid, **edit_payload})
+        assert lost["error"] == "retry", lost
+        # the restarted worker must still be on generation 0 (rollback)
+        rid += 1
+        ping = sup.ask({"op": "ping", "id": rid})
+        assert ping["ok"] and ping["generation"] == 0, ping
+
+        # client retries; this time it lands exactly once on both sides
+        both({"op": "edit", **edit_payload})
+        assert reference.generation == 1
+
+        for domain, mode in COMBOS:
+            for proc, var in queries:
+                both(
+                    {
+                        "op": "query",
+                        "kind": "interval",
+                        "proc": proc,
+                        "var": var,
+                        "domain": domain,
+                        "mode": mode,
+                    }
+                )
+        assert sup.counters["restarts"] == 1
+    finally:
+        sup.stop()

@@ -196,3 +196,74 @@ def test_restore_error_does_not_kill_the_session(tmp_path):
     )
     assert replies[0]["ok"] is False
     assert replies[1]["ok"] is True
+
+
+# -- socket path hygiene (prepare_socket_path / probe_unix_socket) ---------
+
+
+def test_stale_socket_file_is_removed(tmp_path):
+    import os
+    import socket as socketlib
+
+    from repro.server.protocol import prepare_socket_path
+
+    path = str(tmp_path / "serve.sock")
+    srv = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    srv.bind(path)
+    srv.close()  # nobody listening anymore: the file is stale
+    assert os.path.exists(path)
+    prepare_socket_path(path)  # must not raise
+    assert not os.path.exists(path)
+
+
+def test_missing_path_is_fine(tmp_path):
+    from repro.server.protocol import prepare_socket_path
+
+    prepare_socket_path(str(tmp_path / "never-created.sock"))
+
+
+def test_live_server_is_never_clobbered(tmp_path):
+    import json as jsonlib
+    import os
+    import socket as socketlib
+    import threading
+
+    from repro.runtime.errors import ReproError
+    from repro.server.protocol import prepare_socket_path, probe_unix_socket
+
+    path = str(tmp_path / "serve.sock")
+    srv = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    srv.bind(path)
+    srv.listen(1)
+
+    def answer_one_ping():
+        conn, _ = srv.accept()
+        with conn, conn.makefile("rw", encoding="utf-8") as stream:
+            stream.readline()
+            stream.write(
+                jsonlib.dumps({"ok": True, "op": "ping", "generation": 7})
+                + "\n"
+            )
+            stream.flush()
+
+    thread = threading.Thread(target=answer_one_ping, daemon=True)
+    thread.start()
+    try:
+        with pytest.raises(ReproError, match="live repro serve"):
+            prepare_socket_path(path)
+        assert os.path.exists(path)  # the live server's socket survived
+    finally:
+        srv.close()
+        thread.join(timeout=5)
+
+    # a mute-but-accepting listener still counts as live (connect wins)
+    srv2 = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    os.unlink(path)
+    srv2.bind(path)
+    srv2.listen(1)
+    try:
+        assert probe_unix_socket(path, timeout=0.2) == {}
+        with pytest.raises(ReproError, match="live repro serve"):
+            prepare_socket_path(path)
+    finally:
+        srv2.close()

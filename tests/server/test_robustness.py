@@ -106,31 +106,96 @@ class TestMalformedInput:
         assert proc.returncode == 0, proc.stderr
 
 
+def _spawn_serve(src_file, *extra):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", src_file, *extra],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_env(),
+        cwd=str(REPO),
+    )
+
+
+def _signal_mid_session(src_file, signum, *extra):
+    """Start a server, confirm it answers, deliver ``signum``, and return
+    (exit code, stderr, the worker pid from stats — or None unsupervised)."""
+    proc = _spawn_serve(src_file, *extra)
+    worker_pid = None
+    try:
+        proc.stdin.write('{"op": "ping", "id": 1}\n')
+        proc.stdin.flush()
+        reply = json.loads(proc.stdout.readline())
+        assert reply["ok"] is True  # the server is up and answering
+        if "--supervised" in extra:
+            proc.stdin.write('{"op": "stats", "id": 2}\n')
+            proc.stdin.flush()
+            stats = json.loads(proc.stdout.readline())
+            worker_pid = stats["supervisor"]["worker_pid"]
+            assert worker_pid is not None
+        time.sleep(0.1)
+        proc.send_signal(signum)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=60)
+    return proc.returncode, proc.stderr.read(), worker_pid
+
+
+def _assert_reaped(pid):
+    """The pid must no longer exist (no zombie, no orphan): give the
+    kernel a moment, then probe with signal 0."""
+    for _ in range(50):
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"worker {pid} is still alive after supervisor exit")
+
+
 class TestSignals:
     def test_sigterm_mid_session_exits_143(self, src_file):
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", src_file],
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env=_env(),
-            cwd=str(REPO),
+        code, stderr, _ = _signal_mid_session(src_file, signal.SIGTERM)
+        assert code == 128 + signal.SIGTERM
+        assert "interrupted" in stderr
+
+    def test_sigint_mid_session_exits_130(self, src_file):
+        # SIGINT parity with the batch CLI: 128 + 2, same shutdown path
+        code, stderr, _ = _signal_mid_session(src_file, signal.SIGINT)
+        assert code == 128 + signal.SIGINT
+        assert "interrupted" in stderr
+
+
+class TestSupervisedSignals:
+    def test_sigterm_forwards_to_worker_and_exits_143(self, src_file):
+        code, stderr, worker_pid = _signal_mid_session(
+            src_file, signal.SIGTERM, "--supervised"
         )
-        try:
-            proc.stdin.write('{"op": "ping", "id": 1}\n')
-            proc.stdin.flush()
-            reply = json.loads(proc.stdout.readline())
-            assert reply["ok"] is True  # the server is up and answering
-            time.sleep(0.1)
-            proc.send_signal(signal.SIGTERM)
-            proc.wait(timeout=60)
-        finally:
-            if proc.poll() is None:
-                proc.kill()
-                proc.wait(timeout=60)
-        assert proc.returncode == 128 + signal.SIGTERM
-        assert "interrupted" in proc.stderr.read()
+        assert code == 128 + signal.SIGTERM
+        assert "interrupted" in stderr
+        _assert_reaped(worker_pid)
+
+    def test_sigint_forwards_to_worker_and_exits_130(self, src_file):
+        code, stderr, worker_pid = _signal_mid_session(
+            src_file, signal.SIGINT, "--supervised"
+        )
+        assert code == 128 + signal.SIGINT
+        assert "interrupted" in stderr
+        _assert_reaped(worker_pid)
+
+    def test_supervised_eof_exits_cleanly(self, src_file):
+        proc = _serve(
+            src_file, "--supervised",
+            stdin_text='{"op": "ping"}\n{"op": "query", "kind": "interval",'
+            ' "proc": "main", "var": "g"}\n',
+        )
+        assert proc.returncode == 0, proc.stderr
+        replies = [json.loads(ln) for ln in proc.stdout.splitlines() if ln]
+        assert [r.get("ok") for r in replies] == [True, True]
+        assert replies[1]["interval"]["lo"] == 42
 
 
 class TestQueryBudget:
